@@ -1,0 +1,99 @@
+// Experiment E1 (paper §4, first experiment): packet loss when the mobile
+// host switches its care-of address to another address on the same wired
+// subnet — the minimal essential software overhead of the system.
+//
+// Setup (as in the paper): the correspondent host sends a UDP packet to the
+// mobile host every 10 ms and the MH echoes it back. The MH then switches
+// care-of addresses on the visited subnet. Packets in flight during the
+// interval between "old address stops being accepted" and "new binding
+// installed at the home agent" are lost. The paper ran 20 iterations:
+// sixteen lost no packets and four lost exactly one, bounding the interval
+// under 10 ms.
+#include <cstdio>
+
+#include "src/topo/testbed.h"
+#include "src/tracing/probe.h"
+#include "src/util/stats.h"
+
+namespace msn {
+namespace {
+
+struct TrialResult {
+  uint64_t lost = 0;
+  double switch_total_ms = 0;
+};
+
+TrialResult RunTrial(uint64_t seed) {
+  TestbedConfig cfg;
+  cfg.seed = seed;
+  Testbed tb(cfg);
+  tb.StartMobileAtHome();
+  tb.StartMobileOnWired(50);
+
+  ProbeEchoServer echo(*tb.mh, 7);
+  ProbeSender sender(*tb.ch, ProbeSender::Config{Testbed::HomeAddress(), 7, Milliseconds(10)});
+  sender.Start();
+  // Random phase between the probe stream and the switch instant (in the
+  // real testbed the operator's switch is not synchronized with the sender).
+  tb.RunFor(Seconds(1) + Microseconds(static_cast<int64_t>(
+                             tb.sim.rng().UniformInt(uint64_t{0}, uint64_t{9999}))));
+
+  bool ok = false;
+  tb.mobile->SwitchCareOfAddress(Ipv4Address(36, 8, 0, 51), [&](bool r) { ok = r; });
+  tb.RunFor(Seconds(1));
+  sender.Stop();
+  tb.RunFor(Seconds(1));
+
+  TrialResult result;
+  result.lost = ok ? sender.TotalLost() : ~0ull;
+  result.switch_total_ms = tb.mobile->last_timeline().Total().ToMillisF();
+  return result;
+}
+
+int Main() {
+  std::printf("==============================================================\n");
+  std::printf("E1: same-subnet care-of address switch (paper Section 4)\n");
+  std::printf("CH sends UDP every 10 ms; MH echoes; 20 iterations\n");
+  std::printf("==============================================================\n\n");
+
+  const int kIterations = 20;
+  IntHistogram losses;
+  RunningStats switch_ms;
+  for (int i = 0; i < kIterations; ++i) {
+    const TrialResult r = RunTrial(1000 + static_cast<uint64_t>(i));
+    if (r.lost == ~0ull) {
+      std::printf("  iteration %2d: REGISTRATION FAILED\n", i + 1);
+      continue;
+    }
+    losses.Add(static_cast<int64_t>(r.lost));
+    switch_ms.Add(r.switch_total_ms);
+  }
+
+  std::printf("Packets lost per iteration (histogram):\n");
+  std::printf("%s\n", losses.Render("lost").c_str());
+  std::printf("Address-switch total time: %s ms (mean (stddev))\n\n",
+              switch_ms.Summary(2).c_str());
+
+  std::printf("%-44s | %-16s | %s\n", "metric", "paper", "measured");
+  std::printf("%.44s-+-%.16s-+-%.16s\n",
+              "---------------------------------------------",
+              "----------------", "----------------");
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%lld / %lld",
+                static_cast<long long>(losses.CountFor(0)),
+                static_cast<long long>(losses.total()));
+  std::printf("%-44s | %-16s | %s\n", "iterations with zero loss", "16 / 20", buf);
+  std::snprintf(buf, sizeof(buf), "%lld / %lld",
+                static_cast<long long>(losses.CountFor(1)),
+                static_cast<long long>(losses.total()));
+  std::printf("%-44s | %-16s | %s\n", "iterations with exactly one loss", "4 / 20", buf);
+  std::printf("%-44s | %-16s | %s\n", "loss interval bound", "< 10 ms",
+              losses.max_value() <= 1 ? "< 10 ms (max 1 probe lost)" : ">= 10 ms (!)");
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace msn
+
+int main() { return msn::Main(); }

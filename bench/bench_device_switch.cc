@@ -1,0 +1,154 @@
+// Experiment E2 (paper Figure 6): packet loss when the mobile host switches
+// between different network devices — cold (tear down one interface, bring up
+// the other) and hot (both interfaces alive), in both directions between the
+// wired CS-department Ethernet (net 36.8) and the Metricom radio subnet
+// (net 36.134).
+//
+// As in the paper, the correspondent sends a UDP probe every 250 ms (chosen
+// to match the 200-250 ms radio round-trip) and each experiment runs ten
+// iterations; we report the per-iteration loss histogram, mirroring the
+// figure's bars.
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "src/topo/testbed.h"
+#include "src/tracing/probe.h"
+#include "src/util/stats.h"
+
+namespace msn {
+namespace {
+
+enum class SwitchKind { kColdWiredToWireless, kColdWirelessToWired,
+                        kHotWiredToWireless, kHotWirelessToWired };
+
+const char* KindName(SwitchKind kind) {
+  switch (kind) {
+    case SwitchKind::kColdWiredToWireless:
+      return "cold  wired -> wireless";
+    case SwitchKind::kColdWirelessToWired:
+      return "cold  wireless -> wired";
+    case SwitchKind::kHotWiredToWireless:
+      return "hot   wired -> wireless";
+    case SwitchKind::kHotWirelessToWired:
+      return "hot   wireless -> wired";
+  }
+  return "?";
+}
+
+// Runs one switching trial; returns probes lost (or -1 on failure).
+int64_t RunTrial(SwitchKind kind, uint64_t seed) {
+  TestbedConfig cfg;
+  cfg.seed = seed;
+  Testbed tb(cfg);
+  tb.StartMobileAtHome();
+
+  const bool from_wired =
+      kind == SwitchKind::kColdWiredToWireless || kind == SwitchKind::kHotWiredToWireless;
+  const bool hot =
+      kind == SwitchKind::kHotWiredToWireless || kind == SwitchKind::kHotWirelessToWired;
+
+  if (from_wired) {
+    tb.StartMobileOnWired(50);
+  } else {
+    tb.StartMobileOnWireless(60);
+  }
+  if (hot) {
+    // Hot switch: the target interface is already up and configured.
+    if (from_wired) {
+      tb.ForceRadioUp();
+      tb.mh->stack().ConfigureAddress(tb.mh_radio, Ipv4Address(36, 134, 0, 70),
+                                      SubnetMask(16));
+    } else {
+      tb.MoveMhEthernetTo(tb.net8.get());
+      tb.ForceEthUp();
+      tb.mh->stack().ConfigureAddress(tb.mh_eth, Ipv4Address(36, 8, 0, 55), SubnetMask(16));
+    }
+  } else if (!from_wired) {
+    // Cold switch to wired: move the cable first.
+    tb.MoveMhEthernetTo(tb.net8.get());
+  }
+
+  ProbeEchoServer echo(*tb.mh, 7);
+  ProbeSender sender(*tb.ch, ProbeSender::Config{Testbed::HomeAddress(), 7, Milliseconds(250)});
+  sender.Start();
+  tb.RunFor(Seconds(2));
+
+  bool ok = false;
+  MobileHost::Attachment target = from_wired
+                                      ? tb.WirelessAttachment(hot ? 70 : 60)
+                                      : tb.WiredAttachment(hot ? 55 : 50);
+  if (hot) {
+    tb.mobile->HotSwitchTo(target, [&](bool r) { ok = r; });
+  } else {
+    tb.mobile->ColdSwitchTo(target, [&](bool r) { ok = r; });
+  }
+  tb.RunFor(Seconds(6));
+  sender.Stop();
+  tb.RunFor(Seconds(2));
+  if (!ok || !tb.mobile->registered()) {
+    return -1;
+  }
+  return static_cast<int64_t>(sender.TotalLost());
+}
+
+int Main() {
+  std::printf("==============================================================\n");
+  std::printf("E2 / Figure 6: device switching overhead\n");
+  std::printf("CH probes every 250 ms; 10 iterations per configuration\n");
+  std::printf("==============================================================\n\n");
+
+  const SwitchKind kinds[] = {SwitchKind::kColdWiredToWireless,
+                              SwitchKind::kColdWirelessToWired,
+                              SwitchKind::kHotWiredToWireless,
+                              SwitchKind::kHotWirelessToWired};
+  struct Row {
+    SwitchKind kind;
+    IntHistogram losses;
+    RunningStats loss_stats;
+  };
+  std::vector<Row> rows;
+  for (SwitchKind kind : kinds) {
+    Row row{kind, {}, {}};
+    for (int i = 0; i < 10; ++i) {
+      const int64_t lost = RunTrial(kind, 3000 + static_cast<uint64_t>(i) * 17 +
+                                              static_cast<uint64_t>(kind) * 1000);
+      if (lost < 0) {
+        std::printf("  %s iteration %d: switch failed\n", KindName(kind), i + 1);
+        continue;
+      }
+      row.losses.Add(lost);
+      row.loss_stats.Add(static_cast<double>(lost));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  for (const Row& row : rows) {
+    std::printf("--- %s ---\n", KindName(row.kind));
+    std::printf("%s", row.losses.Render("lost").c_str());
+    std::printf("  mean lost: %s\n\n", row.loss_stats.Summary(1).c_str());
+  }
+
+  std::printf("%-30s | %-30s | %s\n", "configuration", "paper (Figure 6)", "measured");
+  std::printf("%.30s-+-%.30s-+-%.30s\n", "------------------------------",
+              "------------------------------", "------------------------------");
+  for (const Row& row : rows) {
+    const bool hot = row.kind == SwitchKind::kHotWiredToWireless ||
+                     row.kind == SwitchKind::kHotWirelessToWired;
+    char measured[64];
+    std::snprintf(measured, sizeof(measured), "%lld-%lld lost (mean %.1f)",
+                  static_cast<long long>(row.losses.min_value()),
+                  static_cast<long long>(row.losses.max_value()),
+                  row.loss_stats.mean());
+    std::printf("%-30s | %-30s | %s\n", KindName(row.kind),
+                hot ? "usually 0 lost" : "loss interval < ~1.25 s (2-5)", measured);
+  }
+  std::printf("\nShape check: cold switches lose a handful of probes (dominated by\n"
+              "interface bring-up); hot switches lose essentially nothing.\n\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace msn
+
+int main() { return msn::Main(); }

@@ -1,0 +1,156 @@
+// Experiment E5 (paper §4, last paragraph): "the software overhead in the
+// registration process is small, and the home agent should be able to deal
+// with a large number of mobile hosts simultaneously."
+//
+// We quantify that claim: N mobile hosts attach to a foreign network at the
+// same instant and all register with one home agent, whose registration
+// daemon processes requests serially (~1.48 ms each). We report registration
+// completion latency (mean / p95 / max) and the HA's effective throughput as
+// N grows.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/link/link_device.h"
+#include "src/mip/home_agent.h"
+#include "src/mip/mobile_host.h"
+#include "src/node/node.h"
+#include "src/util/stats.h"
+
+namespace msn {
+namespace {
+
+struct ScalingResult {
+  int n = 0;
+  int registered = 0;
+  double mean_ms = 0;
+  double p95_ms = 0;
+  double max_ms = 0;
+  double ha_processing_mean_ms = 0;
+  double throughput_per_sec = 0;
+};
+
+ScalingResult RunScale(int n, uint64_t seed) {
+  Simulator sim(seed);
+  BroadcastMedium net135(sim, "net135", EthernetMediumParams());
+  BroadcastMedium net8(sim, "net8", EthernetMediumParams());
+
+  // Router + home agent (Pentium 90 class).
+  Node router(sim, "router");
+  IpStack::DelayParams router_delays;
+  router_delays.send_mean = MillisecondsF(0.55);
+  router_delays.send_jitter = MillisecondsF(0.06);
+  router_delays.deliver_mean = MillisecondsF(0.55);
+  router_delays.deliver_jitter = MillisecondsF(0.06);
+  router_delays.forward_mean = MillisecondsF(0.25);
+  router_delays.forward_jitter = MillisecondsF(0.04);
+  router.stack().set_delay_params(router_delays);
+  router.stack().set_forwarding_enabled(true);
+  EthernetDevice* r135 = router.AddEthernet("eth135", &net135);
+  EthernetDevice* r8 = router.AddEthernet("eth8", &net8);
+  r135->ForceUp();
+  r8->ForceUp();
+  router.ConfigureInterface(r135, "36.135.0.1/16");
+  router.ConfigureInterface(r8, "36.8.0.1/16");
+
+  HomeAgent::Config ha_config;
+  ha_config.address = Ipv4Address(36, 135, 0, 1);
+  ha_config.home_device = r135;
+  ha_config.home_subnet = Subnet::MustParse("36.135.0.0/16");
+  HomeAgent ha(router, ha_config);
+
+  // N mobile hosts, already on the foreign segment, all registering at t=1s.
+  IpStack::DelayParams host_delays;
+  host_delays.send_mean = MillisecondsF(1.0);
+  host_delays.send_jitter = MillisecondsF(0.12);
+  host_delays.deliver_mean = MillisecondsF(1.0);
+  host_delays.deliver_jitter = MillisecondsF(0.12);
+
+  std::vector<std::unique_ptr<Node>> nodes;
+  std::vector<std::unique_ptr<MobileHost>> mobiles;
+  std::vector<double> latencies_ms;
+  int registered = 0;
+  Time last_done = Time::Zero();
+  const Time start_at = Time::Zero() + Seconds(1);
+
+  for (int i = 0; i < n; ++i) {
+    auto node = std::make_unique<Node>(sim, "mh" + std::to_string(i));
+    node->stack().set_delay_params(host_delays);
+    EthernetDevice* eth = node->AddEthernet("eth0", &net8);
+    eth->ForceUp();
+
+    MobileHost::Config mc;
+    mc.home_address = Ipv4Address(36, 135, 0, static_cast<uint8_t>(10 + i % 200));
+    // Distinct home addresses across the /16.
+    mc.home_address = Ipv4Address((36u << 24) | (135u << 16) | (10 + static_cast<uint32_t>(i)));
+    mc.home_mask = SubnetMask(16);
+    mc.home_agent = Ipv4Address(36, 135, 0, 1);
+    mc.home_gateway = Ipv4Address(36, 135, 0, 1);
+    mc.home_device = eth;
+    auto mobile = std::make_unique<MobileHost>(*node, mc);
+
+    MobileHost::Attachment att;
+    att.device = eth;
+    att.care_of = Ipv4Address((36u << 24) | (8u << 16) | (100 + static_cast<uint32_t>(i)));
+    att.mask = SubnetMask(16);
+    att.gateway = Ipv4Address(36, 8, 0, 1);
+
+    MobileHost* mobile_raw = mobile.get();
+    sim.ScheduleAt(start_at, [mobile_raw, att, &latencies_ms, &registered, &last_done, &sim,
+                              start_at] {
+      mobile_raw->AttachForeign(att, [&, start_at](bool ok) {
+        if (ok) {
+          ++registered;
+          latencies_ms.push_back((sim.Now() - start_at).ToMillisF());
+          last_done = std::max(last_done, sim.Now());
+        }
+      });
+    });
+
+    nodes.push_back(std::move(node));
+    mobiles.push_back(std::move(mobile));
+  }
+
+  sim.RunFor(Seconds(120));
+
+  ScalingResult result;
+  result.n = n;
+  result.registered = registered;
+  RunningStats stats;
+  for (double v : latencies_ms) {
+    stats.Add(v);
+  }
+  result.mean_ms = stats.mean();
+  result.max_ms = stats.max();
+  result.p95_ms = Percentile(latencies_ms, 95);
+  result.ha_processing_mean_ms = ha.processing_stats_ms().mean();
+  const double window_sec = (last_done - start_at).ToSecondsF();
+  result.throughput_per_sec = window_sec > 0 ? registered / window_sec : 0;
+  return result;
+}
+
+int Main() {
+  std::printf("==============================================================\n");
+  std::printf("E5: home agent scalability (paper S4: 'should be able to deal\n");
+  std::printf("with a large number of mobile hosts simultaneously')\n");
+  std::printf("N mobile hosts register at the same instant with one HA\n");
+  std::printf("==============================================================\n\n");
+
+  std::printf("%5s  %10s  %12s  %12s  %12s  %14s  %12s\n", "N", "registered", "mean ms",
+              "p95 ms", "max ms", "HA proc ms", "regs/sec");
+  for (int n : {1, 2, 5, 10, 20, 50, 100}) {
+    const ScalingResult r = RunScale(n, 8000 + static_cast<uint64_t>(n));
+    std::printf("%5d  %10d  %12.2f  %12.2f  %12.2f  %14.2f  %12.1f\n", r.n, r.registered,
+                r.mean_ms, r.p95_ms, r.max_ms, r.ha_processing_mean_ms,
+                r.throughput_per_sec);
+  }
+  std::printf("\nShape check: per-request HA processing stays ~1.5 ms, so the HA\n"
+              "sustains hundreds of registrations per second; latency grows only\n"
+              "once simultaneous arrivals queue behind the single daemon.\n\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace msn
+
+int main() { return msn::Main(); }

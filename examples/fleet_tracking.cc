@@ -1,0 +1,146 @@
+// Fleet tracking: one home agent serving a whole fleet of mobile hosts.
+//
+// Twelve couriers' laptops share the home subnet 36.135 and one home agent.
+// Each courier roams between the wired dock network and the radio cell on
+// its own schedule, acquiring care-of addresses via DHCP, while a dispatch
+// server (the correspondent) polls every unit at its *home* address. The
+// dispatcher's view never changes; the home agent juggles all the bindings.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/dhcp/dhcp.h"
+#include "src/mip/home_agent.h"
+#include "src/mip/mobile_host.h"
+#include "src/topo/testbed.h"
+#include "src/tracing/probe.h"
+
+using namespace msn;
+
+namespace {
+
+struct Courier {
+  std::unique_ptr<Node> node;
+  EthernetDevice* eth = nullptr;
+  StripRadioDevice* radio = nullptr;
+  std::unique_ptr<MobileHost> mobile;
+  std::unique_ptr<DhcpClient> dhcp;
+  std::unique_ptr<ProbeEchoServer> telemetry;
+  Ipv4Address home;
+  bool on_radio = false;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fleet tracking: one home agent, twelve roaming couriers ===\n\n");
+  Testbed tb;  // Supplies media, router, HA, CH, DHCP servers.
+
+  const int kCouriers = 12;
+  std::vector<Courier> fleet(kCouriers);
+  for (int i = 0; i < kCouriers; ++i) {
+    Courier& c = fleet[i];
+    c.node = std::make_unique<Node>(tb.sim, "courier" + std::to_string(i));
+    c.eth = c.node->AddEthernet("eth0", tb.net8.get());
+    c.radio = c.node->AddRadio("strip0", tb.radio134.get());
+    c.home = Ipv4Address(36, 135, 1, static_cast<uint8_t>(10 + i));
+
+    MobileHost::Config mc;
+    mc.home_address = c.home;
+    mc.home_mask = SubnetMask(16);
+    mc.home_agent = tb.home_agent_address();
+    mc.home_gateway = Testbed::RouterOn135();
+    mc.home_device = c.eth;
+    c.mobile = std::make_unique<MobileHost>(*c.node, mc);
+    c.telemetry = std::make_unique<ProbeEchoServer>(*c.node, 7);
+
+    // Half the fleet starts on the dock Ethernet (via DHCP), half on radio.
+    if (i % 2 == 0) {
+      c.eth->ForceUp();
+      c.dhcp = std::make_unique<DhcpClient>(*c.node, c.eth);
+      c.dhcp->Acquire([&tb, &c](std::optional<DhcpLease> lease) {
+        if (!lease) {
+          return;
+        }
+        MobileHost::Attachment att{c.eth, lease->address, lease->mask, lease->gateway};
+        c.mobile->AttachForeign(att, nullptr);
+      });
+    } else {
+      c.radio->ForceUp();
+      c.on_radio = true;
+      c.dhcp = std::make_unique<DhcpClient>(*c.node, c.radio);
+      c.dhcp->Acquire([&tb, &c](std::optional<DhcpLease> lease) {
+        if (!lease) {
+          return;
+        }
+        MobileHost::Attachment att{c.radio, lease->address, lease->mask, lease->gateway};
+        c.mobile->AttachForeign(att, nullptr);
+      });
+    }
+  }
+  tb.RunFor(Seconds(12));
+
+  std::printf("After boot, the home agent holds %zu bindings:\n",
+              tb.home_agent->binding_count());
+  for (const Courier& c : fleet) {
+    auto binding = tb.home_agent->GetBinding(c.home);
+    std::printf("  %-14s -> %s\n", c.home.ToString().c_str(),
+                binding ? binding->care_of.ToString().c_str() : "(unregistered)");
+  }
+
+  // The dispatcher polls every courier at its home address.
+  std::printf("\nDispatcher polls every courier (5 probes each, 200 ms apart):\n");
+  std::vector<std::unique_ptr<ProbeSender>> pollers;
+  for (const Courier& c : fleet) {
+    pollers.push_back(std::make_unique<ProbeSender>(
+        *tb.ch, ProbeSender::Config{c.home, 7, Milliseconds(200)}));
+    pollers.back()->Start();
+  }
+  tb.RunFor(Seconds(1));
+  for (auto& p : pollers) {
+    p->Stop();
+  }
+  tb.RunFor(Seconds(2));
+  int reachable = 0;
+  for (size_t i = 0; i < pollers.size(); ++i) {
+    const bool ok = pollers[i]->received() > 0;
+    reachable += ok ? 1 : 0;
+    std::printf("  %-14s : %llu/%llu answered%s\n", fleet[i].home.ToString().c_str(),
+                static_cast<unsigned long long>(pollers[i]->received()),
+                static_cast<unsigned long long>(pollers[i]->sent()),
+                fleet[i].on_radio ? "  (radio)" : "  (dock)");
+  }
+  std::printf("Reachable: %d / %d, all at their permanent home addresses.\n", reachable,
+              kCouriers);
+
+  // Shift change: dock couriers drive off (hot switch to radio).
+  std::printf("\nShift change: dock couriers drive off onto the radio...\n");
+  for (int i = 0; i < kCouriers; i += 2) {
+    Courier& c = fleet[i];
+    c.radio->ForceUp();
+    c.dhcp = std::make_unique<DhcpClient>(*c.node, c.radio);
+    c.dhcp->Acquire([&c](std::optional<DhcpLease> lease) {
+      if (!lease) {
+        return;
+      }
+      MobileHost::Attachment att{c.radio, lease->address, lease->mask, lease->gateway};
+      c.mobile->HotSwitchTo(att, nullptr);
+    });
+  }
+  tb.RunFor(Seconds(12));
+
+  int on_radio = 0;
+  for (const Courier& c : fleet) {
+    auto binding = tb.home_agent->GetBinding(c.home);
+    if (binding && Testbed::Net134().Contains(binding->care_of)) {
+      ++on_radio;
+    }
+  }
+  std::printf("Bindings now on the radio subnet: %d / %d.\n", on_radio, kCouriers);
+  std::printf("HA stats: %llu registrations accepted, mean processing %.2f ms.\n",
+              static_cast<unsigned long long>(
+                  tb.home_agent->counters().registrations_accepted),
+              tb.home_agent->processing_stats_ms().mean());
+  std::printf("\nOne home agent, zero support from the visited networks.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Policy routing: the Mobile Policy Table at work (paper §3.2-3.3).
+//
+// A visiting mobile host talks to a correspondent beyond the local router,
+// trying each transmission policy. With the visited network's transit filter
+// enabled, the triangle route dies; the MH probes, detects the ICMP
+// administratively-prohibited error, caches a fallback in its policy table,
+// and traffic continues through the home-agent tunnel.
+#include <cstdio>
+
+#include "src/mip/ipip.h"
+#include "src/topo/testbed.h"
+#include "src/tracing/probe.h"
+#include "src/util/stats.h"
+
+using namespace msn;
+
+namespace {
+
+double MeasureRtt(Testbed& tb, const char* label) {
+  ProbeEchoServer echo(*tb.mh, 7);
+  ProbeSender sender(*tb.ch, ProbeSender::Config{Testbed::HomeAddress(), 7, Milliseconds(50)});
+  sender.Start();
+  tb.RunFor(Seconds(2));
+  sender.Stop();
+  tb.RunFor(Seconds(1));
+  RunningStats rtt;
+  for (Duration d : sender.RttsInWindow(Time::Zero(), Time::Max())) {
+    rtt.Add(d.ToMillisF());
+  }
+  std::printf("  %-34s : %llu/%llu echoes, RTT %s ms\n", label,
+              static_cast<unsigned long long>(sender.received()),
+              static_cast<unsigned long long>(sender.sent()),
+              sender.received() > 0 ? rtt.Summary(2).c_str() : "-");
+  return rtt.mean();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Mobile Policy Table & routing optimizations ===\n\n");
+  std::printf("Scenario: MH visits net 36.8; correspondent lives beyond the campus\n"
+              "router; the visited network filters transit traffic (as some\n"
+              "security-conscious sites did — paper S3.2).\n\n");
+
+  TestbedConfig cfg;
+  cfg.external_ch = true;
+  cfg.transit_filter = true;
+  Testbed tb(cfg);
+  tb.StartMobileAtHome();
+  tb.StartMobileOnWired(50);
+  const Ipv4Address ch = tb.ch_address();
+
+  std::printf("1. Basic protocol (default policy = tunnel through home agent):\n");
+  MeasureRtt(tb, "tunnel-home");
+
+  std::printf("\n2. Try the triangle-route optimization (home address as source,\n"
+              "   straight out the local interface):\n");
+  tb.mobile->policy_table().Set(Subnet(ch, SubnetMask(32)), MobilePolicy::kTriangle);
+  MeasureRtt(tb, "triangle (filter drops it)");
+
+  std::printf("\n3. The right way: probe first. The probe fails with ICMP\n"
+              "   administratively-prohibited and the MPT caches a fallback:\n");
+  tb.mobile->ProbeTriangleRoute(ch, [&](bool ok) {
+    std::printf("  probe result: %s\n", ok ? "triangle verified" : "filtered -> fall back");
+  });
+  tb.RunFor(Seconds(5));
+  std::printf("\n  Mobile Policy Table now:\n");
+  std::printf("%s\n", tb.mobile->policy_table().ToString().c_str());
+  MeasureRtt(tb, "after fallback (tunnel again)");
+
+  std::printf("\n4. encap-direct: for decapsulation-capable correspondents, tunnel\n"
+              "   straight to them with the local care-of source — filter-proof\n"
+              "   and no home-agent detour:\n");
+  IpIpTunnelEndpoint ch_decap(tb.ch->stack());  // CH runs a decap-capable kernel.
+  tb.mobile->policy_table().Set(Subnet(ch, SubnetMask(32)), MobilePolicy::kEncapDirect);
+  MeasureRtt(tb, "encap-direct (smart CH)");
+
+  std::printf("\n5. Per-packet decisions, by the numbers:\n");
+  const auto& c = tb.mobile->counters();
+  std::printf("  tunneled out: %llu, triangle out: %llu, encap-direct out: %llu,\n"
+              "  probes: %llu, fallbacks cached: %llu\n",
+              static_cast<unsigned long long>(c.packets_tunneled_out),
+              static_cast<unsigned long long>(c.packets_triangle_out),
+              static_cast<unsigned long long>(c.packets_encap_direct_out),
+              static_cast<unsigned long long>(c.probes_sent),
+              static_cast<unsigned long long>(c.probe_fallbacks));
+
+  std::printf("\nAll of this happened on the mobile host alone — the visited network\n"
+              "provided nothing but an IP address and a (hostile) router.\n");
+  return 0;
+}

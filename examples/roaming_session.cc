@@ -1,0 +1,109 @@
+// Roaming session: the paper's motivating scenario (§1) — a long-lived
+// connection with accumulated state (think remote login or a news reader)
+// survives repeated network hand-offs without either endpoint restarting.
+//
+// A TCP-lite "terminal session" runs between the mobile host and a server on
+// the correspondent host while the MH roams:
+//
+//   home Ethernet  ->  CS-department Ethernet (cold switch)
+//                  ->  Metricom radio         (cold switch)
+//                  ->  back home              (deregistration)
+//
+// Every byte typed is echoed back; at the end both sides agree on the full
+// transcript even though the MH changed networks three times mid-session.
+#include <cstdio>
+#include <string>
+
+#include "src/tcplite/tcplite.h"
+#include "src/topo/testbed.h"
+
+using namespace msn;
+
+namespace {
+
+struct Session {
+  TcpLiteConnection* conn = nullptr;
+  std::string transcript;   // Echo bytes received back at the MH.
+  uint64_t typed = 0;
+
+  void Type(const std::string& line) {
+    typed += line.size();
+    conn->Send(std::vector<uint8_t>(line.begin(), line.end()));
+  }
+};
+
+void Report(Testbed& tb, const Session& session, const char* where) {
+  std::printf("  [%-22s] typed %5llu B, echoed %5zu B, retransmits %llu, state %s\n", where,
+              static_cast<unsigned long long>(session.typed), session.transcript.size(),
+              static_cast<unsigned long long>(session.conn->retransmissions()),
+              session.conn->established() ? "ESTABLISHED" : "not established");
+  (void)tb;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Roaming remote-login session ===\n\n");
+  Testbed tb;
+  tb.StartMobileAtHome();
+
+  // The "login server" on the correspondent host echoes everything.
+  TcpLite server_tcp(tb.ch->stack());
+  server_tcp.Listen(23, [](TcpLiteConnection* conn) {
+    std::printf("  [server] accepted connection from %s:%u\n",
+                conn->remote_address().ToString().c_str(), conn->remote_port());
+    conn->SetDataHandler([conn](const std::vector<uint8_t>& data) { conn->Send(data); });
+  });
+
+  // The MH opens the session from home. The unbound socket means the
+  // connection uses the home address — and full mobile-IP treatment away
+  // from home.
+  TcpLite client_tcp(tb.mh->stack());
+  Session session;
+  session.conn = client_tcp.Connect(tb.ch_address(), 23, [](bool ok) {
+    std::printf("  [MH] connect: %s\n", ok ? "established" : "failed");
+  });
+  session.conn->SetDataHandler([&session](const std::vector<uint8_t>& data) {
+    session.transcript.append(data.begin(), data.end());
+  });
+  tb.RunFor(Seconds(1));
+
+  session.Type("make -j4 world   # kicked off at my desk\n");
+  tb.RunFor(Seconds(1));
+  Report(tb, session, "home 36.135");
+
+  std::printf("\n-- carrying the laptop to the CS department (cold switch) --\n");
+  tb.MoveMhEthernetTo(tb.net8.get());
+  tb.mobile->ColdSwitchTo(tb.WiredAttachment(50), [](bool ok) {
+    std::printf("  [MH] registered on net 36.8: %s\n", ok ? "yes" : "no");
+  });
+  session.Type("tail -f build.log  # typed during the switch, retransmitted as needed\n");
+  tb.RunFor(Seconds(6));
+  Report(tb, session, "visiting 36.8 (wired)");
+
+  std::printf("\n-- walking out of the building onto the radio (cold switch) --\n");
+  tb.mobile->ColdSwitchTo(tb.WirelessAttachment(60), [](bool ok) {
+    std::printf("  [MH] registered on net 36.134: %s\n", ok ? "yes" : "no");
+  });
+  session.Type("grep -c error build.log\n");
+  tb.RunFor(Seconds(8));
+  Report(tb, session, "visiting 36.134 (radio)");
+
+  std::printf("\n-- back at the desk (return home, deregister) --\n");
+  tb.MoveMhEthernetTo(tb.net135.get());
+  // The radio is still up: this is a hot return — no packets lost.
+  tb.mobile->AttachHome([](bool ok) {
+    std::printf("  [MH] home again, deregistered: %s\n", ok ? "yes" : "no");
+  });
+  session.Type("exit\n");
+  tb.RunFor(Seconds(6));
+  Report(tb, session, "home 36.135 again");
+
+  std::printf("\nSession integrity: %s (%llu bytes typed, %zu echoed back)\n",
+              session.typed == session.transcript.size() && session.conn->established()
+                  ? "INTACT across 3 hand-offs"
+                  : "BROKEN",
+              static_cast<unsigned long long>(session.typed), session.transcript.size());
+  std::printf("Neither the application nor the server was modified or restarted.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Concrete devices over a BroadcastMedium, plus the loopback device.
+#ifndef MSN_SRC_LINK_LINK_DEVICE_H_
+#define MSN_SRC_LINK_LINK_DEVICE_H_
+
+#include <string>
+
+#include "src/link/medium.h"
+#include "src/link/net_device.h"
+
+namespace msn {
+
+// A device attached to a BroadcastMedium.
+class LinkDevice : public NetDevice {
+ public:
+  LinkDevice(Simulator& sim, std::string name, MacAddress mac, uint64_t bandwidth_bps);
+  ~LinkDevice() override;
+
+  uint64_t bandwidth_bps() const override { return bandwidth_bps_; }
+  void set_bandwidth_bps(uint64_t bps) { bandwidth_bps_ = bps; }
+
+  // Attaches to (at most one) medium. Detach by attaching to nullptr.
+  void AttachTo(BroadcastMedium* medium);
+  BroadcastMedium* medium() const { return medium_; }
+
+ protected:
+  void SendToMedium(const EthernetFrame& frame) override;
+
+ private:
+  uint64_t bandwidth_bps_;
+  BroadcastMedium* medium_ = nullptr;
+};
+
+// 10 Mb/s PCMCIA Ethernet (the paper's Linksys card). Bring-up models driver
+// + card initialization.
+class EthernetDevice : public LinkDevice {
+ public:
+  static constexpr uint64_t kDefaultBandwidthBps = 10'000'000;
+
+  EthernetDevice(Simulator& sim, std::string name, MacAddress mac);
+};
+
+// Metricom radio in Starmode, driven by the STRIP driver over a 115.2 kb/s
+// serial port. Nominal air rate 100 kb/s, ~30-40 kb/s achieved; we model the
+// effective rate. Radio bring-up is slow (power-up + network acquisition),
+// which is why cold switches to the radio lose the most probe packets.
+class StripRadioDevice : public LinkDevice {
+ public:
+  static constexpr uint64_t kDefaultBandwidthBps = 35'000;
+
+  StripRadioDevice(Simulator& sim, std::string name, MacAddress mac);
+};
+
+// Loopback: frames are redelivered to the same device after a tiny delay.
+class LoopbackDevice : public NetDevice {
+ public:
+  explicit LoopbackDevice(Simulator& sim, std::string name = "lo");
+
+  uint64_t bandwidth_bps() const override { return 0; }  // No serialization cost.
+
+ protected:
+  void SendToMedium(const EthernetFrame& frame) override;
+};
+
+// Convenience: default medium parameter sets matching the testbed.
+MediumParams EthernetMediumParams();
+MediumParams RadioMediumParams();
+
+}  // namespace msn
+
+#endif  // MSN_SRC_LINK_LINK_DEVICE_H_

@@ -1,0 +1,65 @@
+#include "src/link/medium.h"
+
+#include <algorithm>
+
+#include "src/link/link_device.h"
+#include "src/util/logging.h"
+
+namespace msn {
+
+BroadcastMedium::BroadcastMedium(Simulator& sim, std::string name, MediumParams params)
+    : sim_(sim), name_(std::move(name)), params_(params) {}
+
+void BroadcastMedium::Attach(LinkDevice* device) {
+  if (std::find(devices_.begin(), devices_.end(), device) == devices_.end()) {
+    devices_.push_back(device);
+  }
+}
+
+void BroadcastMedium::Detach(LinkDevice* device) {
+  devices_.erase(std::remove(devices_.begin(), devices_.end(), device), devices_.end());
+}
+
+Duration BroadcastMedium::DrawLatency() {
+  if (params_.latency_jitter.nanos() <= 0) {
+    return params_.latency;
+  }
+  const double ns = sim_.rng().NormalAtLeast(
+      static_cast<double>(params_.latency.nanos()),
+      static_cast<double>(params_.latency_jitter.nanos()),
+      static_cast<double>(params_.latency.nanos()) * 0.2);
+  return Duration::FromNanos(static_cast<int64_t>(ns));
+}
+
+void BroadcastMedium::DeliverAfterLatency(LinkDevice* target, const EthernetFrame& frame) {
+  if (params_.drop_probability > 0.0 && sim_.rng().Bernoulli(params_.drop_probability)) {
+    ++counters_.frames_dropped;
+    MSN_DEBUG("medium", "%s: dropped frame %s", name_.c_str(), frame.ToString().c_str());
+    return;
+  }
+  sim_.Schedule(DrawLatency(), [target, frame] { target->DeliverFrame(frame); });
+}
+
+void BroadcastMedium::FrameFromDevice(LinkDevice* sender, const EthernetFrame& frame) {
+  ++counters_.frames_carried;
+  if (frame.dst.IsBroadcast()) {
+    for (LinkDevice* dev : devices_) {
+      if (dev != sender) {
+        DeliverAfterLatency(dev, frame);
+      }
+    }
+    return;
+  }
+  bool matched = false;
+  for (LinkDevice* dev : devices_) {
+    if (dev != sender && dev->mac() == frame.dst) {
+      DeliverAfterLatency(dev, frame);
+      matched = true;
+    }
+  }
+  if (!matched) {
+    ++counters_.frames_unmatched;
+  }
+}
+
+}  // namespace msn

@@ -1,0 +1,69 @@
+// Shared transmission media.
+//
+// A BroadcastMedium joins any number of attached devices into one broadcast
+// domain: an Ethernet segment or a Metricom radio cell, differing only in
+// parameters (propagation latency, jitter, random frame loss). Delivery is by
+// destination MAC; broadcast frames reach every attached device but the
+// sender.
+#ifndef MSN_SRC_LINK_MEDIUM_H_
+#define MSN_SRC_LINK_MEDIUM_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/frame.h"
+#include "src/sim/simulator.h"
+
+namespace msn {
+
+class LinkDevice;
+
+struct MediumParams {
+  // One-way propagation + medium access latency.
+  Duration latency = Microseconds(50);
+  // Absolute stddev of per-frame latency jitter.
+  Duration latency_jitter = Duration();
+  // Independent per-frame loss probability (radio frames do occasionally
+  // vanish; the paper observed one such drop during the hot-switch runs).
+  double drop_probability = 0.0;
+};
+
+class BroadcastMedium {
+ public:
+  BroadcastMedium(Simulator& sim, std::string name, MediumParams params);
+
+  BroadcastMedium(const BroadcastMedium&) = delete;
+  BroadcastMedium& operator=(const BroadcastMedium&) = delete;
+
+  void Attach(LinkDevice* device);
+  void Detach(LinkDevice* device);
+
+  // Called by an attached device once its serialization delay has elapsed.
+  void FrameFromDevice(LinkDevice* sender, const EthernetFrame& frame);
+
+  const std::string& name() const { return name_; }
+  const MediumParams& params() const { return params_; }
+  void set_params(const MediumParams& p) { params_ = p; }
+
+  struct Counters {
+    uint64_t frames_carried = 0;
+    uint64_t frames_dropped = 0;  // Random medium loss.
+    uint64_t frames_unmatched = 0;  // No attached device with that MAC.
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  void DeliverAfterLatency(LinkDevice* target, const EthernetFrame& frame);
+  Duration DrawLatency();
+
+  Simulator& sim_;
+  std::string name_;
+  MediumParams params_;
+  std::vector<LinkDevice*> devices_;
+  Counters counters_;
+};
+
+}  // namespace msn
+
+#endif  // MSN_SRC_LINK_MEDIUM_H_

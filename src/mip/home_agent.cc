@@ -1,0 +1,267 @@
+#include "src/mip/home_agent.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace msn {
+
+HomeAgent::HomeAgent(Node& node, Config config) : node_(node), config_(config) {
+  // Registration service socket.
+  socket_ = std::make_unique<UdpSocket>(node_.stack());
+  socket_->Bind(kMipRegistrationPort);
+  socket_->BindSourceAddress(config_.address);
+  socket_->SetReceiveHandler(
+      [this](const std::vector<uint8_t>& data, const UdpSocket::Metadata& meta) {
+        OnRegistrationDatagram(data, meta);
+      });
+
+  // Encapsulating virtual interface (paper §3.4: the HA shares the MH's need
+  // for a VIF).
+  auto vif = std::make_unique<VirtualInterface>(node_.sim(), "ha-vif");
+  vif->SetEncapHandler([this](const Ipv4Datagram& inner) { EncapsulateAndTunnel(inner); });
+  vif_ = static_cast<VirtualInterface*>(node_.AdoptDevice(std::move(vif)));
+
+  // Reverse-tunnel decapsulation; inner packets are re-injected and forwarded
+  // to the correspondent hosts (the node must have forwarding enabled).
+  tunnel_ = std::make_unique<IpIpTunnelEndpoint>(node_.stack());
+  tunnel_->SetInspector([this](const Ipv4Header& outer, const Ipv4Datagram& inner) {
+    (void)outer;
+    (void)inner;
+    ++counters_.reverse_decapsulated;
+    return true;
+  });
+
+  // The "special route table entry": packets for a bound home address are
+  // redirected to the VIF. Installed as the route-lookup override so both
+  // forwarded and locally originated packets are captured.
+  node_.stack().SetRouteLookupOverride(
+      [this](const RouteQuery& query) { return RouteOverride(query); });
+}
+
+HomeAgent::~HomeAgent() {
+  node_.stack().ClearRouteLookupOverride();
+  if (config_.home_device != nullptr) {
+    for (const auto& [home, binding] : bindings_) {
+      node_.stack().arp().RemoveProxyEntry(config_.home_device, home);
+    }
+  }
+}
+
+void HomeAgent::AuthorizeMobileHost(Ipv4Address home_address) {
+  authorized_.insert(home_address);
+}
+
+void HomeAgent::SetAuthKey(Ipv4Address home_address, const MipAuthKey& key) {
+  auth_keys_[home_address] = key;
+}
+
+bool HomeAgent::HasBinding(Ipv4Address home_address) const {
+  return bindings_.find(home_address) != bindings_.end();
+}
+
+std::optional<HomeAgent::Binding> HomeAgent::GetBinding(Ipv4Address home_address) const {
+  auto it = bindings_.find(home_address);
+  if (it == bindings_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::optional<RouteDecision> HomeAgent::RouteOverride(const RouteQuery& query) {
+  auto it = bindings_.find(query.dst);
+  if (it == bindings_.end()) {
+    return std::nullopt;
+  }
+  RouteDecision decision;
+  decision.device = vif_;
+  decision.src = query.src_hint.IsAny() ? config_.address : query.src_hint;
+  decision.next_hop = Ipv4Address::Any();
+  return decision;
+}
+
+void HomeAgent::EncapsulateAndTunnel(const Ipv4Datagram& inner) {
+  auto it = bindings_.find(inner.header.dst);
+  if (it == bindings_.end()) {
+    ++counters_.tunnel_drops_no_binding;
+    return;
+  }
+  ++counters_.packets_tunneled;
+  Ipv4Datagram outer = EncapsulateIpIp(inner, config_.address, it->second.care_of);
+  MSN_TRACE("mip-ha", "%s: tunneling %s -> careof %s", node_.name().c_str(),
+            inner.header.ToString().c_str(), it->second.care_of.ToString().c_str());
+  node_.stack().SendPreformedDatagram(outer, /*forwarding=*/false);
+}
+
+void HomeAgent::OnRegistrationDatagram(const std::vector<uint8_t>& data,
+                                       const UdpSocket::Metadata& meta) {
+  ++counters_.requests_received;
+  auto request = RegistrationRequest::Parse(data);
+  if (!request) {
+    ++counters_.registrations_denied;
+    return;  // Cannot even name the mobile host; drop silently.
+  }
+  // The registration daemon is a single server: requests queue behind the
+  // one being processed. Processing takes the calibrated HA cost (the
+  // paper's measured 1.48 ms).
+  const Time arrival = node_.sim().Now();
+  const Time start = std::max(arrival, busy_until_);
+  const Duration cost = config_.calibration.ha_processing.Draw(node_.sim().rng());
+  busy_until_ = start + cost;
+  processing_stats_ms_.Add((busy_until_ - arrival).ToMillisF());
+  // The daemon dequeues the request at `start`, updates kernel state
+  // (binding, route, proxy ARP) promptly, and sends the reply once the full
+  // processing cost has elapsed. Installing the binding early keeps the
+  // packet-loss window short (paper: the loss interval ends when the HA
+  // registers the new care-of address, not when the reply reaches the MH).
+  const Time reply_at = busy_until_;
+  node_.sim().ScheduleAt(start, [this, request = *request, meta, reply_at] {
+    ProcessRequest(request, meta, reply_at);
+  });
+}
+
+void HomeAgent::ProcessRequest(const RegistrationRequest& request,
+                               const UdpSocket::Metadata& meta, Time reply_at) {
+  MSN_DEBUG("mip-ha", "%s: %s", node_.name().c_str(), request.ToString().c_str());
+
+  RegistrationReply reply;
+  reply.home_address = request.home_address;
+  reply.home_agent = config_.address;
+  reply.identification = request.identification;
+  reply.lifetime_sec = 0;
+
+  // Validation.
+  const bool known =
+      authorized_.empty()
+          ? config_.home_subnet.Contains(request.home_address)
+          : authorized_.find(request.home_address) != authorized_.end();
+  const auto key = auth_keys_.find(request.home_address);
+  const bool must_authenticate =
+      config_.require_authentication || key != auth_keys_.end();
+  if (!known) {
+    reply.code = MipReplyCode::kDeniedUnknownHomeAddress;
+  } else if (must_authenticate &&
+             (key == auth_keys_.end() || !request.VerifyAuthenticator(key->second))) {
+    reply.code = MipReplyCode::kDeniedBadAuthenticator;
+  } else if (request.home_agent != config_.address) {
+    reply.code = MipReplyCode::kDeniedMalformed;
+  } else {
+    auto last = last_identification_.find(request.home_address);
+    if (last != last_identification_.end() && request.identification <= last->second) {
+      reply.code = MipReplyCode::kDeniedIdentificationMismatch;
+    } else if ((request.flags & kMipFlagSimultaneous) != 0) {
+      reply.code = MipReplyCode::kAcceptedNoSimultaneous;
+    } else {
+      reply.code = MipReplyCode::kAccepted;
+    }
+  }
+
+  if (reply.accepted()) {
+    last_identification_[request.home_address] = request.identification;
+    if (request.IsDeregistration()) {
+      ++counters_.deregistrations;
+      RemoveBinding(request.home_address, /*expired=*/false);
+      reply.lifetime_sec = 0;
+    } else {
+      const uint16_t granted =
+          std::min<uint16_t>(request.lifetime_sec, config_.max_lifetime_sec);
+      reply.lifetime_sec = granted;
+      InstallBinding(request, granted);
+    }
+    ++counters_.registrations_accepted;
+  } else {
+    ++counters_.registrations_denied;
+  }
+
+  if (key != auth_keys_.end()) {
+    reply.Authenticate(key->second);
+  }
+  node_.sim().ScheduleAt(reply_at, [this, reply, dst = meta.src, port = meta.src_port] {
+    SendReply(reply, dst, port);
+  });
+}
+
+void HomeAgent::InstallBinding(const RegistrationRequest& request,
+                               uint16_t granted_lifetime_sec) {
+  const Ipv4Address home = request.home_address;
+  auto it = bindings_.find(home);
+  const Ipv4Address old_care_of =
+      it != bindings_.end() ? it->second.care_of : Ipv4Address::Any();
+
+  const bool old_was_foreign_agent =
+      it != bindings_.end() && !it->second.decapsulates_self;
+
+  Binding binding;
+  binding.home_address = home;
+  binding.care_of = request.care_of_address;
+  binding.expires = node_.sim().Now() + Seconds(granted_lifetime_sec);
+  binding.identification = request.identification;
+  binding.registered_at = node_.sim().Now();
+  binding.decapsulates_self = (request.flags & kMipFlagDecapsulateSelf) != 0;
+  bindings_[home] = binding;
+
+  // Previous-FA notification: late tunnel packets still headed to the old
+  // foreign agent can be forwarded to the new care-of address.
+  if (config_.notify_previous_foreign_agent && old_was_foreign_agent &&
+      !old_care_of.IsAny() && old_care_of != binding.care_of) {
+    BindingUpdate update;
+    update.home_address = home;
+    update.new_care_of = binding.care_of;
+    socket_->SendTo(old_care_of, kMipRegistrationPort, update.Serialize());
+  }
+
+  if (config_.home_device != nullptr) {
+    // Become (or refresh as) the MH's ARP proxy and void stale neighbor
+    // caches so traffic for the home address now lands on us.
+    node_.stack().arp().AddProxyEntry(config_.home_device, home);
+    node_.stack().arp().AddStaticEntry(home, config_.home_device->mac());
+    node_.stack().arp().SendGratuitousArp(config_.home_device, home);
+  }
+  ScheduleExpiry(home, binding.expires);
+
+  if (observer_) {
+    observer_(home, old_care_of, binding.care_of);
+  }
+  MSN_INFO("mip-ha", "%s: binding %s -> %s (%us)", node_.name().c_str(),
+           home.ToString().c_str(), binding.care_of.ToString().c_str(), granted_lifetime_sec);
+}
+
+void HomeAgent::RemoveBinding(Ipv4Address home_address, bool expired) {
+  auto it = bindings_.find(home_address);
+  if (it == bindings_.end()) {
+    return;
+  }
+  const Ipv4Address old_care_of = it->second.care_of;
+  bindings_.erase(it);
+  if (config_.home_device != nullptr) {
+    node_.stack().arp().RemoveProxyEntry(config_.home_device, home_address);
+    node_.stack().arp().RemoveEntry(home_address);
+  }
+  if (expired) {
+    ++counters_.bindings_expired;
+  }
+  if (observer_) {
+    observer_(home_address, old_care_of, Ipv4Address::Any());
+  }
+  MSN_INFO("mip-ha", "%s: binding for %s removed%s", node_.name().c_str(),
+           home_address.ToString().c_str(), expired ? " (expired)" : "");
+}
+
+void HomeAgent::ScheduleExpiry(Ipv4Address home_address, Time expires) {
+  node_.sim().ScheduleAt(expires, [this, home_address, expires] {
+    auto it = bindings_.find(home_address);
+    if (it == bindings_.end() || it->second.expires > expires) {
+      return;  // Removed or refreshed meanwhile.
+    }
+    RemoveBinding(home_address, /*expired=*/true);
+  });
+}
+
+void HomeAgent::SendReply(const RegistrationReply& reply, Ipv4Address dst, uint16_t port) {
+  MSN_DEBUG("mip-ha", "%s: %s -> %s:%u", node_.name().c_str(), reply.ToString().c_str(),
+            dst.ToString().c_str(), port);
+  socket_->SendTo(dst, port, reply.Serialize());
+}
+
+}  // namespace msn

@@ -1,0 +1,147 @@
+// The home agent (paper §3.1, §3.4).
+//
+// Runs on a host in the mobile host's home network (often, but not
+// necessarily, the router). For each registered away-from-home mobile host it
+// keeps a *mobility binding* (care-of address, lifetime, identification) and:
+//
+//  * intercepts packets for the MH's home address by acting as its ARP proxy
+//    and broadcasting a gratuitous ARP to void stale neighbor caches;
+//  * installs a route-table override directing those packets to its VIF,
+//    which encapsulates them IP-in-IP to the current care-of address;
+//  * decapsulates reverse-tunneled packets from the MH and forwards them on
+//    to their true destinations;
+//  * answers registration requests on UDP port 434, including deregistration
+//    when the mobile host returns home.
+//
+// Request processing is serialized through a single logical server (the
+// paper's user-level daemon), which is what the HA-scalability benchmark
+// measures.
+#ifndef MSN_SRC_MIP_HOME_AGENT_H_
+#define MSN_SRC_MIP_HOME_AGENT_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "src/mip/calibration.h"
+#include "src/mip/ipip.h"
+#include "src/mip/messages.h"
+#include "src/mip/vif.h"
+#include "src/node/node.h"
+#include "src/node/udp.h"
+#include "src/util/stats.h"
+
+namespace msn {
+
+class HomeAgent {
+ public:
+  struct Config {
+    // The HA's own address on the home subnet.
+    Ipv4Address address;
+    // Device attached to the home subnet (where proxy ARP happens).
+    NetDevice* home_device = nullptr;
+    // Home addresses must fall inside this subnet to be served.
+    Subnet home_subnet;
+    // Upper bound on granted binding lifetimes.
+    uint16_t max_lifetime_sec = 600;
+    // Extension (paper §5.1): when a binding moves away from a foreign-agent
+    // care-of address, tell that FA where the mobile host went so it can
+    // forward in-flight tunnel packets instead of dropping them.
+    bool notify_previous_foreign_agent = true;
+    // Require every registration to carry a valid mobile-home authenticator
+    // (paper §5.1: registrations "should be authenticated ... to protect
+    // against denial-of-service attacks in the form of malicious fraudulent
+    // registrations"). Keys are installed per mobile host via SetAuthKey.
+    bool require_authentication = false;
+    Calibration calibration = Calibration::Default();
+  };
+
+  struct Binding {
+    Ipv4Address home_address;
+    Ipv4Address care_of;
+    Time expires;
+    uint64_t identification = 0;
+    Time registered_at;
+    // True when the MH decapsulates itself (co-located care-of, the paper's
+    // basic protocol); false when the care-of address is a foreign agent.
+    bool decapsulates_self = true;
+  };
+
+  struct Counters {
+    uint64_t requests_received = 0;
+    uint64_t registrations_accepted = 0;
+    uint64_t registrations_denied = 0;
+    uint64_t deregistrations = 0;
+    uint64_t packets_tunneled = 0;
+    uint64_t reverse_decapsulated = 0;
+    uint64_t bindings_expired = 0;
+    uint64_t tunnel_drops_no_binding = 0;
+  };
+
+  // Observer for binding changes; `new_care_of` is Any() on removal.
+  using BindingObserver = std::function<void(Ipv4Address home_address, Ipv4Address old_care_of,
+                                             Ipv4Address new_care_of)>;
+
+  HomeAgent(Node& node, Config config);
+  ~HomeAgent();
+
+  HomeAgent(const HomeAgent&) = delete;
+  HomeAgent& operator=(const HomeAgent&) = delete;
+
+  // Restricts service to explicitly authorized home addresses. With no calls,
+  // any home address inside `home_subnet` is served.
+  void AuthorizeMobileHost(Ipv4Address home_address);
+  // Installs the shared secret for a mobile host. When a key is present the
+  // MH's registrations are always verified (and replies authenticated), even
+  // if require_authentication is off.
+  void SetAuthKey(Ipv4Address home_address, const MipAuthKey& key);
+
+  bool HasBinding(Ipv4Address home_address) const;
+  std::optional<Binding> GetBinding(Ipv4Address home_address) const;
+  size_t binding_count() const { return bindings_.size(); }
+  const Counters& counters() const { return counters_; }
+  const Config& config() const { return config_; }
+  Node& node() { return node_; }
+
+  void SetBindingObserver(BindingObserver observer) { observer_ = std::move(observer); }
+
+  // Per-request processing latency (request arrival to reply send), in
+  // milliseconds; includes queueing behind other requests. This is the HA
+  // component of the paper's Figure 7 (1.48 ms) and the quantity the
+  // HA-scalability benchmark sweeps.
+  const RunningStats& processing_stats_ms() const { return processing_stats_ms_; }
+
+ private:
+  void OnRegistrationDatagram(const std::vector<uint8_t>& data, const UdpSocket::Metadata& meta);
+  void ProcessRequest(const RegistrationRequest& request, const UdpSocket::Metadata& meta,
+                      Time reply_at);
+  void SendReply(const RegistrationReply& reply, Ipv4Address dst, uint16_t port);
+  void InstallBinding(const RegistrationRequest& request, uint16_t granted_lifetime_sec);
+  void RemoveBinding(Ipv4Address home_address, bool expired);
+  void ScheduleExpiry(Ipv4Address home_address, Time expires);
+  void EncapsulateAndTunnel(const Ipv4Datagram& inner);
+  std::optional<RouteDecision> RouteOverride(const RouteQuery& query);
+
+  Node& node_;
+  Config config_;
+  std::unique_ptr<UdpSocket> socket_;
+  VirtualInterface* vif_ = nullptr;  // Owned by the node.
+  std::unique_ptr<IpIpTunnelEndpoint> tunnel_;
+  std::map<Ipv4Address, Binding> bindings_;
+  // Highest identification seen per home address; survives deregistration to
+  // reject replays.
+  std::map<Ipv4Address, uint64_t> last_identification_;
+  std::set<Ipv4Address> authorized_;
+  std::map<Ipv4Address, MipAuthKey> auth_keys_;
+  BindingObserver observer_;
+  Counters counters_;
+  // The registration daemon handles one request at a time.
+  Time busy_until_ = Time::Zero();
+  RunningStats processing_stats_ms_;
+};
+
+}  // namespace msn
+
+#endif  // MSN_SRC_MIP_HOME_AGENT_H_

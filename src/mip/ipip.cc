@@ -1,0 +1,50 @@
+#include "src/mip/ipip.h"
+
+#include "src/util/logging.h"
+
+namespace msn {
+
+Ipv4Datagram EncapsulateIpIp(const Ipv4Datagram& inner, Ipv4Address outer_src,
+                             Ipv4Address outer_dst) {
+  Ipv4Datagram outer;
+  outer.header.protocol = IpProto::kIpIp;
+  outer.header.src = outer_src;
+  outer.header.dst = outer_dst;
+  outer.header.ttl = Ipv4Header::kDefaultTtl;
+  outer.payload = inner.Serialize();
+  return outer;
+}
+
+std::optional<Ipv4Datagram> DecapsulateIpIp(const std::vector<uint8_t>& outer_payload) {
+  return Ipv4Datagram::Parse(outer_payload);
+}
+
+IpIpTunnelEndpoint::IpIpTunnelEndpoint(IpStack& stack) : stack_(stack) {
+  stack_.RegisterProtocolHandler(
+      IpProto::kIpIp, [this](const Ipv4Header& header, const std::vector<uint8_t>& payload,
+                             NetDevice* ingress) { OnIpIp(header, payload, ingress); });
+}
+
+IpIpTunnelEndpoint::~IpIpTunnelEndpoint() { stack_.UnregisterProtocolHandler(IpProto::kIpIp); }
+
+void IpIpTunnelEndpoint::OnIpIp(const Ipv4Header& header, const std::vector<uint8_t>& payload,
+                                NetDevice* ingress) {
+  auto inner = DecapsulateIpIp(payload);
+  if (!inner) {
+    ++decapsulation_errors_;
+    return;
+  }
+  if (inspector_ && !inspector_(header, *inner)) {
+    return;
+  }
+  ++packets_decapsulated_;
+  MSN_TRACE("ipip", "%s: decapsulated %s", stack_.node_name().c_str(),
+            inner->header.ToString().c_str());
+  // Re-inject with no ingress device: the inner packet logically originates
+  // at the tunnel endpoint, so interface-level transit filters must not be
+  // re-applied to it.
+  (void)ingress;
+  stack_.InjectReceivedDatagram(*inner, nullptr);
+}
+
+}  // namespace msn

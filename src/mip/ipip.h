@@ -1,0 +1,60 @@
+// IP-within-IP encapsulation (IP protocol 4) and the tunnel endpoint that
+// decapsulates received tunnel packets and re-injects the inner datagram.
+//
+// The paper implements VIF and the IPIP processing module "as one module for
+// efficiency" (Figure 4); here they are two small classes sharing these
+// helpers. Encapsulation genuinely prepends a 20-byte outer IPv4 header, so
+// tunnel overhead is measurable on the wire.
+#ifndef MSN_SRC_MIP_IPIP_H_
+#define MSN_SRC_MIP_IPIP_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "src/net/headers.h"
+#include "src/node/ip_stack.h"
+
+namespace msn {
+
+// Wraps `inner` in an outer IPv4 header (protocol 4) addressed outer_src ->
+// outer_dst with a fresh TTL.
+Ipv4Datagram EncapsulateIpIp(const Ipv4Datagram& inner, Ipv4Address outer_src,
+                             Ipv4Address outer_dst);
+
+// Extracts the inner datagram from an IPIP payload. Returns nullopt if the
+// payload is not a valid IPv4 datagram.
+std::optional<Ipv4Datagram> DecapsulateIpIp(const std::vector<uint8_t>& outer_payload);
+
+// Registers as the protocol-4 handler on a stack. Each received tunnel packet
+// is decapsulated and the inner datagram re-injected into the stack's receive
+// path (delivered locally on a mobile host; forwarded onward on a home
+// agent). An optional inspector sees (outer header, inner datagram) first and
+// may veto re-injection by returning false.
+class IpIpTunnelEndpoint {
+ public:
+  using Inspector = std::function<bool(const Ipv4Header& outer, const Ipv4Datagram& inner)>;
+
+  explicit IpIpTunnelEndpoint(IpStack& stack);
+  ~IpIpTunnelEndpoint();
+
+  IpIpTunnelEndpoint(const IpIpTunnelEndpoint&) = delete;
+  IpIpTunnelEndpoint& operator=(const IpIpTunnelEndpoint&) = delete;
+
+  void SetInspector(Inspector inspector) { inspector_ = std::move(inspector); }
+
+  uint64_t packets_decapsulated() const { return packets_decapsulated_; }
+  uint64_t decapsulation_errors() const { return decapsulation_errors_; }
+
+ private:
+  void OnIpIp(const Ipv4Header& header, const std::vector<uint8_t>& payload, NetDevice* ingress);
+
+  IpStack& stack_;
+  Inspector inspector_;
+  uint64_t packets_decapsulated_ = 0;
+  uint64_t decapsulation_errors_ = 0;
+};
+
+}  // namespace msn
+
+#endif  // MSN_SRC_MIP_IPIP_H_

@@ -1,0 +1,590 @@
+#include "src/mip/mobile_host.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace msn {
+
+MobileHost::MobileHost(Node& node, Config config) : node_(node), config_(config) {
+  // The encapsulating virtual interface (paper Figure 4). While away from
+  // home the home address is bound to it, so decapsulated packets addressed
+  // to the home address are delivered locally.
+  auto vif = std::make_unique<VirtualInterface>(node_.sim(), "vif");
+  vif->SetEncapHandler([this](const Ipv4Datagram& inner) { EncapsulateOut(inner); });
+  vif_ = static_cast<VirtualInterface*>(node_.AdoptDevice(std::move(vif)));
+
+  // Decapsulation of tunneled packets arriving at the care-of address.
+  tunnel_ = std::make_unique<IpIpTunnelEndpoint>(node_.stack());
+  tunnel_->SetInspector([this](const Ipv4Header& outer, const Ipv4Datagram& inner) {
+    (void)outer;
+    (void)inner;
+    ++counters_.packets_decapsulated_in;
+    return true;
+  });
+
+  // Registration endpoint: one UDP socket whose bound source follows the
+  // current care-of address (local-role traffic, exempt from mobility).
+  reg_socket_ = std::make_unique<UdpSocket>(node_.stack());
+  reg_socket_->Bind(0);
+  reg_socket_->SetReceiveHandler(
+      [this](const std::vector<uint8_t>& data, const UdpSocket::Metadata& meta) {
+        OnRegistrationDatagram(data, meta);
+      });
+
+  pinger_ = std::make_unique<Pinger>(node_.stack());
+
+  // The paper's single kernel hook: the enhanced route lookup.
+  node_.stack().SetRouteLookupOverride(
+      [this](const RouteQuery& query) { return RouteOverride(query); });
+}
+
+MobileHost::~MobileHost() {
+  CancelPendingRegistration();
+  node_.sim().Cancel(renewal_event_);
+  node_.stack().ClearRouteLookupOverride();
+}
+
+// --- Route policy (the enhanced ip_rt_route()) ----------------------------------
+
+std::optional<RouteDecision> MobileHost::RouteOverride(const RouteQuery& query) {
+  // Mobile hosts do not forward; and at home the normal table is correct.
+  if (query.forwarding || !away_) {
+    return std::nullopt;
+  }
+  // Local role: an application that bound a source address other than the
+  // home address is mobile-aware (or local-network traffic such as the
+  // registration socket and DHCP). Leave it alone (paper §3.3, §5.2).
+  if (!query.src_hint.IsAny() && query.src_hint != config_.home_address) {
+    return std::nullopt;
+  }
+  if (query.dst == config_.home_address || query.dst.IsLoopback() ||
+      query.dst.IsBroadcast()) {
+    return std::nullopt;
+  }
+
+  if (fa_mode_) {
+    // With a foreign agent, the FA is our default router and essentially our
+    // only connection to the network (paper §5.2); packets go out plain with
+    // the home source address and the FA as next hop.
+    RouteDecision decision;
+    decision.device = attachment_.device;
+    decision.src = config_.home_address;
+    decision.next_hop = attachment_.gateway;  // The FA itself.
+    return decision;
+  }
+
+  const MobilePolicy policy = query.advisory ? policy_table_.LookupConst(query.dst)
+                                             : policy_table_.Lookup(query.dst);
+  switch (policy) {
+    case MobilePolicy::kTunnelHome:
+    case MobilePolicy::kEncapDirect: {
+      // Hand the packet to the VIF with the home source address; the encap
+      // handler picks the outer destination (HA or the correspondent).
+      RouteDecision decision;
+      decision.device = vif_;
+      decision.src = config_.home_address;
+      decision.next_hop = Ipv4Address::Any();
+      return decision;
+    }
+    case MobilePolicy::kTriangle: {
+      // Straight out the physical interface, home address as source. Transit
+      // filters on the visited network may drop this; the probe machinery
+      // caches a fallback when they do.
+      if (!query.advisory) {
+        ++counters_.packets_triangle_out;
+      }
+      RouteDecision decision;
+      decision.device = attachment_.device;
+      decision.src = config_.home_address;
+      const Subnet local(attachment_.care_of, attachment_.mask);
+      decision.next_hop =
+          local.Contains(query.dst) ? Ipv4Address::Any() : attachment_.gateway;
+      return decision;
+    }
+    case MobilePolicy::kDirect:
+      // Pure local role: fall through to the normal routing table, which
+      // sends with the care-of source address.
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+void MobileHost::EncapsulateOut(const Ipv4Datagram& inner) {
+  const MobilePolicy policy = policy_table_.LookupConst(inner.header.dst);
+  Ipv4Address outer_dst;
+  if (policy == MobilePolicy::kEncapDirect) {
+    outer_dst = inner.header.dst;
+    ++counters_.packets_encap_direct_out;
+  } else {
+    outer_dst = config_.home_agent;
+    ++counters_.packets_tunneled_out;
+  }
+  // Outer source is the physical (care-of) address: valid on the local
+  // network, so transit filters pass it, and the route lookup sees a
+  // non-mobile source and does not encapsulate again (paper §3.3).
+  const Ipv4Datagram outer = EncapsulateIpIp(inner, attachment_.care_of, outer_dst);
+  node_.stack().SendPreformedDatagram(outer, /*forwarding=*/false);
+}
+
+// --- Attach pipeline --------------------------------------------------------------
+
+void MobileHost::BeginAttach(const Attachment& attachment, bool skip_interface_config,
+                             CompletionCallback done) {
+  const uint64_t generation = ++attach_generation_;
+  CancelPendingRegistration();
+  if (pending_done_) {
+    // Supersede an in-flight attach.
+    CompletionCallback superseded = std::move(pending_done_);
+    pending_done_ = nullptr;
+    superseded(false);
+  }
+  pending_attachment_ = attachment;
+  pending_done_ = std::move(done);
+  pending_deregistration_ = false;
+  renewing_ = false;
+  fa_mode_ = false;
+  timeline_ = RegistrationTimeline{};
+  timeline_.start = node_.sim().Now();
+  state_ = State::kRegistering;
+
+  // Bind the home address to the virtual interface while away (paper §5.2).
+  if (node_.stack().GetInterfaceAddress(vif_) != config_.home_address) {
+    node_.stack().ConfigureAddress(vif_, config_.home_address, SubnetMask(32));
+  }
+  StepConfigureInterface(generation, skip_interface_config);
+}
+
+void MobileHost::StepConfigureInterface(uint64_t generation, bool skip_cost) {
+  const Duration cost =
+      skip_cost ? Duration() : config_.calibration.interface_config.Draw(node_.sim().rng());
+  node_.sim().Schedule(cost, [this, generation] {
+    if (generation != attach_generation_) {
+      return;
+    }
+    const Attachment& att = pending_attachment_;
+    if (node_.stack().GetInterfaceAddress(att.device) != att.care_of) {
+      node_.stack().UnconfigureAddress(att.device);
+      node_.stack().ConfigureAddress(att.device, att.care_of, att.mask);
+    }
+    timeline_.interface_configured = node_.sim().Now();
+    StepUpdateRoutes(generation);
+  });
+}
+
+void MobileHost::StepUpdateRoutes(uint64_t generation) {
+  const Duration cost = config_.calibration.route_update.Draw(node_.sim().rng());
+  node_.sim().Schedule(cost, [this, generation] {
+    if (generation != attach_generation_) {
+      return;
+    }
+    const Attachment& att = pending_attachment_;
+    node_.stack().routes().RemoveWhere(
+        [](const RouteEntry& e) { return e.dest == Subnet::Default(); });
+    node_.AddDefaultRoute(att.gateway, att.device);
+    attachment_ = att;
+    away_ = true;
+    timeline_.route_changed = node_.sim().Now();
+    StepSendRegistration(generation);
+  });
+}
+
+void MobileHost::StepSendRegistration(uint64_t generation) {
+  const Duration cost = config_.calibration.request_build.Draw(node_.sim().rng());
+  node_.sim().Schedule(cost, [this, generation] {
+    if (generation != attach_generation_) {
+      return;
+    }
+    // With a co-located care-of address the registration socket is bound to
+    // it (local role); through a foreign agent the MH has no local address
+    // and registers from its home address.
+    reg_socket_->BindSourceAddress(fa_mode_ ? config_.home_address : attachment_.care_of);
+    retransmits_left_ = config_.max_retransmits;
+    SendRegistrationRequest(generation, /*deregistration=*/false);
+  });
+}
+
+void MobileHost::SendRegistrationRequest(uint64_t generation, bool deregistration) {
+  RegistrationRequest request;
+  // Through an FA the *agent* decapsulates; co-located care-of means we do.
+  request.flags = (fa_mode_ && !deregistration) ? 0 : kMipFlagDecapsulateSelf;
+  request.lifetime_sec = deregistration ? 0 : config_.lifetime_sec;
+  request.home_address = config_.home_address;
+  request.home_agent = config_.home_agent;
+  request.care_of_address = deregistration ? config_.home_address : attachment_.care_of;
+  request.identification = next_identification_++;
+  outstanding_identification_ = request.identification;
+  if (config_.auth_key.has_value()) {
+    request.Authenticate(*config_.auth_key);
+  }
+
+  ++counters_.registrations_sent;
+  if (timeline_.request_sent == Time::Zero() || timeline_.request_sent < timeline_.start) {
+    timeline_.request_sent = node_.sim().Now();
+  }
+  MSN_DEBUG("mip-mh", "%s: %s", node_.name().c_str(), request.ToString().c_str());
+  if (fa_mode_ && !deregistration) {
+    // Relay via the foreign agent, framed straight to its hardware address
+    // (the MH has no routable address on the visited network).
+    UdpSocket::SendExtras extras;
+    extras.force_device = attachment_.device;
+    extras.force_dst_mac = fa_mac_;
+    reg_socket_->SendToWithExtras(attachment_.care_of, kMipRegistrationPort,
+                                  request.Serialize(), extras);
+  } else {
+    reg_socket_->SendTo(config_.home_agent, kMipRegistrationPort, request.Serialize());
+  }
+
+  retransmit_event_ = node_.sim().Schedule(config_.retransmit_interval,
+                                           [this, generation, deregistration] {
+                                             OnRetransmitTimer(generation, deregistration);
+                                           });
+}
+
+void MobileHost::OnRetransmitTimer(uint64_t generation, bool deregistration) {
+  if (generation != attach_generation_) {
+    return;
+  }
+  if (retransmits_left_ <= 0) {
+    ++counters_.registrations_timed_out;
+    MSN_WARN("mip-mh", "%s: registration timed out", node_.name().c_str());
+    FinishRegistration(generation, /*success=*/false);
+    return;
+  }
+  --retransmits_left_;
+  ++timeline_.retransmissions;
+  SendRegistrationRequest(generation, deregistration);
+}
+
+void MobileHost::OnRegistrationDatagram(const std::vector<uint8_t>& data,
+                                        const UdpSocket::Metadata& meta) {
+  (void)meta;
+  auto reply = RegistrationReply::Parse(data);
+  if (!reply || reply->identification != outstanding_identification_ ||
+      reply->home_address != config_.home_address) {
+    return;  // Stale or foreign reply.
+  }
+  if (config_.auth_key.has_value() && !reply->VerifyAuthenticator(*config_.auth_key)) {
+    MSN_WARN("mip-mh", "%s: discarding reply with bad authenticator", node_.name().c_str());
+    return;  // Forged or corrupted; keep retransmitting.
+  }
+  node_.sim().Cancel(retransmit_event_);
+  const uint64_t generation = attach_generation_;
+  MSN_DEBUG("mip-mh", "%s: %s", node_.name().c_str(), reply->ToString().c_str());
+
+  if (!reply->accepted()) {
+    ++counters_.registrations_denied;
+    FinishRegistration(generation, /*success=*/false);
+    return;
+  }
+  ++counters_.registrations_accepted;
+
+  if (renewing_) {
+    renewing_ = false;
+    ScheduleRenewal(reply->lifetime_sec);
+    return;
+  }
+
+  timeline_.reply_received = node_.sim().Now();
+  const uint16_t granted = reply->lifetime_sec;
+  const Duration cost = config_.calibration.post_registration.Draw(node_.sim().rng());
+  node_.sim().Schedule(cost, [this, generation, granted] {
+    if (generation != attach_generation_) {
+      return;
+    }
+    timeline_.done = node_.sim().Now();
+    timeline_.success = true;
+    if (pending_deregistration_) {
+      state_ = State::kAtHome;
+    } else {
+      state_ = State::kRegistered;
+      ScheduleRenewal(granted);
+    }
+    if (pending_done_) {
+      CompletionCallback cb = std::move(pending_done_);
+      pending_done_ = nullptr;
+      cb(true);
+    }
+  });
+}
+
+void MobileHost::FinishRegistration(uint64_t generation, bool success) {
+  if (generation != attach_generation_) {
+    return;
+  }
+  timeline_.done = node_.sim().Now();
+  timeline_.success = success;
+  if (!success) {
+    // Registration failed: the attachment may still be usable in its local
+    // role (paper §5.2: "especially useful if the home agent is not
+    // reachable or has crashed"), but home-role traffic has no binding.
+    state_ = pending_deregistration_ ? State::kAtHome : State::kDetached;
+  }
+  if (pending_done_) {
+    CompletionCallback cb = std::move(pending_done_);
+    pending_done_ = nullptr;
+    cb(success);
+  }
+}
+
+void MobileHost::ScheduleRenewal(uint16_t granted_lifetime_sec) {
+  node_.sim().Cancel(renewal_event_);
+  if (!config_.auto_renew || granted_lifetime_sec == 0) {
+    return;
+  }
+  const Duration lead = Seconds(granted_lifetime_sec) * 0.8;
+  renewal_event_ = node_.sim().Schedule(lead, [this] {
+    if (state_ != State::kRegistered) {
+      return;
+    }
+    ++counters_.renewals;
+    renewing_ = true;
+    retransmits_left_ = config_.max_retransmits;
+    SendRegistrationRequest(attach_generation_, /*deregistration=*/false);
+  });
+}
+
+void MobileHost::CancelPendingRegistration() {
+  node_.sim().Cancel(retransmit_event_);
+  retransmit_event_ = EventId();
+  outstanding_identification_ = 0;
+  renewing_ = false;
+}
+
+// --- Public attach operations -------------------------------------------------------
+
+void MobileHost::AttachForeign(const Attachment& attachment, CompletionCallback done) {
+  BeginAttach(attachment, /*skip_interface_config=*/false, std::move(done));
+}
+
+void MobileHost::SwitchCareOfAddress(Ipv4Address new_care_of, CompletionCallback done) {
+  Attachment att = attachment_;
+  att.care_of = new_care_of;
+  BeginAttach(att, /*skip_interface_config=*/false, std::move(done));
+}
+
+void MobileHost::HotSwitchTo(const Attachment& attachment, CompletionCallback done) {
+  const bool already_configured =
+      node_.stack().GetInterfaceAddress(attachment.device) == attachment.care_of;
+  BeginAttach(attachment, /*skip_interface_config=*/already_configured, std::move(done));
+}
+
+void MobileHost::ColdSwitchTo(const Attachment& attachment, CompletionCallback done) {
+  const uint64_t generation = ++attach_generation_;
+  CancelPendingRegistration();
+  NetDevice* old_device = attachment_.device != nullptr ? attachment_.device
+                                                        : config_.home_device;
+  if (fa_mode_ && old_device != nullptr && old_device->IsUp()) {
+    // Smooth hand-off (extension): tell the old foreign agent we are leaving
+    // so it buffers our packets until the home agent reports the new care-of
+    // address. Sent before the interface goes down.
+    BindingUpdate leaving;
+    leaving.home_address = config_.home_address;
+    leaving.new_care_of = Ipv4Address::Any();
+    UdpSocket::SendExtras extras;
+    extras.force_device = old_device;
+    extras.force_dst_mac = fa_mac_;
+    reg_socket_->SendToWithExtras(attachment_.care_of, kMipRegistrationPort,
+                                  leaving.Serialize(), extras);
+  }
+  // Tear down the old interface: delete its routes, drop its address, take
+  // the device down (paper §4: "deletes the route to the first interface,
+  // brings the interface down, brings the new interface up, adds its route,
+  // and finally registers the new IP address"). When a departure notice was
+  // just queued for the old foreign agent, hold the teardown long enough for
+  // the frame to serialize onto the (possibly slow) old link.
+  Duration teardown = config_.calibration.route_update.Draw(node_.sim().rng());
+  if (fa_mode_) {
+    teardown += Milliseconds(50);
+  }
+  node_.sim().Schedule(teardown, [this, generation, old_device, attachment,
+                                  done = std::move(done)]() mutable {
+    if (generation != attach_generation_) {
+      return;
+    }
+    if (old_device != nullptr && old_device != attachment.device) {
+      node_.stack().routes().RemoveForDevice(old_device);
+      node_.stack().UnconfigureAddress(old_device);
+      old_device->TakeDown();
+    }
+    attachment.device->BringUp([this, generation, attachment, done = std::move(done)]() mutable {
+      if (generation != attach_generation_) {
+        return;
+      }
+      AttachForeign(attachment, std::move(done));
+    });
+  });
+}
+
+void MobileHost::AttachHome(CompletionCallback done) {
+  const uint64_t generation = ++attach_generation_;
+  CancelPendingRegistration();
+  if (pending_done_) {
+    CompletionCallback superseded = std::move(pending_done_);
+    pending_done_ = nullptr;
+    superseded(false);
+  }
+  const bool was_away = away_ || state_ == State::kRegistered || state_ == State::kRegistering;
+  pending_done_ = std::move(done);
+  pending_deregistration_ = was_away;
+  renewing_ = false;
+  fa_mode_ = false;
+  timeline_ = RegistrationTimeline{};
+  timeline_.start = node_.sim().Now();
+
+  // Cold return: the home device may have been taken down on departure.
+  if (!config_.home_device->IsUp()) {
+    config_.home_device->BringUp([this, generation] {
+      if (generation != attach_generation_) {
+        return;
+      }
+      ContinueAttachHome(generation);
+    });
+    return;
+  }
+  ContinueAttachHome(generation);
+}
+
+void MobileHost::ContinueAttachHome(uint64_t generation) {
+  const bool was_away = pending_deregistration_;
+  // Step 1: configure the home address on the home device.
+  const Duration config_cost = config_.calibration.interface_config.Draw(node_.sim().rng());
+  node_.sim().Schedule(config_cost, [this, generation, was_away] {
+    if (generation != attach_generation_) {
+      return;
+    }
+    // The home address moves from the VIF back to the physical device.
+    node_.stack().UnconfigureAddress(vif_);
+    if (node_.stack().GetInterfaceAddress(config_.home_device) != config_.home_address) {
+      node_.stack().UnconfigureAddress(config_.home_device);
+      node_.stack().ConfigureAddress(config_.home_device, config_.home_address,
+                                     config_.home_mask);
+    }
+    timeline_.interface_configured = node_.sim().Now();
+
+    // Step 2: route update.
+    const Duration route_cost = config_.calibration.route_update.Draw(node_.sim().rng());
+    node_.sim().Schedule(route_cost, [this, generation, was_away] {
+      if (generation != attach_generation_) {
+        return;
+      }
+      node_.stack().routes().RemoveWhere(
+          [](const RouteEntry& e) { return e.dest == Subnet::Default(); });
+      node_.AddDefaultRoute(config_.home_gateway, config_.home_device);
+      attachment_ = Attachment{config_.home_device, config_.home_address, config_.home_mask,
+                               config_.home_gateway};
+      away_ = false;
+      timeline_.route_changed = node_.sim().Now();
+
+      // Announce our return: void stale ARP entries (including neighbours
+      // still mapping the home address to the HA's proxy MAC).
+      node_.stack().arp().SendGratuitousArp(config_.home_device, config_.home_address);
+
+      if (!was_away) {
+        state_ = State::kAtHome;
+        timeline_.done = node_.sim().Now();
+        timeline_.success = true;
+        if (pending_done_) {
+          CompletionCallback cb = std::move(pending_done_);
+          pending_done_ = nullptr;
+          cb(true);
+        }
+        return;
+      }
+      // Step 3: deregister with the home agent.
+      const Duration build = config_.calibration.request_build.Draw(node_.sim().rng());
+      node_.sim().Schedule(build, [this, generation] {
+        if (generation != attach_generation_) {
+          return;
+        }
+        reg_socket_->BindSourceAddress(config_.home_address);
+        retransmits_left_ = config_.max_retransmits;
+        SendRegistrationRequest(generation, /*deregistration=*/true);
+      });
+    });
+  });
+}
+
+void MobileHost::AttachViaForeignAgent(NetDevice* device, Ipv4Address fa_address,
+                                       CompletionCallback done) {
+  const uint64_t generation = ++attach_generation_;
+  CancelPendingRegistration();
+  if (pending_done_) {
+    CompletionCallback superseded = std::move(pending_done_);
+    pending_done_ = nullptr;
+    superseded(false);
+  }
+  pending_done_ = std::move(done);
+  pending_deregistration_ = false;
+  renewing_ = false;
+  timeline_ = RegistrationTimeline{};
+  timeline_.start = node_.sim().Now();
+  state_ = State::kRegistering;
+
+  if (node_.stack().GetInterfaceAddress(vif_) != config_.home_address) {
+    node_.stack().ConfigureAddress(vif_, config_.home_address, SubnetMask(32));
+  }
+
+  // Learn the FA's hardware address (ARP works even without our own IP).
+  node_.stack().arp().Resolve(
+      device, fa_address,
+      [this, generation, device, fa_address](std::optional<MacAddress> mac) {
+        if (generation != attach_generation_) {
+          return;
+        }
+        if (!mac) {
+          MSN_WARN("mip-mh", "%s: cannot resolve foreign agent %s", node_.name().c_str(),
+                   fa_address.ToString().c_str());
+          FinishRegistration(generation, /*success=*/false);
+          return;
+        }
+        fa_mac_ = *mac;
+        fa_mode_ = true;
+        // No interface configuration: the FA is the point of attachment.
+        node_.stack().routes().RemoveWhere(
+            [](const RouteEntry& e) { return e.dest == Subnet::Default(); });
+        attachment_ = Attachment{device, fa_address, SubnetMask(32), fa_address};
+        away_ = true;
+        timeline_.interface_configured = node_.sim().Now();
+        timeline_.route_changed = node_.sim().Now();
+        StepSendRegistration(generation);
+      });
+}
+
+// --- Probing --------------------------------------------------------------------------
+
+void MobileHost::ProbeTriangleRoute(Ipv4Address correspondent, std::function<void(bool)> done) {
+  ++counters_.probes_sent;
+  // Probe with exactly the packets the triangle route would emit: echo
+  // requests sourced from the home address, sent directly.
+  const Subnet target(correspondent, SubnetMask(32));
+  const MobilePolicy previous = policy_table_.LookupConst(correspondent);
+  policy_table_.Set(target, MobilePolicy::kTriangle);
+  pinger_->set_source(config_.home_address);
+  pinger_->Ping(correspondent, config_.probe_timeout,
+                [this, target, correspondent, previous,
+                 done = std::move(done)](const Pinger::Result& result) {
+                  if (result.success) {
+                    policy_table_.Set(target, MobilePolicy::kTriangle, /*verified=*/true);
+                    MSN_INFO("mip-mh", "%s: triangle route to %s verified",
+                             node_.name().c_str(), correspondent.ToString().c_str());
+                    if (done) {
+                      done(true);
+                    }
+                    return;
+                  }
+                  // Timeout or administratively prohibited: cache the
+                  // fallback so future packets tunnel through the HA.
+                  ++counters_.probe_fallbacks;
+                  policy_table_.RecordFallback(correspondent);
+                  (void)previous;
+                  MSN_INFO("mip-mh", "%s: triangle route to %s failed (%s); falling back",
+                           node_.name().c_str(), correspondent.ToString().c_str(),
+                           result.admin_prohibited ? "filtered" : "timeout");
+                  if (done) {
+                    done(false);
+                  }
+                });
+}
+
+}  // namespace msn

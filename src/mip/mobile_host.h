@@ -1,0 +1,230 @@
+// The mobile host (paper §3.1–§3.3, §5.2).
+//
+// Keeps a permanent home address while attaching to foreign networks with
+// temporary, co-located care-of addresses — no foreign agent anywhere. It
+// carries its own simplified foreign agent: it decapsulates tunneled packets
+// through a VIF, registers care-of addresses with its home agent over UDP
+// 434 (with retransmission), and routes outgoing "home-role" packets through
+// a Mobile Policy Table injected at the stack's single route-lookup hook
+// (the paper's modified ip_rt_route()).
+//
+// The two-roles design (§5.2) falls out of the hook's rules:
+//   * source unspecified, or explicitly the home address  -> home role:
+//     policy table decides tunnel / triangle / encap-direct / direct;
+//   * source bound to any other (local) address           -> local role:
+//     the override declines and normal routing applies.
+//
+// Hand-off entry points map to the paper's experiments:
+//   * SwitchCareOfAddress()  — same-subnet address switch (E1, Figure 7);
+//   * HotSwitchTo()          — both interfaces up, re-route + re-register;
+//   * ColdSwitchTo()         — tear down one interface, bring up the other
+//                              (pays the device bring-up latency that
+//                              dominates Figure 6's cold-switch losses).
+#ifndef MSN_SRC_MIP_MOBILE_HOST_H_
+#define MSN_SRC_MIP_MOBILE_HOST_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "src/mip/calibration.h"
+#include "src/mip/ipip.h"
+#include "src/mip/messages.h"
+#include "src/mip/policy_table.h"
+#include "src/mip/vif.h"
+#include "src/node/icmp.h"
+#include "src/node/node.h"
+#include "src/node/udp.h"
+
+namespace msn {
+
+class MobileHost {
+ public:
+  struct Config {
+    Ipv4Address home_address;
+    SubnetMask home_mask{16};
+    Ipv4Address home_agent;
+    // Default router on the home subnet (often the same box as the HA).
+    Ipv4Address home_gateway;
+    NetDevice* home_device = nullptr;
+    // Requested binding lifetime.
+    uint16_t lifetime_sec = 300;
+    // Registration retransmission policy.
+    Duration retransmit_interval = Seconds(1);
+    int max_retransmits = 4;
+    // Re-register shortly before the binding lifetime runs out.
+    bool auto_renew = true;
+    // Timeout for triangle-route probes.
+    Duration probe_timeout = Seconds(3);
+    // Shared secret with the home agent. When set, every registration
+    // request carries a mobile-home authenticator and replies must verify.
+    std::optional<MipAuthKey> auth_key;
+    Calibration calibration = Calibration::Default();
+  };
+
+  // A point of attachment on some network.
+  struct Attachment {
+    NetDevice* device = nullptr;
+    Ipv4Address care_of;
+    SubnetMask mask{24};
+    Ipv4Address gateway;
+  };
+
+  enum class State {
+    kDetached,     // No usable attachment.
+    kAtHome,       // Home address on the home device; no mobility machinery.
+    kRegistering,  // Attached to a foreign net, registration in flight.
+    kRegistered,   // Binding installed at the HA.
+  };
+
+  // Timestamps of the registration steps (paper Figure 7).
+  struct RegistrationTimeline {
+    Time start;
+    Time interface_configured;
+    Time route_changed;
+    Time request_sent;
+    Time reply_received;
+    Time done;
+    bool success = false;
+    int retransmissions = 0;
+
+    Duration Total() const { return done - start; }
+    Duration PreRegistration() const { return route_changed - start; }
+    Duration RequestReply() const { return reply_received - request_sent; }
+    Duration PostRegistration() const { return done - reply_received; }
+  };
+
+  struct Counters {
+    uint64_t registrations_sent = 0;
+    uint64_t registrations_accepted = 0;
+    uint64_t registrations_denied = 0;
+    uint64_t registrations_timed_out = 0;
+    uint64_t renewals = 0;
+    uint64_t packets_tunneled_out = 0;
+    uint64_t packets_triangle_out = 0;
+    uint64_t packets_encap_direct_out = 0;
+    uint64_t packets_decapsulated_in = 0;
+    uint64_t probes_sent = 0;
+    uint64_t probe_fallbacks = 0;
+  };
+
+  using CompletionCallback = std::function<void(bool success)>;
+
+  MobileHost(Node& node, Config config);
+  ~MobileHost();
+
+  MobileHost(const MobileHost&) = delete;
+  MobileHost& operator=(const MobileHost&) = delete;
+
+  // --- Attachment management -------------------------------------------------
+
+  // Configures the home address on the (already up) home device, announces it
+  // with a gratuitous ARP, and deregisters with the home agent if a binding
+  // may exist. `done` fires when deregistration settles.
+  void AttachHome(CompletionCallback done = nullptr);
+
+  // Full foreign attach on an already-up device: assign the care-of address
+  // (interface-config cost), update routes (route-update cost), register with
+  // the HA (request/reply with retransmission), apply post-registration work.
+  // Supersedes any in-flight attach. Records a RegistrationTimeline.
+  void AttachForeign(const Attachment& attachment, CompletionCallback done = nullptr);
+
+  // Same-subnet care-of address change (experiment E1 / Figure 7): same as
+  // AttachForeign, keeping the current device and gateway.
+  void SwitchCareOfAddress(Ipv4Address new_care_of, CompletionCallback done = nullptr);
+
+  // Hot switch: the target device is already up (and typically already
+  // configured); only routes change and a new registration is sent.
+  void HotSwitchTo(const Attachment& attachment, CompletionCallback done = nullptr);
+
+  // Cold switch: tears down the current device, brings the new one up (paying
+  // its bring-up latency), then performs the full foreign attach.
+  void ColdSwitchTo(const Attachment& attachment, CompletionCallback done = nullptr);
+
+  // Extension (paper §5.1): attach through a foreign agent on the visited
+  // network instead of acquiring a co-located care-of address. The MH needs
+  // *no* IP address of its own: the FA relays registration, decapsulates
+  // tunnel traffic, and serves as the default router. `device` must be up.
+  void AttachViaForeignAgent(NetDevice* device, Ipv4Address fa_address,
+                             CompletionCallback done = nullptr);
+
+  bool attached_via_foreign_agent() const { return fa_mode_; }
+
+  // --- Policy -----------------------------------------------------------------
+
+  MobilePolicyTable& policy_table() { return policy_table_; }
+
+  // Probes whether the triangle route works to `correspondent` by pinging it
+  // with the home address as source. On success installs a verified
+  // triangle-route entry; on failure (timeout or ICMP admin-prohibited)
+  // caches a tunnel fallback. (Paper §3.2.)
+  void ProbeTriangleRoute(Ipv4Address correspondent, std::function<void(bool ok)> done);
+
+  // --- Introspection -----------------------------------------------------------
+
+  State state() const { return state_; }
+  bool at_home() const { return state_ == State::kAtHome; }
+  bool registered() const { return state_ == State::kRegistered; }
+  const Attachment& attachment() const { return attachment_; }
+  Ipv4Address care_of() const { return attachment_.care_of; }
+  const Config& config() const { return config_; }
+  const RegistrationTimeline& last_timeline() const { return timeline_; }
+  const Counters& counters() const { return counters_; }
+  VirtualInterface* vif() { return vif_; }
+  Node& node() { return node_; }
+
+ private:
+  std::optional<RouteDecision> RouteOverride(const RouteQuery& query);
+  void EncapsulateOut(const Ipv4Datagram& inner);
+
+  // Shared attach pipeline (steps time-stamped into timeline_).
+  void BeginAttach(const Attachment& attachment, bool skip_interface_config,
+                   CompletionCallback done);
+  void StepConfigureInterface(uint64_t generation, bool skip_cost);
+  void StepUpdateRoutes(uint64_t generation);
+  void StepSendRegistration(uint64_t generation);
+
+  void ContinueAttachHome(uint64_t generation);
+  void SendRegistrationRequest(uint64_t generation, bool deregistration);
+  void OnRegistrationDatagram(const std::vector<uint8_t>& data, const UdpSocket::Metadata& meta);
+  void OnRetransmitTimer(uint64_t generation, bool deregistration);
+  void FinishRegistration(uint64_t generation, bool success);
+  void ScheduleRenewal(uint16_t granted_lifetime_sec);
+  void CancelPendingRegistration();
+
+  Node& node_;
+  Config config_;
+  State state_ = State::kDetached;
+  Attachment attachment_;
+  Attachment pending_attachment_;
+  CompletionCallback pending_done_;
+  bool pending_deregistration_ = false;
+  // True while the MH is operating away from home (mobility policy active).
+  bool away_ = false;
+  // True while a lifetime-renewal registration is in flight.
+  bool renewing_ = false;
+  // True when the current attachment goes through a foreign agent.
+  bool fa_mode_ = false;
+  MacAddress fa_mac_;
+
+  VirtualInterface* vif_ = nullptr;  // Owned by the node.
+  std::unique_ptr<IpIpTunnelEndpoint> tunnel_;
+  std::unique_ptr<UdpSocket> reg_socket_;
+  std::unique_ptr<Pinger> pinger_;
+  MobilePolicyTable policy_table_;
+
+  RegistrationTimeline timeline_;
+  Counters counters_;
+
+  // Invalidates scheduled steps of superseded attach operations.
+  uint64_t attach_generation_ = 0;
+  uint64_t next_identification_ = 1;
+  uint64_t outstanding_identification_ = 0;
+  int retransmits_left_ = 0;
+  EventId retransmit_event_;
+  EventId renewal_event_;
+};
+
+}  // namespace msn
+
+#endif  // MSN_SRC_MIP_MOBILE_HOST_H_

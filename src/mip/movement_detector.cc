@@ -1,0 +1,169 @@
+#include "src/mip/movement_detector.h"
+
+#include "src/link/net_device.h"
+#include "src/util/logging.h"
+
+namespace msn {
+
+MovementDetector::MovementDetector(MobileHost& mobile, Config config)
+    : mobile_(mobile), config_(config) {
+  task_ = std::make_unique<PeriodicTask>(mobile_.node().sim(), config_.probe_interval,
+                                         [this] { ProbeRound(); });
+}
+
+MovementDetector::~MovementDetector() = default;
+
+void MovementDetector::AddCandidate(const Candidate& candidate) {
+  auto tracked = std::make_unique<Tracked>();
+  tracked->candidate = candidate;
+  tracked->pinger = std::make_unique<Pinger>(mobile_.node().stack());
+  tracked_.push_back(std::move(tracked));
+}
+
+void MovementDetector::Start() {
+  ProbeRound();
+  task_->Start();
+}
+
+void MovementDetector::Stop() { task_->Stop(); }
+
+double MovementDetector::LossEstimate(const std::string& device_name) const {
+  for (const auto& t : tracked_) {
+    if (t->candidate.attachment.device->name() == device_name) {
+      return t->loss_ewma;
+    }
+  }
+  return 1.0;
+}
+
+LinkCharacteristics MovementDetector::Characterize(const Tracked& t) const {
+  LinkCharacteristics c;
+  c.device_name = t.candidate.attachment.device->name();
+  c.bandwidth_bps = t.candidate.attachment.device->bandwidth_bps();
+  c.last_probe_rtt = t.last_rtt;
+  c.loss_estimate = t.loss_ewma;
+  return c;
+}
+
+void MovementDetector::ProbeRound() {
+  for (auto& tracked : tracked_) {
+    Tracked& t = *tracked;
+    NetDevice* device = t.candidate.attachment.device;
+    const auto addr = mobile_.node().stack().GetInterfaceAddress(device);
+    if (!device->IsUp() || !addr.has_value()) {
+      // Unprobeable link: decays toward dead.
+      t.loss_ewma = (1.0 - config_.ewma_alpha) * t.loss_ewma + config_.ewma_alpha;
+      ++t.rounds_dead;
+      t.rounds_usable = 0;
+      continue;
+    }
+    if (t.probe_outstanding) {
+      continue;
+    }
+    t.probe_outstanding = true;
+    ++counters_.probes_sent;
+    // Probe the candidate's gateway with the candidate's own (local-role)
+    // source address so the packet leaves through the candidate's device.
+    t.pinger->set_source(*addr);
+    Tracked* tp = &t;
+    t.pinger->Ping(t.candidate.attachment.gateway, config_.probe_timeout,
+                   [this, tp](const Pinger::Result& result) {
+                     tp->probe_outstanding = false;
+                     tp->loss_ewma = (1.0 - config_.ewma_alpha) * tp->loss_ewma +
+                                     config_.ewma_alpha * (result.success ? 0.0 : 1.0);
+                     if (result.success) {
+                       tp->last_rtt = result.rtt;
+                     }
+                     if (IsUsable(*tp)) {
+                       ++tp->rounds_usable;
+                       tp->rounds_dead = 0;
+                     } else {
+                       ++tp->rounds_dead;
+                       tp->rounds_usable = 0;
+                     }
+                   });
+  }
+  Evaluate();
+}
+
+void MovementDetector::Evaluate() {
+  if (switching_ || tracked_.empty()) {
+    return;
+  }
+  // Which candidate are we currently using?
+  Tracked* current = nullptr;
+  for (auto& t : tracked_) {
+    if (t->candidate.attachment.device == mobile_.attachment().device) {
+      current = t.get();
+      break;
+    }
+  }
+
+  // Best settled-usable alternative.
+  Tracked* best_usable = nullptr;
+  for (auto& t : tracked_) {
+    if (t.get() == current || t->rounds_usable < config_.hysteresis_rounds) {
+      continue;
+    }
+    if (best_usable == nullptr ||
+        t->candidate.preference > best_usable->candidate.preference) {
+      best_usable = t.get();
+    }
+  }
+
+  const bool current_dead =
+      current == nullptr || current->rounds_dead >= config_.hysteresis_rounds;
+
+  if (current_dead) {
+    if (best_usable != nullptr) {
+      ++counters_.failovers;
+      SwitchTo(*best_usable, /*upgrade=*/false);
+    } else {
+      // Blind failover: highest-preference alternative, even unprobeable
+      // (a cold switch will bring its device up).
+      Tracked* fallback = nullptr;
+      for (auto& t : tracked_) {
+        if (t.get() == current) {
+          continue;
+        }
+        if (fallback == nullptr ||
+            t->candidate.preference > fallback->candidate.preference) {
+          fallback = t.get();
+        }
+      }
+      if (fallback != nullptr) {
+        ++counters_.failovers;
+        SwitchTo(*fallback, /*upgrade=*/false);
+      }
+    }
+    return;
+  }
+
+  if (config_.upgrade_when_available && best_usable != nullptr && current != nullptr &&
+      best_usable->candidate.preference > current->candidate.preference) {
+    ++counters_.upgrades;
+    SwitchTo(*best_usable, /*upgrade=*/true);
+  }
+}
+
+void MovementDetector::SwitchTo(Tracked& target, bool upgrade) {
+  switching_ = true;
+  ++counters_.switches;
+  MSN_INFO("movedet", "%s: switching to %s (%s)", mobile_.node().name().c_str(),
+           target.candidate.attachment.device->name().c_str(),
+           upgrade ? "upgrade" : "failover");
+  Tracked* tp = &target;
+  auto done = [this, tp](bool ok) {
+    switching_ = false;
+    if (change_handler_) {
+      change_handler_(Characterize(*tp), ok);
+    }
+  };
+  if (target.candidate.attachment.device->IsUp()) {
+    mobile_.HotSwitchTo(target.candidate.attachment, std::move(done));
+  } else {
+    mobile_.ColdSwitchTo(target.candidate.attachment, std::move(done));
+  }
+}
+
+}  // namespace msn

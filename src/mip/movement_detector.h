@@ -1,0 +1,123 @@
+// Movement detection and automatic interface selection — the paper's §6
+// future work ("we plan to experiment with techniques for determining when
+// to switch between networks") made concrete.
+//
+// The detector monitors the reachability of each candidate attachment's
+// gateway with periodic pings and keeps an exponentially weighted loss
+// estimate per link. Policy:
+//
+//   * every candidate has a static preference (wired beats wireless);
+//   * the detector switches to the best *usable* candidate — hot switch if
+//     the target device is already up, cold switch otherwise;
+//   * hysteresis: a link must stay good (or bad) for several consecutive
+//     probes before triggering a switch, so a single dropped radio frame
+//     does not bounce the host between networks.
+//
+// It also exposes the paper's other §6 idea: upper layers can subscribe to
+// attachment changes and learn the new link's characteristics (bandwidth,
+// probe RTT) to adapt their behaviour.
+#ifndef MSN_SRC_MIP_MOVEMENT_DETECTOR_H_
+#define MSN_SRC_MIP_MOVEMENT_DETECTOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/mip/mobile_host.h"
+#include "src/node/icmp.h"
+
+namespace msn {
+
+// What upper layers learn when connectivity changes (paper §6: "Bandwidth,
+// latency, bit error rates ... can all differ significantly from one type
+// of network to another").
+struct LinkCharacteristics {
+  std::string device_name;
+  uint64_t bandwidth_bps = 0;
+  Duration last_probe_rtt;
+  double loss_estimate = 0.0;  // EWMA in [0, 1].
+};
+
+class MovementDetector {
+ public:
+  struct Candidate {
+    MobileHost::Attachment attachment;
+    // Higher wins among usable candidates (e.g. wired 10, radio 1).
+    int preference = 0;
+  };
+
+  struct Config {
+    Duration probe_interval = Milliseconds(500);
+    Duration probe_timeout = Milliseconds(400);
+    // EWMA weight of the newest probe result.
+    double ewma_alpha = 0.3;
+    // A link is usable below this loss estimate, dead above.
+    double usable_threshold = 0.4;
+    // Consecutive probe rounds a change must persist before switching.
+    int hysteresis_rounds = 3;
+    // Switch to a higher-preference link when it becomes usable (not just
+    // when the current one dies).
+    bool upgrade_when_available = true;
+  };
+
+  using AttachmentChangeHandler =
+      std::function<void(const LinkCharacteristics& now_using, bool registered)>;
+
+  MovementDetector(MobileHost& mobile, Config config);
+  ~MovementDetector();
+
+  MovementDetector(const MovementDetector&) = delete;
+  MovementDetector& operator=(const MovementDetector&) = delete;
+
+  void AddCandidate(const Candidate& candidate);
+  void Start();
+  void Stop();
+
+  // Upper-layer notification hook (paper §6).
+  void SetAttachmentChangeHandler(AttachmentChangeHandler handler) {
+    change_handler_ = std::move(handler);
+  }
+
+  // Loss estimate for a candidate's device, by name. Returns 1.0 if unknown.
+  double LossEstimate(const std::string& device_name) const;
+  const Candidate* current() const { return current_; }
+
+  struct Counters {
+    uint64_t probes_sent = 0;
+    uint64_t switches = 0;
+    uint64_t upgrades = 0;
+    uint64_t failovers = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  struct Tracked {
+    Candidate candidate;
+    std::unique_ptr<Pinger> pinger;
+    double loss_ewma = 1.0;  // Pessimistic until proven reachable.
+    Duration last_rtt;
+    int rounds_usable = 0;
+    int rounds_dead = 0;
+    bool probe_outstanding = false;
+  };
+
+  void ProbeRound();
+  void Evaluate();
+  void SwitchTo(Tracked& target, bool upgrade);
+  bool IsUsable(const Tracked& t) const { return t.loss_ewma < config_.usable_threshold; }
+  LinkCharacteristics Characterize(const Tracked& t) const;
+
+  MobileHost& mobile_;
+  Config config_;
+  std::vector<std::unique_ptr<Tracked>> tracked_;
+  Candidate* current_ = nullptr;
+  std::unique_ptr<PeriodicTask> task_;
+  AttachmentChangeHandler change_handler_;
+  Counters counters_;
+  bool switching_ = false;
+};
+
+}  // namespace msn
+
+#endif  // MSN_SRC_MIP_MOVEMENT_DETECTOR_H_

@@ -1,0 +1,29 @@
+#include "src/mip/vif.h"
+
+namespace msn {
+
+VirtualInterface::VirtualInterface(Simulator& sim, std::string name)
+    : NetDevice(sim, std::move(name), MacAddress::Zero()) {
+  set_bring_up_time(Duration());
+  set_mtu(65535);
+  ForceUp();
+}
+
+bool VirtualInterface::Transmit(const EthernetFrame& frame) {
+  if (frame.ethertype != EtherType::kIpv4 || !encap_handler_) {
+    return false;
+  }
+  auto dg = Ipv4Datagram::Parse(frame.payload);
+  if (!dg) {
+    return false;
+  }
+  ++packets_encapsulated_;
+  encap_handler_(*dg);
+  return true;
+}
+
+void VirtualInterface::SendToMedium(const EthernetFrame& frame) {
+  (void)frame;  // Unreachable: Transmit never enqueues.
+}
+
+}  // namespace msn

@@ -1,0 +1,85 @@
+#include "src/net/address.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace msn {
+
+std::optional<Ipv4Address> Ipv4Address::Parse(const std::string& s) {
+  unsigned a, b, c, d;
+  char extra;
+  if (std::sscanf(s.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &extra) != 4) {
+    return std::nullopt;
+  }
+  if (a > 255 || b > 255 || c > 255 || d > 255) {
+    return std::nullopt;
+  }
+  return Ipv4Address(static_cast<uint8_t>(a), static_cast<uint8_t>(b), static_cast<uint8_t>(c),
+                     static_cast<uint8_t>(d));
+}
+
+Ipv4Address Ipv4Address::MustParse(const std::string& s) {
+  auto addr = Parse(s);
+  if (!addr) {
+    std::fprintf(stderr, "Ipv4Address::MustParse: bad address '%s'\n", s.c_str());
+    std::abort();
+  }
+  return *addr;
+}
+
+std::string Ipv4Address::ToString() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xff, (value_ >> 16) & 0xff,
+                (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+std::string SubnetMask::ToString() const { return Ipv4Address(mask_value()).ToString(); }
+
+std::optional<Subnet> Subnet::Parse(const std::string& s) {
+  const size_t slash = s.find('/');
+  if (slash == std::string::npos) {
+    return std::nullopt;
+  }
+  auto base = Ipv4Address::Parse(s.substr(0, slash));
+  if (!base) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const long prefix = std::strtol(s.c_str() + slash + 1, &end, 10);
+  if (end == s.c_str() + slash + 1 || *end != '\0' || prefix < 0 || prefix > 32) {
+    return std::nullopt;
+  }
+  return Subnet(*base, SubnetMask(static_cast<int>(prefix)));
+}
+
+Subnet Subnet::MustParse(const std::string& s) {
+  auto subnet = Parse(s);
+  if (!subnet) {
+    std::fprintf(stderr, "Subnet::MustParse: bad subnet '%s'\n", s.c_str());
+    std::abort();
+  }
+  return *subnet;
+}
+
+std::string Subnet::ToString() const {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%s/%d", base_.ToString().c_str(), mask_.prefix_len());
+  return buf;
+}
+
+MacAddress MacAddress::FromId(uint32_t id) {
+  return MacAddress(std::array<uint8_t, 6>{0x02, 0x00, static_cast<uint8_t>((id >> 24) & 0xff),
+                                           static_cast<uint8_t>((id >> 16) & 0xff),
+                                           static_cast<uint8_t>((id >> 8) & 0xff),
+                                           static_cast<uint8_t>(id & 0xff)});
+}
+
+std::string MacAddress::ToString() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0], bytes_[1], bytes_[2],
+                bytes_[3], bytes_[4], bytes_[5]);
+  return buf;
+}
+
+}  // namespace msn

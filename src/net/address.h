@@ -1,0 +1,165 @@
+// IPv4 and MAC address value types plus subnet math.
+#ifndef MSN_SRC_NET_ADDRESS_H_
+#define MSN_SRC_NET_ADDRESS_H_
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace msn {
+
+// IPv4 address. Stored in host order internally; serialized big-endian.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(uint32_t host_order) : value_(host_order) {}
+  constexpr Ipv4Address(uint8_t a, uint8_t b, uint8_t c, uint8_t d)
+      : value_((static_cast<uint32_t>(a) << 24) | (static_cast<uint32_t>(b) << 16) |
+               (static_cast<uint32_t>(c) << 8) | d) {}
+
+  // Parses dotted-quad, e.g. "36.135.0.5". Returns nullopt on malformed input.
+  static std::optional<Ipv4Address> Parse(const std::string& s);
+  // Parses or aborts; for literals in tests/examples.
+  static Ipv4Address MustParse(const std::string& s);
+
+  static constexpr Ipv4Address Any() { return Ipv4Address(0); }
+  static constexpr Ipv4Address Broadcast() { return Ipv4Address(0xffffffffu); }
+  static constexpr Ipv4Address Loopback() { return Ipv4Address(127, 0, 0, 1); }
+
+  constexpr uint32_t value() const { return value_; }
+  constexpr bool IsAny() const { return value_ == 0; }
+  constexpr bool IsBroadcast() const { return value_ == 0xffffffffu; }
+  constexpr bool IsLoopback() const { return (value_ >> 24) == 127; }
+  constexpr bool IsMulticast() const { return (value_ >> 28) == 0xe; }
+
+  std::string ToString() const;
+
+  constexpr auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  uint32_t value_ = 0;
+};
+
+// A contiguous netmask, represented by its prefix length (0-32).
+class SubnetMask {
+ public:
+  constexpr SubnetMask() = default;
+  constexpr explicit SubnetMask(int prefix_len) : prefix_len_(prefix_len) {}
+
+  constexpr int prefix_len() const { return prefix_len_; }
+  constexpr uint32_t mask_value() const {
+    return prefix_len_ == 0 ? 0u : (0xffffffffu << (32 - prefix_len_));
+  }
+
+  std::string ToString() const;  // Dotted-quad mask, e.g. "255.255.0.0".
+
+  constexpr auto operator<=>(const SubnetMask&) const = default;
+
+ private:
+  int prefix_len_ = 0;
+};
+
+// A network prefix: base address (host bits zeroed) + mask.
+class Subnet {
+ public:
+  constexpr Subnet() = default;
+  constexpr Subnet(Ipv4Address base, SubnetMask mask)
+      : base_(Ipv4Address(base.value() & mask.mask_value())), mask_(mask) {}
+
+  // Parses "36.135.0.0/16". Returns nullopt on malformed input.
+  static std::optional<Subnet> Parse(const std::string& s);
+  static Subnet MustParse(const std::string& s);
+  // The default route 0.0.0.0/0.
+  static constexpr Subnet Default() { return Subnet(); }
+
+  constexpr Ipv4Address base() const { return base_; }
+  constexpr SubnetMask mask() const { return mask_; }
+  constexpr int prefix_len() const { return mask_.prefix_len(); }
+
+  constexpr bool Contains(Ipv4Address addr) const {
+    return (addr.value() & mask_.mask_value()) == base_.value();
+  }
+
+  // Directed broadcast address of this subnet (all host bits set).
+  constexpr Ipv4Address BroadcastAddress() const {
+    return Ipv4Address(base_.value() | ~mask_.mask_value());
+  }
+
+  // Host address `index` within the subnet (index 1 = first host).
+  constexpr Ipv4Address HostAt(uint32_t index) const {
+    return Ipv4Address(base_.value() | index);
+  }
+
+  std::string ToString() const;  // "36.135.0.0/16".
+
+  constexpr auto operator<=>(const Subnet&) const = default;
+
+ private:
+  Ipv4Address base_;
+  SubnetMask mask_;
+};
+
+// 48-bit link-layer address.
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  constexpr explicit MacAddress(std::array<uint8_t, 6> bytes) : bytes_(bytes) {}
+
+  // Allocator-friendly constructor from a small integer id: 02:00:00:00:hi:lo
+  // (locally administered bit set).
+  static MacAddress FromId(uint32_t id);
+  static constexpr MacAddress Broadcast() {
+    return MacAddress(std::array<uint8_t, 6>{0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+  }
+  static constexpr MacAddress Zero() { return MacAddress(); }
+
+  constexpr const std::array<uint8_t, 6>& bytes() const { return bytes_; }
+  constexpr bool IsBroadcast() const {
+    for (uint8_t b : bytes_) {
+      if (b != 0xff) {
+        return false;
+      }
+    }
+    return true;
+  }
+  constexpr bool IsZero() const {
+    for (uint8_t b : bytes_) {
+      if (b != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::string ToString() const;  // "02:00:00:00:00:2a".
+
+  constexpr auto operator<=>(const MacAddress&) const = default;
+
+ private:
+  std::array<uint8_t, 6> bytes_{};
+};
+
+}  // namespace msn
+
+template <>
+struct std::hash<msn::Ipv4Address> {
+  size_t operator()(const msn::Ipv4Address& a) const noexcept {
+    return std::hash<uint32_t>()(a.value());
+  }
+};
+
+template <>
+struct std::hash<msn::MacAddress> {
+  size_t operator()(const msn::MacAddress& m) const noexcept {
+    uint64_t v = 0;
+    for (uint8_t b : m.bytes()) {
+      v = (v << 8) | b;
+    }
+    return std::hash<uint64_t>()(v);
+  }
+};
+
+#endif  // MSN_SRC_NET_ADDRESS_H_

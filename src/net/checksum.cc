@@ -1,0 +1,56 @@
+#include "src/net/checksum.h"
+
+namespace msn {
+
+void InternetChecksum::Add(const uint8_t* data, size_t len) {
+  size_t i = 0;
+  if (odd_ && len > 0) {
+    sum_ += (static_cast<uint16_t>(pending_) << 8) | data[0];
+    odd_ = false;
+    i = 1;
+  }
+  for (; i + 1 < len; i += 2) {
+    sum_ += (static_cast<uint16_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < len) {
+    pending_ = data[i];
+    odd_ = true;
+  }
+}
+
+void InternetChecksum::AddU16(uint16_t v) {
+  uint8_t b[2] = {static_cast<uint8_t>(v >> 8), static_cast<uint8_t>(v & 0xff)};
+  Add(b, 2);
+}
+
+void InternetChecksum::AddU32(uint32_t v) {
+  AddU16(static_cast<uint16_t>(v >> 16));
+  AddU16(static_cast<uint16_t>(v & 0xffff));
+}
+
+uint16_t InternetChecksum::Fold() const {
+  uint64_t sum = sum_;
+  if (odd_) {
+    sum += static_cast<uint16_t>(pending_) << 8;
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum & 0xffff);
+}
+
+uint16_t ComputeInternetChecksum(const uint8_t* data, size_t len) {
+  InternetChecksum cs;
+  cs.Add(data, len);
+  return cs.Fold();
+}
+
+uint16_t ComputeInternetChecksum(const std::vector<uint8_t>& data) {
+  return ComputeInternetChecksum(data.data(), data.size());
+}
+
+bool VerifyInternetChecksum(const uint8_t* data, size_t len) {
+  return ComputeInternetChecksum(data, len) == 0;
+}
+
+}  // namespace msn

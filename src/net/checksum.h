@@ -1,0 +1,40 @@
+// The Internet checksum (RFC 1071): 16-bit one's-complement sum of
+// one's-complement 16-bit words.
+#ifndef MSN_SRC_NET_CHECKSUM_H_
+#define MSN_SRC_NET_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace msn {
+
+// Accumulates the checksum over several byte ranges (e.g. pseudo-header then
+// payload). Fold() produces the final complemented 16-bit checksum.
+class InternetChecksum {
+ public:
+  void Add(const uint8_t* data, size_t len);
+  void Add(const std::vector<uint8_t>& data) { Add(data.data(), data.size()); }
+  void AddU16(uint16_t v);
+  void AddU32(uint32_t v);
+
+  // Final checksum value (already complemented, ready to write to the wire).
+  uint16_t Fold() const;
+
+ private:
+  uint64_t sum_ = 0;
+  bool odd_ = false;  // True if an odd byte is pending pairing.
+  uint8_t pending_ = 0;
+};
+
+// One-shot checksum over a single buffer.
+uint16_t ComputeInternetChecksum(const uint8_t* data, size_t len);
+uint16_t ComputeInternetChecksum(const std::vector<uint8_t>& data);
+
+// Verifies a buffer whose checksum field is included: the folded sum over the
+// whole buffer must be zero.
+bool VerifyInternetChecksum(const uint8_t* data, size_t len);
+
+}  // namespace msn
+
+#endif  // MSN_SRC_NET_CHECKSUM_H_

@@ -1,0 +1,14 @@
+#include "src/net/frame.h"
+
+#include <cstdio>
+
+namespace msn {
+
+std::string EthernetFrame::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s -> %s type=0x%04x len=%zu", src.ToString().c_str(),
+                dst.ToString().c_str(), static_cast<uint16_t>(ethertype), payload.size());
+  return buf;
+}
+
+}  // namespace msn

@@ -1,0 +1,34 @@
+// Link-layer frame passed between devices and media. The payload is a fully
+// serialized network-layer packet (IPv4 datagram or ARP message).
+#ifndef MSN_SRC_NET_FRAME_H_
+#define MSN_SRC_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/address.h"
+
+namespace msn {
+
+enum class EtherType : uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+};
+
+struct EthernetFrame {
+  // Header (14 B) + FCS (4 B); charged against link bandwidth.
+  static constexpr size_t kOverheadBytes = 18;
+
+  MacAddress dst;
+  MacAddress src;
+  EtherType ethertype = EtherType::kIpv4;
+  std::vector<uint8_t> payload;
+
+  size_t WireSize() const { return kOverheadBytes + payload.size(); }
+  std::string ToString() const;
+};
+
+}  // namespace msn
+
+#endif  // MSN_SRC_NET_FRAME_H_

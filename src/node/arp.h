@@ -1,0 +1,106 @@
+// The Address Resolution Protocol service of a host.
+//
+// Beyond ordinary request/reply resolution with a pending-packet queue, this
+// implements the two mechanisms the MosquitoNet home agent depends on:
+//
+//  * Proxy ARP   — the HA answers ARP requests for a registered mobile host's
+//                  home address with its own MAC, so it intercepts the MH's
+//                  packets while the MH is away (paper §3.1).
+//  * Gratuitous ARP — broadcast announcement that updates *existing* cache
+//                  entries on other hosts, voiding stale mappings when a
+//                  binding changes or the MH returns home (paper §3.1).
+#ifndef MSN_SRC_NODE_ARP_H_
+#define MSN_SRC_NODE_ARP_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/net/frame.h"
+#include "src/net/headers.h"
+#include "src/sim/simulator.h"
+
+namespace msn {
+
+class IpStack;
+class NetDevice;
+
+class ArpService {
+ public:
+  using ResolveCallback = std::function<void(std::optional<MacAddress>)>;
+
+  ArpService(Simulator& sim, IpStack& stack);
+
+  // Resolves `ip` on `device`. Invokes `cb` immediately if cached; otherwise
+  // sends up to `kMaxRetries` requests one second apart and fails with
+  // nullopt if none is answered.
+  void Resolve(NetDevice* device, Ipv4Address ip, ResolveCallback cb);
+
+  // Handles an incoming ARP frame (request or reply) on `device`.
+  void HandleFrame(NetDevice* device, const EthernetFrame& frame);
+
+  void AddStaticEntry(Ipv4Address ip, MacAddress mac);
+  void RemoveEntry(Ipv4Address ip);
+  // Registers `ip` for proxying: ARP requests asking for `ip` on `device`
+  // are answered with the device's own MAC (the home agent's interception
+  // mechanism).
+  void AddProxyEntry(NetDevice* device, Ipv4Address ip);
+  void RemoveProxyEntry(NetDevice* device, Ipv4Address ip);
+  bool IsProxying(NetDevice* device, Ipv4Address ip) const;
+
+  // Broadcasts a gratuitous ARP binding `ip` to the device's MAC. Receivers
+  // that already have an entry for `ip` overwrite it (stale-entry voiding).
+  void SendGratuitousArp(NetDevice* device, Ipv4Address ip);
+
+  std::optional<MacAddress> CachedLookup(Ipv4Address ip) const;
+  void Flush();
+  // Entries expire this long after last refresh.
+  void set_entry_lifetime(Duration d) { entry_lifetime_ = d; }
+
+  struct Counters {
+    uint64_t requests_sent = 0;
+    uint64_t replies_sent = 0;
+    uint64_t proxy_replies_sent = 0;
+    uint64_t gratuitous_sent = 0;
+    uint64_t resolutions_failed = 0;
+    uint64_t cache_updates = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+  static constexpr int kMaxRetries = 3;
+  static constexpr Duration kRetryInterval = Seconds(1);
+
+ private:
+  struct CacheEntry {
+    MacAddress mac;
+    Time expires;
+  };
+  struct PendingResolution {
+    NetDevice* device;
+    int attempts = 0;
+    std::vector<ResolveCallback> callbacks;
+    EventId retry_event;
+  };
+
+  void SendRequest(NetDevice* device, Ipv4Address ip);
+  void RetryOrFail(Ipv4Address ip);
+  void InsertCacheEntry(Ipv4Address ip, MacAddress mac);
+  void TransmitArp(NetDevice* device, const ArpMessage& msg, MacAddress dst);
+
+  Simulator& sim_;
+  IpStack& stack_;
+  std::unordered_map<Ipv4Address, CacheEntry> cache_;
+  std::unordered_map<Ipv4Address, PendingResolution> pending_;
+  // Proxy set keyed by (device, ip); a HA typically proxies on one interface.
+  std::map<std::pair<NetDevice*, Ipv4Address>, bool> proxies_;
+  Duration entry_lifetime_ = Seconds(120);
+  Counters counters_;
+};
+
+}  // namespace msn
+
+#endif  // MSN_SRC_NODE_ARP_H_

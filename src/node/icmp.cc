@@ -1,0 +1,112 @@
+#include "src/node/icmp.h"
+
+#include <utility>
+
+#include "src/node/ip_stack.h"
+
+namespace msn {
+namespace {
+
+// Echo identifiers are allocated from one global counter so that every Pinger
+// in a simulation demultiplexes unambiguously.
+uint16_t g_next_echo_id = 1;
+
+}  // namespace
+
+Pinger::Pinger(IpStack& stack) : stack_(stack), echo_id_(g_next_echo_id++) {
+  if (g_next_echo_id == 0) {
+    g_next_echo_id = 1;
+  }
+  stack_.RegisterEchoListener(
+      echo_id_, [this](const Ipv4Header& header, const IcmpMessage& msg) { OnIcmp(header, msg); });
+}
+
+Pinger::~Pinger() {
+  stack_.UnregisterEchoListener(echo_id_);
+  for (auto& [seq, out] : outstanding_) {
+    stack_.sim().Cancel(out.timeout_event);
+  }
+}
+
+void Pinger::Ping(Ipv4Address dst, Duration timeout, Callback cb) {
+  const uint16_t seq = next_seq_++;
+  IcmpMessage req;
+  req.type = IcmpType::kEchoRequest;
+  req.rest = IcmpMessage::MakeEchoRest(echo_id_, seq);
+  req.payload = {'m', 'o', 's', 'q', 'u', 'i', 't', 'o'};
+
+  Outstanding out;
+  out.sent_at = stack_.sim().Now();
+  out.cb = std::move(cb);
+  out.timeout_event = stack_.sim().Schedule(timeout, [this, seq] {
+    Result result;
+    result.success = false;
+    result.seq = seq;
+    Complete(seq, result);
+  });
+  outstanding_.emplace(seq, std::move(out));
+  stack_.SendIcmp(dst, req, source_);
+}
+
+void Pinger::OnIcmp(const Ipv4Header& header, const IcmpMessage& msg) {
+  if (msg.type == IcmpType::kEchoReply) {
+    const uint16_t seq = msg.echo_seq();
+    auto it = outstanding_.find(seq);
+    if (it == outstanding_.end()) {
+      return;
+    }
+    Result result;
+    result.success = true;
+    result.seq = seq;
+    result.rtt = stack_.sim().Now() - it->second.sent_at;
+    result.responder = header.src;
+    Complete(seq, result);
+    return;
+  }
+  if (msg.type == IcmpType::kDestinationUnreachable) {
+    // The error payload embeds the offending IP header plus the first 8 bytes
+    // of its payload — for an echo request that includes id and seq.
+    uint16_t seq = 0;
+    bool have_seq = false;
+    if (msg.payload.size() >= Ipv4Header::kSize + 8) {
+      const uint8_t* p = msg.payload.data() + Ipv4Header::kSize;
+      seq = static_cast<uint16_t>((p[6] << 8) | p[7]);
+      have_seq = outstanding_.find(seq) != outstanding_.end();
+    }
+    if (!have_seq) {
+      // Fall back to the oldest outstanding probe.
+      if (outstanding_.empty()) {
+        return;
+      }
+      Time oldest_time = Time::Max();
+      for (const auto& [s, out] : outstanding_) {
+        if (out.sent_at < oldest_time) {
+          oldest_time = out.sent_at;
+          seq = s;
+        }
+      }
+    }
+    Result result;
+    result.success = false;
+    result.admin_prohibited =
+        msg.code == static_cast<uint8_t>(IcmpUnreachableCode::kAdminProhibited);
+    result.seq = seq;
+    result.responder = header.src;
+    Complete(seq, result);
+  }
+}
+
+void Pinger::Complete(uint16_t seq, Result result) {
+  auto it = outstanding_.find(seq);
+  if (it == outstanding_.end()) {
+    return;
+  }
+  stack_.sim().Cancel(it->second.timeout_event);
+  Callback cb = std::move(it->second.cb);
+  outstanding_.erase(it);
+  if (cb) {
+    cb(result);
+  }
+}
+
+}  // namespace msn

@@ -1,0 +1,73 @@
+// ICMP echo client ("ping") with timeout and filtered-destination detection.
+//
+// The mobile host uses pings to probe whether a correspondent is reachable
+// via the triangle route; a timeout or an ICMP administratively-prohibited
+// error tells it the visited network filters transit traffic, and it reverts
+// that destination to home-agent tunneling (paper §3.2).
+#ifndef MSN_SRC_NODE_ICMP_H_
+#define MSN_SRC_NODE_ICMP_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/address.h"
+#include "src/net/headers.h"
+#include "src/sim/simulator.h"
+
+namespace msn {
+
+class IpStack;
+
+class Pinger {
+ public:
+  struct Result {
+    bool success = false;
+    // The echo was answered with ICMP destination-unreachable code 13: a
+    // router refused to carry the probe (transit filtering).
+    bool admin_prohibited = false;
+    Duration rtt;
+    uint16_t seq = 0;
+    Ipv4Address responder;
+  };
+  using Callback = std::function<void(const Result&)>;
+
+  explicit Pinger(IpStack& stack);
+  ~Pinger();
+
+  Pinger(const Pinger&) = delete;
+  Pinger& operator=(const Pinger&) = delete;
+
+  // Sends one echo request; `cb` fires exactly once: on reply, on a matching
+  // ICMP error, or on timeout.
+  void Ping(Ipv4Address dst, Duration timeout, Callback cb);
+
+  // Pins the source address of outgoing echo requests (Any = let routing and
+  // mobility policy decide). The mobile host probes with its *home* address
+  // to test the exact packets the triangle route would emit.
+  void set_source(Ipv4Address src) { source_ = src; }
+
+  uint16_t echo_id() const { return echo_id_; }
+  int outstanding() const { return static_cast<int>(outstanding_.size()); }
+
+ private:
+  struct Outstanding {
+    Time sent_at;
+    Callback cb;
+    EventId timeout_event;
+  };
+
+  void OnIcmp(const Ipv4Header& header, const IcmpMessage& msg);
+  void Complete(uint16_t seq, Result result);
+
+  IpStack& stack_;
+  uint16_t echo_id_;
+  uint16_t next_seq_ = 1;
+  Ipv4Address source_;
+  std::unordered_map<uint16_t, Outstanding> outstanding_;
+};
+
+}  // namespace msn
+
+#endif  // MSN_SRC_NODE_ICMP_H_

@@ -1,0 +1,633 @@
+#include "src/node/ip_stack.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/link/net_device.h"
+#include "src/node/udp.h"
+#include "src/util/byte_buffer.h"
+#include "src/util/logging.h"
+
+namespace msn {
+
+IpStack::IpStack(Simulator& sim, std::string node_name)
+    : sim_(sim), node_name_(std::move(node_name)),
+      arp_(std::make_unique<ArpService>(sim, *this)),
+      reassembly_(std::make_unique<ReassemblyService>(sim)) {}
+
+IpStack::~IpStack() = default;
+
+// --- Interfaces ---------------------------------------------------------------
+
+void IpStack::AddInterface(NetDevice* device) {
+  if (FindInterface(device) != nullptr) {
+    return;
+  }
+  interfaces_.push_back(InterfaceEntry{device, Ipv4Address::Any(), SubnetMask(0), false});
+  device->SetReceiveHandler(
+      [this](NetDevice& dev, const EthernetFrame& frame) { ReceiveFrame(dev, frame); });
+}
+
+void IpStack::RemoveInterface(NetDevice* device) {
+  UnconfigureAddress(device);
+  routes_.RemoveForDevice(device);
+  interfaces_.erase(std::remove_if(interfaces_.begin(), interfaces_.end(),
+                                   [device](const InterfaceEntry& e) {
+                                     return e.device == device;
+                                   }),
+                    interfaces_.end());
+}
+
+IpStack::InterfaceEntry* IpStack::FindInterface(NetDevice* device) {
+  for (InterfaceEntry& e : interfaces_) {
+    if (e.device == device) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+const IpStack::InterfaceEntry* IpStack::FindInterface(NetDevice* device) const {
+  for (const InterfaceEntry& e : interfaces_) {
+    if (e.device == device) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+void IpStack::ConfigureAddress(NetDevice* device, Ipv4Address addr, SubnetMask mask) {
+  InterfaceEntry* entry = FindInterface(device);
+  if (entry == nullptr) {
+    AddInterface(device);
+    entry = FindInterface(device);
+  }
+  if (entry->configured) {
+    routes_.Remove(Subnet(entry->addr, entry->mask), device);
+  }
+  entry->addr = addr;
+  entry->mask = mask;
+  entry->configured = true;
+  // The connected-subnet route, as ifconfig installs.
+  routes_.Add(RouteEntry{Subnet(addr, mask), Ipv4Address::Any(), device, addr, 0});
+  MSN_DEBUG("ip", "%s: %s configured %s/%d", node_name_.c_str(), device->name().c_str(),
+            addr.ToString().c_str(), mask.prefix_len());
+}
+
+void IpStack::UnconfigureAddress(NetDevice* device) {
+  InterfaceEntry* entry = FindInterface(device);
+  if (entry == nullptr || !entry->configured) {
+    return;
+  }
+  routes_.Remove(Subnet(entry->addr, entry->mask), device);
+  entry->addr = Ipv4Address::Any();
+  entry->mask = SubnetMask(0);
+  entry->configured = false;
+}
+
+std::optional<Ipv4Address> IpStack::GetInterfaceAddress(NetDevice* device) const {
+  const InterfaceEntry* entry = FindInterface(device);
+  if (entry == nullptr || !entry->configured) {
+    return std::nullopt;
+  }
+  return entry->addr;
+}
+
+std::optional<Subnet> IpStack::GetInterfaceSubnet(NetDevice* device) const {
+  const InterfaceEntry* entry = FindInterface(device);
+  if (entry == nullptr || !entry->configured) {
+    return std::nullopt;
+  }
+  return Subnet(entry->addr, entry->mask);
+}
+
+bool IpStack::IsLocalAddress(Ipv4Address addr) const {
+  for (const InterfaceEntry& e : interfaces_) {
+    if (e.configured && e.addr == addr) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<NetDevice*> IpStack::Interfaces() const {
+  std::vector<NetDevice*> out;
+  out.reserve(interfaces_.size());
+  for (const InterfaceEntry& e : interfaces_) {
+    out.push_back(e.device);
+  }
+  return out;
+}
+
+bool IpStack::IsBroadcastFor(Ipv4Address addr) const {
+  if (addr.IsBroadcast()) {
+    return true;
+  }
+  for (const InterfaceEntry& e : interfaces_) {
+    if (e.configured && Subnet(e.addr, e.mask).BroadcastAddress() == addr &&
+        e.mask.prefix_len() < 32) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- Routing -------------------------------------------------------------------
+
+std::optional<RouteDecision> IpStack::RouteLookup(const RouteQuery& query) {
+  // The mobility hook: the paper's enhanced ip_rt_route() consults the Mobile
+  // Policy Table first and falls through to the normal table.
+  if (route_override_) {
+    if (auto decision = route_override_(query)) {
+      return decision;
+    }
+  }
+  auto entry = routes_.Lookup(query.dst);
+  if (!entry) {
+    return std::nullopt;
+  }
+  RouteDecision decision;
+  decision.device = entry->device;
+  decision.next_hop = entry->gateway;
+  if (!query.src_hint.IsAny()) {
+    decision.src = query.src_hint;
+  } else if (!entry->pref_src.IsAny()) {
+    decision.src = entry->pref_src;
+  } else {
+    decision.src = GetInterfaceAddress(entry->device).value_or(Ipv4Address::Any());
+  }
+  return decision;
+}
+
+// --- Delay model ------------------------------------------------------------------
+
+Duration IpStack::DrawDelay(Duration mean, Duration jitter) {
+  if (mean.nanos() <= 0) {
+    return Duration();
+  }
+  const double ns = sim_.rng().NormalAtLeast(static_cast<double>(mean.nanos()),
+                                             static_cast<double>(jitter.nanos()),
+                                             static_cast<double>(mean.nanos()) * 0.25);
+  return Duration::FromNanos(static_cast<int64_t>(ns));
+}
+
+Time IpStack::PipelineDelay(Time& busy_until, Duration mean, Duration jitter) {
+  const Time start = std::max(sim_.Now(), busy_until);
+  const Time done = start + DrawDelay(mean, jitter);
+  busy_until = done;
+  return done;
+}
+
+// --- Send path -----------------------------------------------------------------
+
+void IpStack::SendDatagram(Ipv4Address src, Ipv4Address dst, IpProto proto,
+                           std::vector<uint8_t> payload, SendOptions opts) {
+  Ipv4Datagram dg;
+  dg.header.src = src;
+  dg.header.dst = dst;
+  dg.header.protocol = proto;
+  dg.header.ttl = opts.ttl;
+  dg.header.identification = next_ip_id_++;
+  dg.payload = std::move(payload);
+  ++counters_.datagrams_sent;
+  const Time fire = PipelineDelay(send_pipe_busy_, delays_.send_mean, delays_.send_jitter);
+  sim_.ScheduleAt(fire, [this, dg = std::move(dg), opts = std::move(opts)]() mutable {
+    DoSend(std::move(dg), /*forwarding=*/false, std::move(opts));
+  });
+}
+
+void IpStack::SendDatagram(Ipv4Address src, Ipv4Address dst, IpProto proto,
+                           std::vector<uint8_t> payload) {
+  SendDatagram(src, dst, proto, std::move(payload), SendOptions{});
+}
+
+void IpStack::SendPreformedDatagram(const Ipv4Datagram& dg, bool forwarding) {
+  DoSend(dg, forwarding, SendOptions{});
+}
+
+void IpStack::DoSend(Ipv4Datagram dg, bool forwarding, SendOptions opts) {
+  const Ipv4Address dst = dg.header.dst;
+
+  if (opts.force_device != nullptr) {
+    TransmitViaDevice(opts.force_device, std::move(dg), dst, opts.force_dst_mac);
+    return;
+  }
+
+  // Packets to one of our own addresses short-circuit to local delivery.
+  if (IsLocalAddress(dst) || dst.IsLoopback()) {
+    const Time fire =
+        PipelineDelay(deliver_pipe_busy_, delays_.deliver_mean, delays_.deliver_jitter);
+    sim_.ScheduleAt(fire,
+                    [this, dg = std::move(dg)] { Deliver(dg, nullptr, MacAddress::Zero()); });
+    return;
+  }
+
+  RouteQuery query{dst, dg.header.src, forwarding};
+  auto decision = RouteLookup(query);
+  if (!decision || decision->device == nullptr) {
+    ++counters_.drop_no_route;
+    MSN_DEBUG("ip", "%s: no route to %s", node_name_.c_str(), dst.ToString().c_str());
+    return;
+  }
+  if (!forwarding && dg.header.src.IsAny()) {
+    dg.header.src = decision->src;
+    if (dg.header.src.IsAny() && !opts.allow_unconfigured_source) {
+      ++counters_.drop_no_route;
+      return;
+    }
+  }
+  TransmitViaDevice(decision->device, std::move(dg), decision->EffectiveNextHop(dst),
+                    opts.force_dst_mac);
+}
+
+void IpStack::TransmitViaDevice(NetDevice* device, Ipv4Datagram dg, Ipv4Address next_hop,
+                                std::optional<MacAddress> force_dst_mac) {
+  if (device == nullptr) {
+    ++counters_.drop_device;
+    return;
+  }
+
+  // Fragment datagrams exceeding the egress MTU; with DF set, drop and
+  // signal path-MTU discovery instead.
+  std::vector<Ipv4Datagram> pieces;
+  if (Ipv4Header::kSize + dg.payload.size() > device->mtu()) {
+    if (dg.header.dont_fragment) {
+      ++counters_.drop_fragmentation_needed;
+      SendIcmpError(dg, IcmpUnreachableCode::kFragmentationNeeded);
+      return;
+    }
+    pieces = FragmentDatagram(dg, device->mtu());
+    counters_.fragments_sent += pieces.size();
+  } else {
+    pieces.push_back(std::move(dg));
+  }
+
+  auto transmit = [this, device, pieces = std::move(pieces)](MacAddress dst_mac) {
+    for (const Ipv4Datagram& piece : pieces) {
+      EthernetFrame frame;
+      frame.dst = dst_mac;
+      frame.src = device->mac();
+      frame.ethertype = EtherType::kIpv4;
+      frame.payload = piece.Serialize();
+      if (!device->Transmit(frame)) {
+        ++counters_.drop_device;
+      }
+    }
+  };
+
+  if (force_dst_mac.has_value()) {
+    transmit(*force_dst_mac);
+    return;
+  }
+  if (next_hop.IsBroadcast() || IsBroadcastFor(next_hop)) {
+    transmit(MacAddress::Broadcast());
+    return;
+  }
+  if (device->bandwidth_bps() == 0 && device->mac().IsZero()) {
+    // Loopback-style device: no link addressing.
+    transmit(MacAddress::Zero());
+    return;
+  }
+  arp_->Resolve(device, next_hop,
+                [this, transmit = std::move(transmit)](std::optional<MacAddress> mac) {
+                  if (!mac) {
+                    ++counters_.drop_arp_failure;
+                    return;
+                  }
+                  transmit(*mac);
+                });
+}
+
+// --- Receive path ---------------------------------------------------------------
+
+void IpStack::ReceiveFrame(NetDevice& device, const EthernetFrame& frame) {
+  switch (frame.ethertype) {
+    case EtherType::kArp:
+      arp_->HandleFrame(&device, frame);
+      return;
+    case EtherType::kIpv4:
+      HandleIpv4Frame(device, frame);
+      return;
+  }
+}
+
+void IpStack::HandleIpv4Frame(NetDevice& device, const EthernetFrame& frame) {
+  auto dg = Ipv4Datagram::Parse(frame.payload);
+  if (!dg) {
+    ++counters_.drop_bad_packet;
+    return;
+  }
+  InjectReceivedDatagram(*dg, &device, frame.src);
+}
+
+void IpStack::InjectReceivedDatagram(const Ipv4Datagram& dg, NetDevice* ingress,
+                                     MacAddress link_src) {
+  const Ipv4Address dst = dg.header.dst;
+  if (IsLocalAddress(dst) || dst.IsBroadcast() || IsBroadcastFor(dst) || dst.IsLoopback()) {
+    // Reassemble fragments destined to us; forwarded fragments pass through
+    // untouched (routers do not reassemble).
+    std::optional<Ipv4Datagram> whole = reassembly_->Add(dg);
+    if (!whole.has_value()) {
+      return;  // Waiting for more fragments.
+    }
+    const Time fire =
+        PipelineDelay(deliver_pipe_busy_, delays_.deliver_mean, delays_.deliver_jitter);
+    sim_.ScheduleAt(fire, [this, dg = std::move(*whole), ingress, link_src] {
+      Deliver(dg, ingress, link_src);
+    });
+    return;
+  }
+  if (forwarding_enabled_) {
+    Forward(dg, ingress);
+    return;
+  }
+  ++counters_.drop_not_for_us;
+}
+
+void IpStack::Forward(Ipv4Datagram dg, NetDevice* ingress) {
+  if (dg.header.ttl <= 1) {
+    ++counters_.drop_ttl;
+    return;
+  }
+  dg.header.ttl -= 1;
+  if (forward_filter_ && !forward_filter_(dg.header, ingress)) {
+    // Transit-traffic filtering: the security-conscious-router behaviour that
+    // breaks the triangle-route optimization (paper §3.2).
+    ++counters_.drop_filtered;
+    MSN_DEBUG("ip", "%s: filtered transit packet %s", node_name_.c_str(),
+              dg.header.ToString().c_str());
+    SendIcmpError(dg, IcmpUnreachableCode::kAdminProhibited);
+    return;
+  }
+  // RFC 792 redirect: if we would forward this packet back out its arrival
+  // interface toward a gateway on the sender's own subnet, tell the sender
+  // about the shorter path (and still forward the packet).
+  if (send_redirects_ && ingress != nullptr) {
+    RouteQuery query{dg.header.dst, dg.header.src, /*forwarding=*/true, /*advisory=*/true};
+    if (auto decision = RouteLookup(query)) {
+      const auto ingress_subnet = GetInterfaceSubnet(ingress);
+      if (decision->device == ingress && ingress_subnet &&
+          ingress_subnet->Contains(dg.header.src)) {
+        const Ipv4Address better_hop = decision->EffectiveNextHop(dg.header.dst);
+        IcmpMessage redirect;
+        redirect.type = IcmpType::kRedirect;
+        redirect.code = 1;  // Redirect for host.
+        redirect.rest = better_hop.value();
+        ByteWriter w;
+        dg.header.Serialize(w);
+        const size_t copy = std::min<size_t>(8, dg.payload.size());
+        w.WriteBytes(dg.payload.data(), copy);
+        redirect.payload = w.Take();
+        ++counters_.icmp_redirects_sent;
+        SendIcmp(dg.header.src, redirect,
+                 GetInterfaceAddress(ingress).value_or(Ipv4Address::Any()));
+      }
+    }
+  }
+
+  ++counters_.datagrams_forwarded;
+  const Time fire =
+      PipelineDelay(forward_pipe_busy_, delays_.forward_mean, delays_.forward_jitter);
+  sim_.ScheduleAt(fire, [this, dg = std::move(dg)]() mutable {
+    DoSend(std::move(dg), /*forwarding=*/true, SendOptions{});
+  });
+}
+
+void IpStack::Deliver(const Ipv4Datagram& dg, NetDevice* ingress, MacAddress link_src) {
+  ++counters_.datagrams_delivered;
+  switch (dg.header.protocol) {
+    case IpProto::kIcmp:
+      HandleIcmp(dg.header, dg.payload, ingress);
+      return;
+    case IpProto::kUdp:
+      HandleUdp(dg.header, dg.payload, ingress, link_src);
+      return;
+    default:
+      break;
+  }
+  auto it = protocol_handlers_.find(dg.header.protocol);
+  if (it != protocol_handlers_.end()) {
+    it->second(dg.header, dg.payload, ingress);
+    return;
+  }
+  ++counters_.drop_no_handler;
+}
+
+void IpStack::RegisterProtocolHandler(IpProto proto, ProtocolHandler handler) {
+  protocol_handlers_[proto] = std::move(handler);
+}
+
+void IpStack::UnregisterProtocolHandler(IpProto proto) { protocol_handlers_.erase(proto); }
+
+// --- ICMP -----------------------------------------------------------------------
+
+void IpStack::HandleIcmp(const Ipv4Header& header, const std::vector<uint8_t>& payload,
+                         NetDevice* ingress) {
+  (void)ingress;
+  auto msg = IcmpMessage::Parse(payload);
+  if (!msg) {
+    ++counters_.drop_bad_packet;
+    return;
+  }
+  switch (msg->type) {
+    case IcmpType::kEchoRequest: {
+      // Answer with the address the request was sent to, so replies to the
+      // home address remain subject to mobile-IP policy on a mobile host.
+      IcmpMessage reply;
+      reply.type = IcmpType::kEchoReply;
+      reply.code = 0;
+      reply.rest = msg->rest;
+      reply.payload = msg->payload;
+      ++counters_.icmp_echo_replies_sent;
+      SendIcmp(header.src, reply, header.dst);
+      return;
+    }
+    case IcmpType::kEchoReply: {
+      auto it = echo_listeners_.find(msg->echo_id());
+      if (it != echo_listeners_.end()) {
+        it->second(header, *msg);
+      }
+      return;
+    }
+    case IcmpType::kRedirect: {
+      if (!accept_redirects_) {
+        return;
+      }
+      ByteReader r(msg->payload);
+      auto offending = Ipv4Header::Parse(r);
+      if (!offending) {
+        return;
+      }
+      const Ipv4Address better_hop(msg->rest);
+      // The redirect must come from the gateway we are currently using, and
+      // the new hop must be on a directly connected subnet.
+      RouteQuery query{offending->dst, Ipv4Address::Any(), /*forwarding=*/false,
+                       /*advisory=*/true};
+      auto current = RouteLookup(query);
+      if (!current || current->EffectiveNextHop(offending->dst) != header.src) {
+        return;
+      }
+      const auto subnet = GetInterfaceSubnet(current->device);
+      if (!subnet || !subnet->Contains(better_hop)) {
+        return;
+      }
+      routes_.Add(RouteEntry{Subnet(offending->dst, SubnetMask(32)), better_hop,
+                             current->device, Ipv4Address::Any(), 0});
+      ++counters_.icmp_redirects_accepted;
+      MSN_DEBUG("ip", "%s: redirect %s via %s", node_name_.c_str(),
+                offending->dst.ToString().c_str(), better_hop.ToString().c_str());
+      return;
+    }
+    case IcmpType::kDestinationUnreachable: {
+      // Extract the offending packet's header from the ICMP payload.
+      ByteReader r(msg->payload);
+      auto offending = Ipv4Header::Parse(r);
+      if (offending) {
+        if (icmp_error_handler_) {
+          icmp_error_handler_(*msg, *offending);
+        }
+        // If the offending packet was one of our echo requests, tell the
+        // pinger: this is how the mobile host learns a triangle-route probe
+        // was administratively filtered.
+        if (offending->protocol == IpProto::kIcmp && r.remaining() >= 8) {
+          r.ReadU8();   // type
+          r.ReadU8();   // code
+          r.ReadU16();  // checksum
+          const uint16_t echo_id = r.ReadU16();
+          auto it = echo_listeners_.find(echo_id);
+          if (it != echo_listeners_.end()) {
+            it->second(header, *msg);
+          }
+        }
+      }
+      return;
+    }
+  }
+}
+
+void IpStack::SendIcmp(Ipv4Address dst, const IcmpMessage& msg, Ipv4Address src) {
+  SendDatagram(src, dst, IpProto::kIcmp, msg.Serialize());
+}
+
+void IpStack::SendIcmpError(const Ipv4Datagram& offending, IcmpUnreachableCode code) {
+  if (offending.header.protocol == IpProto::kIcmp) {
+    // Avoid error storms: only report errors for echo requests, never for
+    // other ICMP messages.
+    auto inner = IcmpMessage::Parse(offending.payload);
+    if (!inner || inner->type != IcmpType::kEchoRequest) {
+      return;
+    }
+  }
+  IcmpMessage err;
+  err.type = IcmpType::kDestinationUnreachable;
+  err.code = static_cast<uint8_t>(code);
+  err.rest = 0;
+  // RFC 792: the offending IP header plus the first 8 payload bytes.
+  ByteWriter w;
+  offending.header.Serialize(w);
+  // Serialize() writes total_length as stored; re-patch to the true value.
+  const size_t copy = std::min<size_t>(8, offending.payload.size());
+  w.WriteBytes(offending.payload.data(), copy);
+  err.payload = w.Take();
+  ++counters_.icmp_errors_sent;
+  SendIcmp(offending.header.src, err);
+}
+
+void IpStack::RegisterEchoListener(
+    uint16_t id, std::function<void(const Ipv4Header&, const IcmpMessage&)> cb) {
+  echo_listeners_[id] = std::move(cb);
+}
+
+void IpStack::UnregisterEchoListener(uint16_t id) { echo_listeners_.erase(id); }
+
+// --- UDP ------------------------------------------------------------------------
+
+void IpStack::HandleUdp(const Ipv4Header& header, const std::vector<uint8_t>& payload,
+                        NetDevice* ingress, MacAddress link_src) {
+  auto dg = UdpDatagram::Parse(payload, header.src, header.dst);
+  if (!dg) {
+    ++counters_.drop_bad_packet;
+    return;
+  }
+  auto it = udp_sockets_.find(dg->dst_port);
+  if (it == udp_sockets_.end() || it->second.empty()) {
+    if (!header.dst.IsBroadcast() && !IsBroadcastFor(header.dst)) {
+      Ipv4Datagram full;
+      full.header = header;
+      full.payload = payload;
+      SendIcmpError(full, IcmpUnreachableCode::kPortUnreachable);
+    }
+    return;
+  }
+  DispatchUdp(it->second, header, *dg, ingress, link_src);
+}
+
+void IpStack::DispatchUdp(const std::vector<UdpSocket*>& sockets, const Ipv4Header& header,
+                          const UdpDatagram& dg, NetDevice* ingress, MacAddress link_src) {
+  UdpSocket::Metadata meta;
+  meta.src = header.src;
+  meta.src_port = dg.src_port;
+  meta.dst = header.dst;
+  meta.ingress = ingress;
+  meta.link_src = link_src;
+
+  const bool broadcast = header.dst.IsBroadcast() || IsBroadcastFor(header.dst);
+  if (broadcast) {
+    // Broadcasts reach every socket on the port (DHCP relies on this).
+    for (UdpSocket* socket : sockets) {
+      socket->Deliver(dg.payload, meta);
+    }
+    return;
+  }
+  // Unicast: prefer a socket bound to exactly this destination address, then
+  // fall back to an unbound (wildcard) socket.
+  UdpSocket* exact = nullptr;
+  UdpSocket* wildcard = nullptr;
+  for (UdpSocket* socket : sockets) {
+    if (socket->bound_source() == header.dst) {
+      exact = socket;
+      break;
+    }
+    if (socket->bound_source().IsAny() && wildcard == nullptr) {
+      wildcard = socket;
+    }
+  }
+  UdpSocket* chosen = exact != nullptr ? exact : wildcard;
+  if (chosen != nullptr) {
+    chosen->Deliver(dg.payload, meta);
+  }
+}
+
+bool IpStack::BindUdpSocket(uint16_t port, UdpSocket* socket) {
+  auto& list = udp_sockets_[port];
+  if (std::find(list.begin(), list.end(), socket) != list.end()) {
+    return true;
+  }
+  list.push_back(socket);
+  return true;
+}
+
+void IpStack::UnbindUdpSocket(uint16_t port, UdpSocket* socket) {
+  auto it = udp_sockets_.find(port);
+  if (it == udp_sockets_.end()) {
+    return;
+  }
+  auto& list = it->second;
+  list.erase(std::remove(list.begin(), list.end(), socket), list.end());
+  if (list.empty()) {
+    udp_sockets_.erase(it);
+  }
+}
+
+uint16_t IpStack::AllocateEphemeralPort() {
+  for (int attempts = 0; attempts < 16384; ++attempts) {
+    const uint16_t port = next_ephemeral_port_;
+    next_ephemeral_port_ = next_ephemeral_port_ == 65535 ? 49152 : next_ephemeral_port_ + 1;
+    if (udp_sockets_.find(port) == udp_sockets_.end()) {
+      return port;
+    }
+  }
+  return 0;
+}
+
+}  // namespace msn

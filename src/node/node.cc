@@ -1,0 +1,92 @@
+#include "src/node/node.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace msn {
+namespace {
+
+uint32_t g_next_mac_id = 1;
+
+}  // namespace
+
+MacAddress Node::AllocateMac() { return MacAddress::FromId(g_next_mac_id++); }
+
+Node::Node(Simulator& sim, std::string name)
+    : sim_(sim), name_(std::move(name)), stack_(std::make_unique<IpStack>(sim, name_)) {}
+
+Node::~Node() = default;
+
+EthernetDevice* Node::AddEthernet(const std::string& dev_name, BroadcastMedium* medium) {
+  auto device = std::make_unique<EthernetDevice>(sim_, dev_name, AllocateMac());
+  EthernetDevice* raw = device.get();
+  if (medium != nullptr) {
+    raw->AttachTo(medium);
+  }
+  stack_->AddInterface(raw);
+  devices_.push_back(std::move(device));
+  return raw;
+}
+
+StripRadioDevice* Node::AddRadio(const std::string& dev_name, BroadcastMedium* medium) {
+  auto device = std::make_unique<StripRadioDevice>(sim_, dev_name, AllocateMac());
+  StripRadioDevice* raw = device.get();
+  if (medium != nullptr) {
+    raw->AttachTo(medium);
+  }
+  stack_->AddInterface(raw);
+  devices_.push_back(std::move(device));
+  return raw;
+}
+
+LoopbackDevice* Node::AddLoopback() {
+  auto device = std::make_unique<LoopbackDevice>(sim_, "lo");
+  LoopbackDevice* raw = device.get();
+  raw->ForceUp();
+  stack_->AddInterface(raw);
+  stack_->ConfigureAddress(raw, Ipv4Address::Loopback(), SubnetMask(8));
+  devices_.push_back(std::move(device));
+  return raw;
+}
+
+NetDevice* Node::AdoptDevice(std::unique_ptr<NetDevice> device) {
+  NetDevice* raw = device.get();
+  stack_->AddInterface(raw);
+  devices_.push_back(std::move(device));
+  return raw;
+}
+
+NetDevice* Node::FindDevice(const std::string& dev_name) const {
+  for (const auto& device : devices_) {
+    if (device->name() == dev_name) {
+      return device.get();
+    }
+  }
+  return nullptr;
+}
+
+void Node::ConfigureInterface(NetDevice* device, const std::string& cidr) {
+  auto subnet = Subnet::Parse(cidr);
+  auto addr = Ipv4Address::Parse(cidr.substr(0, cidr.find('/')));
+  if (!subnet || !addr) {
+    std::fprintf(stderr, "Node::ConfigureInterface: bad cidr '%s'\n", cidr.c_str());
+    std::abort();
+  }
+  stack_->ConfigureAddress(device, *addr, subnet->mask());
+}
+
+void Node::AddDefaultRoute(Ipv4Address gateway, NetDevice* device) {
+  stack_->routes().Add(RouteEntry{Subnet::Default(), gateway, device, Ipv4Address::Any(), 0});
+}
+
+void Node::AddNetworkRoute(const Subnet& subnet, Ipv4Address gateway, NetDevice* device) {
+  stack_->routes().Add(RouteEntry{subnet, gateway, device, Ipv4Address::Any(), 0});
+}
+
+void Node::AddHostRoute(Ipv4Address host, Ipv4Address gateway, NetDevice* device) {
+  stack_->routes().Add(
+      RouteEntry{Subnet(host, SubnetMask(32)), gateway, device, Ipv4Address::Any(), 0});
+}
+
+}  // namespace msn

@@ -1,0 +1,59 @@
+// A host: a bundle of owned network devices plus an IP stack, with
+// convenience helpers for topology construction.
+#ifndef MSN_SRC_NODE_NODE_H_
+#define MSN_SRC_NODE_NODE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/link/link_device.h"
+#include "src/node/ip_stack.h"
+
+namespace msn {
+
+class Node {
+ public:
+  Node(Simulator& sim, std::string name);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  Simulator& sim() { return sim_; }
+  IpStack& stack() { return *stack_; }
+  const std::string& name() const { return name_; }
+
+  // Device factories. Devices start *down*; call ForceUp() (topology setup)
+  // or BringUp() (runtime, pays the bring-up latency). If `medium` is given
+  // the device attaches to it.
+  EthernetDevice* AddEthernet(const std::string& dev_name, BroadcastMedium* medium = nullptr);
+  StripRadioDevice* AddRadio(const std::string& dev_name, BroadcastMedium* medium = nullptr);
+  LoopbackDevice* AddLoopback();
+  // Registers an externally created device (e.g. a mip::VirtualInterface) and
+  // takes ownership.
+  NetDevice* AdoptDevice(std::unique_ptr<NetDevice> device);
+
+  NetDevice* FindDevice(const std::string& dev_name) const;
+
+  // Configuration helpers.
+  // Parses "a.b.c.d/len", assigns the address and installs the connected
+  // route (the device must already be added).
+  void ConfigureInterface(NetDevice* device, const std::string& cidr);
+  void AddDefaultRoute(Ipv4Address gateway, NetDevice* device);
+  void AddNetworkRoute(const Subnet& subnet, Ipv4Address gateway, NetDevice* device);
+  void AddHostRoute(Ipv4Address host, Ipv4Address gateway, NetDevice* device);
+
+  // Fresh MAC address unique across the process.
+  static MacAddress AllocateMac();
+
+ private:
+  Simulator& sim_;
+  std::string name_;
+  std::unique_ptr<IpStack> stack_;
+  std::vector<std::unique_ptr<NetDevice>> devices_;
+};
+
+}  // namespace msn
+
+#endif  // MSN_SRC_NODE_NODE_H_

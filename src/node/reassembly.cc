@@ -1,0 +1,116 @@
+#include "src/node/reassembly.h"
+
+#include <algorithm>
+
+namespace msn {
+
+std::vector<Ipv4Datagram> FragmentDatagram(const Ipv4Datagram& dg, size_t mtu) {
+  std::vector<Ipv4Datagram> fragments;
+  const size_t max_payload_raw = mtu > Ipv4Header::kSize ? mtu - Ipv4Header::kSize : 8;
+  // Fragment payloads (except the last) must be multiples of 8 bytes.
+  const size_t max_payload = std::max<size_t>(8, max_payload_raw & ~size_t{7});
+
+  const size_t base_offset_bytes = static_cast<size_t>(dg.header.fragment_offset) * 8;
+  size_t at = 0;
+  while (at < dg.payload.size()) {
+    const size_t chunk = std::min(max_payload, dg.payload.size() - at);
+    Ipv4Datagram fragment;
+    fragment.header = dg.header;
+    fragment.header.fragment_offset =
+        static_cast<uint16_t>((base_offset_bytes + at) / 8);
+    const bool last_piece = at + chunk == dg.payload.size();
+    // If the input was itself a middle fragment, the last piece inherits MF.
+    fragment.header.more_fragments = !last_piece || dg.header.more_fragments;
+    fragment.payload.assign(dg.payload.begin() + static_cast<long>(at),
+                            dg.payload.begin() + static_cast<long>(at + chunk));
+    fragments.push_back(std::move(fragment));
+    at += chunk;
+  }
+  if (fragments.empty()) {
+    fragments.push_back(dg);  // Zero-payload datagram.
+  }
+  return fragments;
+}
+
+void ReassemblyService::Expire() {
+  const Time now = sim_.Now();
+  for (auto it = buffers_.begin(); it != buffers_.end();) {
+    if (it->second.started + timeout_ < now) {
+      ++counters_.buffers_timed_out;
+      it = buffers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::optional<Ipv4Datagram> ReassemblyService::TryComplete(const Key& key, Buffer& buffer) {
+  if (!buffer.have_first || !buffer.total_length.has_value()) {
+    return std::nullopt;
+  }
+  // Walk the pieces checking contiguity.
+  size_t covered = 0;
+  for (const auto& [offset, piece] : buffer.pieces) {
+    if (offset != covered) {
+      return std::nullopt;  // Gap (or overlap, which we treat as a gap).
+    }
+    covered += piece.size();
+  }
+  if (covered != *buffer.total_length) {
+    return std::nullopt;
+  }
+  Ipv4Datagram whole;
+  whole.header = buffer.first_header;
+  whole.header.more_fragments = false;
+  whole.header.fragment_offset = 0;
+  whole.payload.reserve(covered);
+  for (const auto& [offset, piece] : buffer.pieces) {
+    whole.payload.insert(whole.payload.end(), piece.begin(), piece.end());
+  }
+  buffers_.erase(key);
+  ++counters_.datagrams_reassembled;
+  return whole;
+}
+
+std::optional<Ipv4Datagram> ReassemblyService::Add(const Ipv4Datagram& fragment) {
+  if (!fragment.header.IsFragment()) {
+    return fragment;
+  }
+  ++counters_.fragments_received;
+  Expire();
+
+  const Key key{fragment.header.src.value(), fragment.header.dst.value(),
+                fragment.header.identification,
+                static_cast<uint8_t>(fragment.header.protocol)};
+  auto it = buffers_.find(key);
+  if (it == buffers_.end()) {
+    if (buffers_.size() >= max_buffers_) {
+      // Evict the oldest buffer.
+      auto oldest = buffers_.begin();
+      for (auto scan = buffers_.begin(); scan != buffers_.end(); ++scan) {
+        if (scan->second.started < oldest->second.started) {
+          oldest = scan;
+        }
+      }
+      buffers_.erase(oldest);
+      ++counters_.buffers_evicted;
+    }
+    Buffer buffer;
+    buffer.started = sim_.Now();
+    it = buffers_.emplace(key, std::move(buffer)).first;
+  }
+
+  Buffer& buffer = it->second;
+  const uint16_t offset_bytes = fragment.header.fragment_offset * 8;
+  buffer.pieces[offset_bytes] = fragment.payload;
+  if (fragment.header.fragment_offset == 0) {
+    buffer.first_header = fragment.header;
+    buffer.have_first = true;
+  }
+  if (!fragment.header.more_fragments) {
+    buffer.total_length = static_cast<size_t>(offset_bytes) + fragment.payload.size();
+  }
+  return TryComplete(key, buffer);
+}
+
+}  // namespace msn

@@ -1,0 +1,75 @@
+// IPv4 fragmentation and reassembly (RFC 791).
+//
+// Relevant to mobile IP because IP-in-IP encapsulation adds 20 bytes: a
+// datagram that fit the path MTU before tunneling may no longer fit after,
+// so home agents and mobile hosts must fragment outer packets and endpoints
+// must reassemble them (paper §3.2: encapsulation "adds 20 bytes or more to
+// the packet length").
+#ifndef MSN_SRC_NODE_REASSEMBLY_H_
+#define MSN_SRC_NODE_REASSEMBLY_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "src/net/headers.h"
+#include "src/sim/simulator.h"
+
+namespace msn {
+
+// Splits a datagram into MTU-sized fragments (offsets in 8-byte multiples).
+// Requires mtu >= 28 (header + one fragment unit). The input must not itself
+// have DF set (callers check and signal ICMP fragmentation-needed instead).
+std::vector<Ipv4Datagram> FragmentDatagram(const Ipv4Datagram& dg, size_t mtu);
+
+// Per-host reassembly queues keyed by (src, dst, id, protocol).
+class ReassemblyService {
+ public:
+  explicit ReassemblyService(Simulator& sim) : sim_(sim) {}
+
+  // Feeds a fragment. Returns the whole datagram once complete, nullopt
+  // while fragments are missing. Non-fragments pass through unchanged.
+  std::optional<Ipv4Datagram> Add(const Ipv4Datagram& fragment);
+
+  // Incomplete buffers are discarded this long after their first fragment.
+  void set_timeout(Duration d) { timeout_ = d; }
+  // Bound on concurrently tracked datagrams (DoS guard).
+  void set_max_buffers(size_t n) { max_buffers_ = n; }
+
+  size_t pending() const { return buffers_.size(); }
+
+  struct Counters {
+    uint64_t fragments_received = 0;
+    uint64_t datagrams_reassembled = 0;
+    uint64_t buffers_timed_out = 0;
+    uint64_t buffers_evicted = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  using Key = std::tuple<uint32_t, uint32_t, uint16_t, uint8_t>;
+  struct Buffer {
+    // Fragment payloads by byte offset.
+    std::map<uint16_t, std::vector<uint8_t>> pieces;
+    Ipv4Header first_header;
+    bool have_first = false;
+    // Total payload length, known once the last fragment (MF=0) arrives.
+    std::optional<size_t> total_length;
+    Time started;
+  };
+
+  void Expire();
+  std::optional<Ipv4Datagram> TryComplete(const Key& key, Buffer& buffer);
+
+  Simulator& sim_;
+  std::map<Key, Buffer> buffers_;
+  Duration timeout_ = Seconds(30);
+  size_t max_buffers_ = 64;
+  Counters counters_;
+};
+
+}  // namespace msn
+
+#endif  // MSN_SRC_NODE_REASSEMBLY_H_

@@ -1,0 +1,54 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+namespace msn {
+
+EventId EventQueue::Schedule(Time when, Callback cb) {
+  const uint64_t seq = next_seq_++;
+  heap_.push(HeapItem{when, seq});
+  callbacks_.emplace(seq, std::move(cb));
+  ++live_count_;
+  return EventId(seq);
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (!id.valid()) {
+    return false;
+  }
+  auto it = callbacks_.find(id.seq_);
+  if (it == callbacks_.end()) {
+    return false;
+  }
+  // The heap entry stays behind as a tombstone and is skipped lazily.
+  callbacks_.erase(it);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::DropCancelledHead() const {
+  while (!heap_.empty() && callbacks_.find(heap_.top().seq) == callbacks_.end()) {
+    heap_.pop();
+  }
+}
+
+Time EventQueue::NextTime() const {
+  DropCancelledHead();
+  if (heap_.empty()) {
+    return Time::Max();
+  }
+  return heap_.top().when;
+}
+
+EventQueue::Entry EventQueue::PopNext() {
+  DropCancelledHead();
+  const HeapItem item = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(item.seq);
+  Entry entry{item.when, std::move(it->second)};
+  callbacks_.erase(it);
+  --live_count_;
+  return entry;
+}
+
+}  // namespace msn

@@ -1,0 +1,77 @@
+// Priority queue of timed events with stable FIFO ordering for equal
+// timestamps and O(log n) cancellation via generation-checked handles.
+#ifndef MSN_SRC_SIM_EVENT_QUEUE_H_
+#define MSN_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace msn {
+
+// Opaque handle identifying a scheduled event. Default-constructed handles
+// are invalid and cancelling them is a no-op.
+class EventId {
+ public:
+  EventId() = default;
+  bool valid() const { return seq_ != 0; }
+
+ private:
+  friend class EventQueue;
+  explicit EventId(uint64_t seq) : seq_(seq) {}
+  uint64_t seq_ = 0;
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Enqueues `cb` to fire at `when`. Events scheduled for the same time fire
+  // in insertion order.
+  EventId Schedule(Time when, Callback cb);
+
+  // Cancels a pending event. Returns true if the event was still pending.
+  bool Cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  size_t size() const { return live_count_; }
+
+  // Time of the earliest pending event; Time::Max() when empty.
+  Time NextTime() const;
+
+  // Removes and returns the earliest pending event. Requires !empty().
+  struct Entry {
+    Time when;
+    Callback cb;
+  };
+  Entry PopNext();
+
+ private:
+  struct HeapItem {
+    Time when;
+    uint64_t seq;
+    bool operator>(const HeapItem& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  void DropCancelledHead() const;
+
+  // Min-heap of (time, seq); callbacks stored separately so cancellation is a
+  // set insertion rather than a heap surgery.
+  mutable std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<HeapItem>> heap_;
+  mutable std::unordered_map<uint64_t, Callback> callbacks_;
+  uint64_t next_seq_ = 1;
+  size_t live_count_ = 0;
+};
+
+}  // namespace msn
+
+#endif  // MSN_SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,30 @@
+#include "src/sim/time.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace msn {
+namespace {
+
+std::string FormatNanos(int64_t ns) {
+  char buf[48];
+  const int64_t mag = ns < 0 ? -ns : ns;
+  if (mag >= 1000000000) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(ns) * 1e-9);
+  } else if (mag >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(ns) * 1e-6);
+  } else if (mag >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", static_cast<double>(ns) * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns));
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Duration::ToString() const { return FormatNanos(ns_); }
+
+std::string Time::ToString() const { return FormatNanos(ns_); }
+
+}  // namespace msn

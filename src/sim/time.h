@@ -1,0 +1,87 @@
+// Simulated time: strong types for instants and durations, nanosecond
+// resolution, stored as signed 64-bit counts (enough for ~292 years).
+#ifndef MSN_SRC_SIM_TIME_H_
+#define MSN_SRC_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace msn {
+
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration FromNanos(int64_t ns) { return Duration(ns); }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr int64_t micros() const { return ns_ / 1000; }
+  constexpr int64_t millis() const { return ns_ / 1000000; }
+  constexpr double ToSecondsF() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double ToMillisF() const { return static_cast<double>(ns_) * 1e-6; }
+  constexpr double ToMicrosF() const { return static_cast<double>(ns_) * 1e-3; }
+
+  constexpr Duration operator+(Duration other) const { return Duration(ns_ + other.ns_); }
+  constexpr Duration operator-(Duration other) const { return Duration(ns_ - other.ns_); }
+  constexpr Duration operator*(int64_t k) const { return Duration(ns_ * k); }
+  constexpr Duration operator*(double k) const {
+    return Duration(static_cast<int64_t>(static_cast<double>(ns_) * k));
+  }
+  constexpr Duration operator/(int64_t k) const { return Duration(ns_ / k); }
+  Duration& operator+=(Duration other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+  Duration& operator-=(Duration other) {
+    ns_ -= other.ns_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  // Human-readable rendering with an adaptive unit, e.g. "7.39ms", "250us".
+  std::string ToString() const;
+
+ private:
+  constexpr explicit Duration(int64_t ns) : ns_(ns) {}
+  int64_t ns_ = 0;
+};
+
+constexpr Duration Nanoseconds(int64_t n) { return Duration::FromNanos(n); }
+constexpr Duration Microseconds(int64_t n) { return Duration::FromNanos(n * 1000); }
+constexpr Duration Milliseconds(int64_t n) { return Duration::FromNanos(n * 1000000); }
+constexpr Duration Seconds(int64_t n) { return Duration::FromNanos(n * 1000000000); }
+constexpr Duration SecondsF(double s) {
+  return Duration::FromNanos(static_cast<int64_t>(s * 1e9));
+}
+constexpr Duration MillisecondsF(double ms) {
+  return Duration::FromNanos(static_cast<int64_t>(ms * 1e6));
+}
+
+class Time {
+ public:
+  constexpr Time() = default;
+  static constexpr Time FromNanos(int64_t ns) { return Time(ns); }
+  static constexpr Time Zero() { return Time(0); }
+  // A far-future sentinel that still leaves headroom for arithmetic.
+  static constexpr Time Max() { return Time(INT64_MAX / 2); }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr double ToSecondsF() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double ToMillisF() const { return static_cast<double>(ns_) * 1e-6; }
+
+  constexpr Time operator+(Duration d) const { return Time(ns_ + d.nanos()); }
+  constexpr Time operator-(Duration d) const { return Time(ns_ - d.nanos()); }
+  constexpr Duration operator-(Time other) const {
+    return Duration::FromNanos(ns_ - other.ns_);
+  }
+  constexpr auto operator<=>(const Time&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  constexpr explicit Time(int64_t ns) : ns_(ns) {}
+  int64_t ns_ = 0;
+};
+
+}  // namespace msn
+
+#endif  // MSN_SRC_SIM_TIME_H_

@@ -1,0 +1,451 @@
+#include "src/tcplite/tcplite.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/net/checksum.h"
+#include "src/util/byte_buffer.h"
+#include "src/util/logging.h"
+
+namespace msn {
+
+// --- Wire format -----------------------------------------------------------------
+
+std::vector<uint8_t> TcpLiteSegment::Serialize(Ipv4Address src_ip, Ipv4Address dst_ip) const {
+  const uint16_t length = static_cast<uint16_t>(kHeaderSize + payload.size());
+  ByteWriter w(length);
+  w.WriteU16(src_port);
+  w.WriteU16(dst_port);
+  w.WriteU32(seq);
+  w.WriteU32(ack);
+  w.WriteU8(flags);
+  w.WriteU8(window_segments);
+  w.WriteU16(0);  // Checksum placeholder.
+  w.WriteBytes(payload);
+
+  InternetChecksum cs;
+  cs.AddU32(src_ip.value());
+  cs.AddU32(dst_ip.value());
+  cs.AddU16(static_cast<uint16_t>(IpProto::kTcp));
+  cs.AddU16(length);
+  cs.Add(w.data());
+  w.PatchU16(14, cs.Fold());
+  return w.Take();
+}
+
+std::optional<TcpLiteSegment> TcpLiteSegment::Parse(const std::vector<uint8_t>& bytes,
+                                                    Ipv4Address src_ip, Ipv4Address dst_ip) {
+  if (bytes.size() < kHeaderSize) {
+    return std::nullopt;
+  }
+  InternetChecksum cs;
+  cs.AddU32(src_ip.value());
+  cs.AddU32(dst_ip.value());
+  cs.AddU16(static_cast<uint16_t>(IpProto::kTcp));
+  cs.AddU16(static_cast<uint16_t>(bytes.size()));
+  cs.Add(bytes);
+  if (cs.Fold() != 0) {
+    return std::nullopt;
+  }
+  ByteReader r(bytes);
+  TcpLiteSegment seg;
+  seg.src_port = r.ReadU16();
+  seg.dst_port = r.ReadU16();
+  seg.seq = r.ReadU32();
+  seg.ack = r.ReadU32();
+  seg.flags = r.ReadU8();
+  seg.window_segments = r.ReadU8();
+  r.ReadU16();  // Checksum.
+  seg.payload = r.ReadRemaining();
+  return seg;
+}
+
+// --- Connection --------------------------------------------------------------------
+
+TcpLiteConnection::TcpLiteConnection(TcpLite& tcp, Ipv4Address remote_addr,
+                                     uint16_t remote_port, uint16_t local_port,
+                                     Ipv4Address bound_src)
+    : tcp_(tcp), remote_addr_(remote_addr), remote_port_(remote_port),
+      local_port_(local_port), bound_src_(bound_src) {}
+
+TcpLiteConnection::~TcpLiteConnection() { CancelRto(); }
+
+void TcpLiteConnection::StartActiveOpen(ConnectHandler handler) {
+  connect_handler_ = std::move(handler);
+  iss_ = static_cast<uint32_t>(tcp_.stack().sim().rng().NextU64() & 0x7fffffff);
+  snd_una_ = iss_;
+  snd_nxt_ = iss_ + 1;  // SYN consumes one sequence number.
+  state_ = State::kSynSent;
+  SendSegment(TcpLiteSegment::kFlagSyn, iss_, {});
+  ArmRto();
+}
+
+void TcpLiteConnection::StartPassiveOpen(uint32_t remote_iss) {
+  rcv_nxt_ = remote_iss + 1;
+  iss_ = static_cast<uint32_t>(tcp_.stack().sim().rng().NextU64() & 0x7fffffff);
+  snd_una_ = iss_;
+  snd_nxt_ = iss_ + 1;
+  state_ = State::kSynReceived;
+  SendSegment(TcpLiteSegment::kFlagSyn | TcpLiteSegment::kFlagAck, iss_, {});
+  ArmRto();
+}
+
+void TcpLiteConnection::Send(const std::vector<uint8_t>& data) {
+  send_buffer_.insert(send_buffer_.end(), data.begin(), data.end());
+  if (state_ == State::kEstablished) {
+    TrySendData();
+  }
+}
+
+void TcpLiteConnection::Close() {
+  fin_pending_ = true;
+  if (state_ == State::kEstablished) {
+    TrySendData();
+  }
+}
+
+void TcpLiteConnection::Abort() {
+  if (state_ == State::kClosed) {
+    return;
+  }
+  SendSegment(TcpLiteSegment::kFlagRst, snd_nxt_, {});
+  EnterClosed(/*notify=*/false);
+}
+
+void TcpLiteConnection::SendSegment(uint8_t flags, uint32_t seq,
+                                    const std::vector<uint8_t>& payload) {
+  TcpLiteSegment seg;
+  seg.src_port = local_port_;
+  seg.dst_port = remote_port_;
+  seg.seq = seq;
+  seg.flags = flags;
+  seg.window_segments = kWindowSegments;
+  if (state_ != State::kSynSent || (flags & TcpLiteSegment::kFlagSyn) == 0) {
+    seg.flags |= TcpLiteSegment::kFlagAck;
+    seg.ack = rcv_nxt_;
+  }
+  if ((flags & TcpLiteSegment::kFlagSyn) != 0 && state_ == State::kSynSent) {
+    seg.flags &= ~TcpLiteSegment::kFlagAck;  // Pure SYN carries no ACK.
+    seg.ack = 0;
+  }
+  seg.payload = payload;
+  tcp_.Transmit(*this, seg);
+}
+
+void TcpLiteConnection::SendAck() { SendSegment(TcpLiteSegment::kFlagAck, snd_nxt_, {}); }
+
+void TcpLiteConnection::TrySendData() {
+  // Go-back-N sender: window limits bytes in flight.
+  const size_t window_bytes = static_cast<size_t>(kWindowSegments) * kMss;
+  while (unsent_offset_ < send_buffer_.size()) {
+    const size_t in_flight = static_cast<size_t>(snd_nxt_ - snd_una_);
+    if (in_flight >= window_bytes) {
+      break;
+    }
+    const size_t chunk = std::min({kMss, send_buffer_.size() - unsent_offset_,
+                                   window_bytes - in_flight});
+    std::vector<uint8_t> payload(send_buffer_.begin() + unsent_offset_,
+                                 send_buffer_.begin() + unsent_offset_ + chunk);
+    SendSegment(TcpLiteSegment::kFlagAck, snd_nxt_, payload);
+    snd_nxt_ += static_cast<uint32_t>(chunk);
+    unsent_offset_ += chunk;
+    bytes_sent_ += chunk;
+    ArmRto();
+  }
+  if (fin_pending_ && !fin_sent_ && unsent_offset_ == send_buffer_.size()) {
+    fin_sent_ = true;
+    SendSegment(TcpLiteSegment::kFlagFin | TcpLiteSegment::kFlagAck, snd_nxt_, {});
+    snd_nxt_ += 1;  // FIN consumes one sequence number.
+    state_ = State::kFinSent;
+    ArmRto();
+  }
+}
+
+void TcpLiteConnection::ArmRto() {
+  if (rto_event_.valid()) {
+    return;
+  }
+  rto_event_ = tcp_.stack().sim().Schedule(current_rto_, [this] { OnRtoExpired(); });
+}
+
+void TcpLiteConnection::CancelRto() {
+  tcp_.stack().sim().Cancel(rto_event_);
+  rto_event_ = EventId();
+}
+
+void TcpLiteConnection::OnRtoExpired() {
+  rto_event_ = EventId();
+  if (state_ == State::kClosed) {
+    return;
+  }
+  ++retransmissions_;
+  current_rto_ = std::min(current_rto_ * int64_t{2}, kMaxRto);
+
+  switch (state_) {
+    case State::kSynSent:
+      SendSegment(TcpLiteSegment::kFlagSyn, iss_, {});
+      break;
+    case State::kSynReceived:
+      SendSegment(TcpLiteSegment::kFlagSyn | TcpLiteSegment::kFlagAck, iss_, {});
+      break;
+    case State::kEstablished:
+    case State::kFinSent: {
+      // Go-back-N: resend everything outstanding, from snd_una_ up.
+      const size_t unacked = static_cast<size_t>(snd_nxt_ - snd_una_);
+      const size_t unacked_data = std::min(unacked, send_buffer_.size());
+      size_t offset = 0;
+      while (offset < unacked_data) {
+        const size_t chunk = std::min(kMss, unacked_data - offset);
+        std::vector<uint8_t> payload(send_buffer_.begin() + static_cast<long>(offset),
+                                     send_buffer_.begin() + static_cast<long>(offset + chunk));
+        SendSegment(TcpLiteSegment::kFlagAck, snd_una_ + static_cast<uint32_t>(offset),
+                    payload);
+        offset += chunk;
+      }
+      // An outstanding FIN rides one sequence number past the data.
+      if (fin_sent_ && unacked > unacked_data) {
+        SendSegment(TcpLiteSegment::kFlagFin | TcpLiteSegment::kFlagAck,
+                    snd_una_ + static_cast<uint32_t>(unacked_data), {});
+      }
+      break;
+    }
+    case State::kClosed:
+      return;
+  }
+  ArmRto();
+}
+
+void TcpLiteConnection::EnterEstablished(bool from_active_open) {
+  state_ = State::kEstablished;
+  current_rto_ = kInitialRto;
+  if (from_active_open && connect_handler_) {
+    ConnectHandler cb = std::move(connect_handler_);
+    connect_handler_ = nullptr;
+    cb(true);
+  }
+  TrySendData();
+}
+
+void TcpLiteConnection::EnterClosed(bool notify) {
+  CancelRto();
+  state_ = State::kClosed;
+  if (connect_handler_) {
+    ConnectHandler cb = std::move(connect_handler_);
+    connect_handler_ = nullptr;
+    cb(false);
+  }
+  if (notify && close_handler_) {
+    close_handler_();
+  }
+}
+
+void TcpLiteConnection::HandleSegment(const TcpLiteSegment& segment) {
+  if (segment.rst()) {
+    EnterClosed(/*notify=*/true);
+    return;
+  }
+
+  switch (state_) {
+    case State::kSynSent:
+      if (segment.syn() && segment.has_ack() && segment.ack == snd_una_ + 1) {
+        snd_una_ = segment.ack;
+        rcv_nxt_ = segment.seq + 1;
+        CancelRto();
+        SendAck();
+        EnterEstablished(/*from_active_open=*/true);
+      }
+      return;
+    case State::kSynReceived:
+      if (segment.has_ack() && segment.ack == snd_una_ + 1) {
+        snd_una_ = segment.ack;
+        CancelRto();
+        EnterEstablished(/*from_active_open=*/false);
+      }
+      return;
+    case State::kEstablished:
+    case State::kFinSent:
+      break;
+    case State::kClosed:
+      return;
+  }
+
+  // ACK processing (cumulative).
+  if (segment.has_ack()) {
+    const uint32_t acked = segment.ack - snd_una_;
+    const uint32_t outstanding = snd_nxt_ - snd_una_;
+    if (acked > 0 && acked <= outstanding) {
+      // Data bytes acked excludes a possible FIN sequence number.
+      size_t data_acked = acked;
+      if (fin_sent_ && segment.ack == snd_nxt_) {
+        data_acked -= 1;
+      }
+      data_acked = std::min(data_acked, send_buffer_.size());
+      send_buffer_.erase(send_buffer_.begin(),
+                         send_buffer_.begin() + static_cast<long>(data_acked));
+      unsent_offset_ -= std::min(unsent_offset_, data_acked);
+      bytes_acked_ += data_acked;
+      snd_una_ = segment.ack;
+      CancelRto();
+      current_rto_ = kInitialRto;
+      if (snd_una_ != snd_nxt_) {
+        ArmRto();
+      } else if (state_ == State::kFinSent && fin_sent_) {
+        EnterClosed(/*notify=*/false);
+        tcp_.RemoveConnection(this);
+        return;
+      }
+      TrySendData();
+    }
+  }
+
+  // In-order data delivery; anything else re-ACKs (go-back-N receiver).
+  if (!segment.payload.empty()) {
+    if (segment.seq == rcv_nxt_) {
+      rcv_nxt_ += static_cast<uint32_t>(segment.payload.size());
+      bytes_received_ += segment.payload.size();
+      SendAck();
+      if (data_handler_) {
+        data_handler_(segment.payload);
+      }
+    } else {
+      ++segments_out_of_order_;
+      SendAck();
+    }
+  }
+
+  if (segment.fin() && segment.seq == rcv_nxt_) {
+    rcv_nxt_ += 1;
+    SendAck();
+    EnterClosed(/*notify=*/true);
+    tcp_.RemoveConnection(this);
+  }
+}
+
+// --- TcpLite demux -------------------------------------------------------------------
+
+TcpLite::TcpLite(IpStack& stack) : stack_(stack) {
+  stack_.RegisterProtocolHandler(
+      IpProto::kTcp, [this](const Ipv4Header& header, const std::vector<uint8_t>& payload,
+                            NetDevice* ingress) {
+        (void)ingress;
+        OnDatagram(header, payload);
+      });
+}
+
+TcpLite::~TcpLite() { stack_.UnregisterProtocolHandler(IpProto::kTcp); }
+
+uint16_t TcpLite::AllocatePort() {
+  for (int i = 0; i < 20000; ++i) {
+    const uint16_t port = next_port_;
+    next_port_ = next_port_ == 65000 ? 40000 : next_port_ + 1;
+    bool in_use = listeners_.count(port) > 0;
+    for (const auto& [key, conn] : connections_) {
+      if (key.local_port == port) {
+        in_use = true;
+        break;
+      }
+    }
+    if (!in_use) {
+      return port;
+    }
+  }
+  return 0;
+}
+
+void TcpLite::Listen(uint16_t port, AcceptHandler on_accept) {
+  listeners_[port] = std::move(on_accept);
+}
+
+TcpLiteConnection* TcpLite::Connect(Ipv4Address dst, uint16_t dst_port,
+                                    TcpLiteConnection::ConnectHandler on_connected,
+                                    Ipv4Address bound_src) {
+  const uint16_t local_port = AllocatePort();
+  if (local_port == 0) {
+    if (on_connected) {
+      on_connected(false);
+    }
+    return nullptr;
+  }
+  auto conn = std::unique_ptr<TcpLiteConnection>(
+      new TcpLiteConnection(*this, dst, dst_port, local_port, bound_src));
+  TcpLiteConnection* raw = conn.get();
+  connections_[ConnKey{local_port, dst.value(), dst_port}] = std::move(conn);
+  raw->StartActiveOpen(std::move(on_connected));
+  return raw;
+}
+
+void TcpLite::OnDatagram(const Ipv4Header& header, const std::vector<uint8_t>& payload) {
+  auto segment = TcpLiteSegment::Parse(payload, header.src, header.dst);
+  if (!segment) {
+    ++counters_.bad_segments;
+    return;
+  }
+  ++counters_.segments_received;
+
+  const ConnKey key{segment->dst_port, header.src.value(), segment->src_port};
+  auto it = connections_.find(key);
+  if (it != connections_.end()) {
+    it->second->HandleSegment(*segment);
+    return;
+  }
+
+  // New connection?
+  if (segment->syn() && !segment->has_ack()) {
+    auto listener = listeners_.find(segment->dst_port);
+    if (listener != listeners_.end()) {
+      auto conn = std::unique_ptr<TcpLiteConnection>(new TcpLiteConnection(
+          *this, header.src, segment->src_port, segment->dst_port, Ipv4Address::Any()));
+      TcpLiteConnection* raw = conn.get();
+      connections_[key] = std::move(conn);
+      raw->StartPassiveOpen(segment->seq);
+      listener->second(raw);
+      return;
+    }
+  }
+  if (!segment->rst()) {
+    SendReset(header, *segment);
+  }
+}
+
+void TcpLite::Transmit(TcpLiteConnection& conn, const TcpLiteSegment& segment) {
+  // Like UDP, the checksum needs the final source address; consult the route
+  // lookup (mobility override included) when the connection is unbound.
+  Ipv4Address src = conn.bound_src_;
+  if (src.IsAny()) {
+    RouteQuery query{conn.remote_addr_, Ipv4Address::Any(), /*forwarding=*/false,
+                     /*advisory=*/true};
+    if (auto decision = stack_.RouteLookup(query)) {
+      src = decision->src;
+    }
+  }
+  ++counters_.segments_sent;
+  stack_.SendDatagram(src, conn.remote_addr_, IpProto::kTcp,
+                      segment.Serialize(src, conn.remote_addr_));
+}
+
+void TcpLite::SendReset(const Ipv4Header& header, const TcpLiteSegment& segment) {
+  ++counters_.resets_sent;
+  TcpLiteSegment rst;
+  rst.src_port = segment.dst_port;
+  rst.dst_port = segment.src_port;
+  rst.seq = segment.has_ack() ? segment.ack : 0;
+  rst.ack = segment.seq + static_cast<uint32_t>(segment.payload.size()) +
+            (segment.syn() ? 1 : 0);
+  rst.flags = TcpLiteSegment::kFlagRst | TcpLiteSegment::kFlagAck;
+  stack_.SendDatagram(header.dst, header.src, IpProto::kTcp,
+                      rst.Serialize(header.dst, header.src));
+}
+
+void TcpLite::RemoveConnection(TcpLiteConnection* conn) {
+  // Deferred: destroying mid-callback would free the object under our feet.
+  stack_.sim().Schedule(Duration(), [this, conn] {
+    for (auto it = connections_.begin(); it != connections_.end(); ++it) {
+      if (it->second.get() == conn) {
+        connections_.erase(it);
+        return;
+      }
+    }
+  });
+}
+
+}  // namespace msn

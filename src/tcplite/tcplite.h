@@ -1,0 +1,210 @@
+// TCP-lite: a compact reliable byte-stream protocol (IP protocol 6) with
+// three-way handshake, cumulative ACKs, go-back-N retransmission with
+// exponential backoff, and FIN teardown.
+//
+// It exists to demonstrate the paper's motivating scenario (§1): long-lived
+// connections — remote logins, news readers — survive network hand-offs
+// because both endpoints address the mobile host's *home* address throughout;
+// segments lost during a switch are simply retransmitted once the new
+// care-of address is registered. Neither endpoint's connection state changes.
+#ifndef MSN_SRC_TCPLITE_TCPLITE_H_
+#define MSN_SRC_TCPLITE_TCPLITE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/net/address.h"
+#include "src/net/headers.h"
+#include "src/node/ip_stack.h"
+
+namespace msn {
+
+// Segment header (16 bytes) followed by payload. Checksum covers a
+// pseudo-header (src, dst, proto, length) plus header and payload.
+struct TcpLiteSegment {
+  static constexpr size_t kHeaderSize = 16;
+
+  static constexpr uint8_t kFlagSyn = 0x01;
+  static constexpr uint8_t kFlagAck = 0x02;
+  static constexpr uint8_t kFlagFin = 0x04;
+  static constexpr uint8_t kFlagRst = 0x08;
+
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint32_t seq = 0;
+  uint32_t ack = 0;
+  uint8_t flags = 0;
+  uint8_t window_segments = 0;
+  std::vector<uint8_t> payload;
+
+  bool syn() const { return (flags & kFlagSyn) != 0; }
+  bool has_ack() const { return (flags & kFlagAck) != 0; }
+  bool fin() const { return (flags & kFlagFin) != 0; }
+  bool rst() const { return (flags & kFlagRst) != 0; }
+
+  std::vector<uint8_t> Serialize(Ipv4Address src_ip, Ipv4Address dst_ip) const;
+  static std::optional<TcpLiteSegment> Parse(const std::vector<uint8_t>& bytes,
+                                             Ipv4Address src_ip, Ipv4Address dst_ip);
+};
+
+class TcpLite;
+
+class TcpLiteConnection {
+ public:
+  enum class State {
+    kClosed,
+    kSynSent,
+    kSynReceived,
+    kEstablished,
+    kFinSent,
+  };
+
+  static constexpr size_t kMss = 512;
+  static constexpr uint8_t kWindowSegments = 8;
+  static constexpr Duration kInitialRto = Milliseconds(500);
+  static constexpr Duration kMaxRto = Seconds(8);
+
+  using DataHandler = std::function<void(const std::vector<uint8_t>& data)>;
+  using CloseHandler = std::function<void()>;
+  using ConnectHandler = std::function<void(bool success)>;
+
+  ~TcpLiteConnection();
+
+  // Queues bytes for reliable delivery.
+  void Send(const std::vector<uint8_t>& data);
+  // Sends FIN once the send buffer drains.
+  void Close();
+  // Immediate RST teardown.
+  void Abort();
+
+  void SetDataHandler(DataHandler handler) { data_handler_ = std::move(handler); }
+  void SetCloseHandler(CloseHandler handler) { close_handler_ = std::move(handler); }
+
+  State state() const { return state_; }
+  bool established() const { return state_ == State::kEstablished; }
+  Ipv4Address remote_address() const { return remote_addr_; }
+  uint16_t remote_port() const { return remote_port_; }
+  uint16_t local_port() const { return local_port_; }
+
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_acked() const { return bytes_acked_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+  uint64_t retransmissions() const { return retransmissions_; }
+  uint64_t segments_out_of_order() const { return segments_out_of_order_; }
+
+ private:
+  friend class TcpLite;
+
+  TcpLiteConnection(TcpLite& tcp, Ipv4Address remote_addr, uint16_t remote_port,
+                    uint16_t local_port, Ipv4Address bound_src);
+
+  void StartActiveOpen(ConnectHandler handler);
+  void StartPassiveOpen(uint32_t remote_iss);
+  void HandleSegment(const TcpLiteSegment& segment);
+  void TrySendData();
+  void SendSegment(uint8_t flags, uint32_t seq, const std::vector<uint8_t>& payload);
+  void SendAck();
+  void ArmRto();
+  void CancelRto();
+  void OnRtoExpired();
+  void EnterEstablished(bool from_active_open);
+  void EnterClosed(bool notify);
+
+  TcpLite& tcp_;
+  Ipv4Address remote_addr_;
+  uint16_t remote_port_;
+  uint16_t local_port_;
+  // Optional pinned source address; Any() = unbound (on a mobile host this
+  // means full mobile-IP treatment with the home address as source).
+  Ipv4Address bound_src_;
+
+  State state_ = State::kClosed;
+  ConnectHandler connect_handler_;
+  DataHandler data_handler_;
+  CloseHandler close_handler_;
+
+  // Send side (byte sequence space; SYN/FIN each consume one).
+  uint32_t iss_ = 0;
+  uint32_t snd_una_ = 0;  // Oldest unacknowledged.
+  uint32_t snd_nxt_ = 0;  // Next to send.
+  std::deque<uint8_t> send_buffer_;  // Bytes at sequence snd_una_... (unacked + unsent).
+  size_t unsent_offset_ = 0;         // send_buffer_ index of first unsent byte.
+  bool fin_pending_ = false;
+  bool fin_sent_ = false;
+
+  // Receive side.
+  uint32_t rcv_nxt_ = 0;
+
+  EventId rto_event_;
+  Duration current_rto_ = kInitialRto;
+
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_acked_ = 0;
+  uint64_t bytes_received_ = 0;
+  uint64_t retransmissions_ = 0;
+  uint64_t segments_out_of_order_ = 0;
+};
+
+// Per-node TCP-lite instance: demultiplexes protocol-6 datagrams to
+// connections and listeners.
+class TcpLite {
+ public:
+  using AcceptHandler = std::function<void(TcpLiteConnection* connection)>;
+
+  explicit TcpLite(IpStack& stack);
+  ~TcpLite();
+
+  TcpLite(const TcpLite&) = delete;
+  TcpLite& operator=(const TcpLite&) = delete;
+
+  // Passive open: incoming SYNs to `port` create connections handed to
+  // `on_accept`. Connections are owned by this TcpLite instance.
+  void Listen(uint16_t port, AcceptHandler on_accept);
+
+  // Active open. `bound_src` pins the source address (local role on a mobile
+  // host); Any() leaves source selection to routing + mobility policy.
+  TcpLiteConnection* Connect(Ipv4Address dst, uint16_t dst_port,
+                             TcpLiteConnection::ConnectHandler on_connected,
+                             Ipv4Address bound_src = Ipv4Address::Any());
+
+  IpStack& stack() { return stack_; }
+
+  struct Counters {
+    uint64_t segments_sent = 0;
+    uint64_t segments_received = 0;
+    uint64_t bad_segments = 0;
+    uint64_t resets_sent = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  friend class TcpLiteConnection;
+
+  struct ConnKey {
+    uint16_t local_port;
+    uint32_t remote_addr;
+    uint16_t remote_port;
+    auto operator<=>(const ConnKey&) const = default;
+  };
+
+  void OnDatagram(const Ipv4Header& header, const std::vector<uint8_t>& payload);
+  void Transmit(TcpLiteConnection& conn, const TcpLiteSegment& segment);
+  void SendReset(const Ipv4Header& header, const TcpLiteSegment& segment);
+  void RemoveConnection(TcpLiteConnection* conn);
+  uint16_t AllocatePort();
+
+  IpStack& stack_;
+  std::map<ConnKey, std::unique_ptr<TcpLiteConnection>> connections_;
+  std::map<uint16_t, AcceptHandler> listeners_;
+  Counters counters_;
+  uint16_t next_port_ = 40000;
+};
+
+}  // namespace msn
+
+#endif  // MSN_SRC_TCPLITE_TCPLITE_H_

@@ -1,0 +1,111 @@
+#include "src/topo/scenario.h"
+
+#include <cstdio>
+
+namespace msn {
+
+const char* MovementScript::KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kGoHome:
+      return "go-home";
+    case Kind::kWiredCold:
+      return "wired-cold";
+    case Kind::kWiredHot:
+      return "wired-hot";
+    case Kind::kWirelessCold:
+      return "wireless-cold";
+    case Kind::kWirelessHot:
+      return "wireless-hot";
+    case Kind::kAddressSwitch:
+      return "address-switch";
+  }
+  return "?";
+}
+
+std::string MovementScript::Outcome::Description() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "t=%.2fs %-14s idx=%u -> %s (%.2f ms)",
+                static_cast<double>(step.at.nanos()) * 1e-9, KindName(step.kind),
+                step.host_index,
+                !completed ? "pending" : (success ? "ok" : "FAILED"),
+                timeline.Total().ToMillisF());
+  return buf;
+}
+
+MovementScript& MovementScript::Add(Duration at, Kind kind, uint32_t host_index) {
+  steps_.push_back(Step{at, kind, host_index});
+  return *this;
+}
+
+void MovementScript::Execute(size_t index) {
+  Outcome& outcome = outcomes_[index];
+  outcome.fired_at = tb_.sim.Now();
+  auto done = [this, index](bool ok) {
+    Outcome& o = outcomes_[index];
+    o.completed = true;
+    o.success = ok;
+    o.timeline = tb_.mobile->last_timeline();
+  };
+
+  const Step& step = outcome.step;
+  switch (step.kind) {
+    case Kind::kGoHome:
+      tb_.MoveMhEthernetTo(tb_.net135.get());
+      tb_.mobile->AttachHome(done);
+      return;
+    case Kind::kWiredCold:
+      tb_.MoveMhEthernetTo(tb_.net8.get());
+      tb_.mobile->ColdSwitchTo(tb_.WiredAttachment(step.host_index), done);
+      return;
+    case Kind::kWiredHot:
+      tb_.MoveMhEthernetTo(tb_.net8.get());
+      tb_.mobile->HotSwitchTo(tb_.WiredAttachment(step.host_index), done);
+      return;
+    case Kind::kWirelessCold:
+      tb_.mobile->ColdSwitchTo(tb_.WirelessAttachment(step.host_index), done);
+      return;
+    case Kind::kWirelessHot:
+      tb_.mobile->HotSwitchTo(tb_.WirelessAttachment(step.host_index), done);
+      return;
+    case Kind::kAddressSwitch: {
+      // Stay on the current subnet, new host index.
+      const auto& att = tb_.mobile->attachment();
+      const Subnet subnet(att.care_of, att.mask);
+      tb_.mobile->SwitchCareOfAddress(subnet.HostAt(step.host_index), done);
+      return;
+    }
+  }
+}
+
+const std::vector<MovementScript::Outcome>& MovementScript::Run(Duration until) {
+  outcomes_.clear();
+  outcomes_.reserve(steps_.size());
+  for (const Step& step : steps_) {
+    Outcome outcome;
+    outcome.step = step;
+    outcomes_.push_back(outcome);
+  }
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    tb_.sim.Schedule(steps_[i].at, [this, i] { Execute(i); });
+  }
+  tb_.RunFor(until);
+  return outcomes_;
+}
+
+int MovementScript::successes() const {
+  int n = 0;
+  for (const Outcome& o : outcomes_) {
+    n += (o.completed && o.success) ? 1 : 0;
+  }
+  return n;
+}
+
+int MovementScript::failures() const {
+  int n = 0;
+  for (const Outcome& o : outcomes_) {
+    n += (o.completed && !o.success) ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace msn

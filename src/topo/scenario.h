@@ -1,0 +1,83 @@
+// Scripted movement schedules against the Figure 5 testbed: a declarative
+// timeline of attachment changes (at home / wired / wireless, hot or cold,
+// address switches), executed in simulation with per-event outcomes and
+// registration timelines recorded. This is the harness behind soak tests and
+// multi-move roaming demos.
+#ifndef MSN_SRC_TOPO_SCENARIO_H_
+#define MSN_SRC_TOPO_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/topo/testbed.h"
+
+namespace msn {
+
+class MovementScript {
+ public:
+  enum class Kind {
+    kGoHome,          // Move the Ethernet to net 36.135 and AttachHome.
+    kWiredCold,       // Cold switch onto net 36.8 (moves the cable).
+    kWiredHot,        // Hot switch onto net 36.8 (device must be up).
+    kWirelessCold,    // Cold switch onto net 36.134.
+    kWirelessHot,     // Hot switch onto net 36.134 (radio must be up).
+    kAddressSwitch,   // New care-of address on the current subnet.
+  };
+
+  struct Step {
+    Duration at;             // Offset from Run() start.
+    Kind kind;
+    uint32_t host_index = 0; // Care-of host index where applicable.
+  };
+
+  struct Outcome {
+    Step step;
+    Time fired_at;
+    bool completed = false;
+    bool success = false;
+    MobileHost::RegistrationTimeline timeline;
+    std::string Description() const;
+  };
+
+  explicit MovementScript(Testbed& testbed) : tb_(testbed) {}
+
+  MovementScript& Add(Duration at, Kind kind, uint32_t host_index = 50);
+  // Convenience builders.
+  MovementScript& GoHome(Duration at) { return Add(at, Kind::kGoHome); }
+  MovementScript& WiredCold(Duration at, uint32_t idx = 50) {
+    return Add(at, Kind::kWiredCold, idx);
+  }
+  MovementScript& WiredHot(Duration at, uint32_t idx = 50) {
+    return Add(at, Kind::kWiredHot, idx);
+  }
+  MovementScript& WirelessCold(Duration at, uint32_t idx = 60) {
+    return Add(at, Kind::kWirelessCold, idx);
+  }
+  MovementScript& WirelessHot(Duration at, uint32_t idx = 60) {
+    return Add(at, Kind::kWirelessHot, idx);
+  }
+  MovementScript& AddressSwitch(Duration at, uint32_t idx) {
+    return Add(at, Kind::kAddressSwitch, idx);
+  }
+
+  // Schedules all steps and runs the simulation until `until` past start.
+  // Returns outcomes in step order.
+  const std::vector<Outcome>& Run(Duration until);
+
+  const std::vector<Outcome>& outcomes() const { return outcomes_; }
+  int successes() const;
+  int failures() const;
+
+  static const char* KindName(Kind kind);
+
+ private:
+  void Execute(size_t index);
+
+  Testbed& tb_;
+  std::vector<Step> steps_;
+  std::vector<Outcome> outcomes_;
+};
+
+}  // namespace msn
+
+#endif  // MSN_SRC_TOPO_SCENARIO_H_

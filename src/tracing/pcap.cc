@@ -1,0 +1,151 @@
+#include "src/tracing/pcap.h"
+
+#include <cstdio>
+
+#include "src/net/headers.h"
+#include "src/sim/simulator.h"
+#include "src/util/byte_buffer.h"
+
+namespace msn {
+namespace {
+
+// Little-endian writers (pcap files are conventionally host-endian; we fix
+// little-endian and use the standard magic so readers byte-swap as needed).
+void PutU16Le(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v & 0xff));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32Le(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v & 0xff));
+  out.push_back(static_cast<uint8_t>((v >> 8) & 0xff));
+  out.push_back(static_cast<uint8_t>((v >> 16) & 0xff));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+uint32_t GetU32Le(const std::vector<uint8_t>& in, size_t at) {
+  return static_cast<uint32_t>(in[at]) | (static_cast<uint32_t>(in[at + 1]) << 8) |
+         (static_cast<uint32_t>(in[at + 2]) << 16) | (static_cast<uint32_t>(in[at + 3]) << 24);
+}
+
+constexpr uint32_t kPcapMagic = 0xa1b2c3d4;
+constexpr uint32_t kLinkTypeEthernet = 1;
+constexpr size_t kEthernetHeaderLen = 14;
+
+}  // namespace
+
+std::string CapturedFrame::Summary() const {
+  char prefix[96];
+  std::snprintf(prefix, sizeof(prefix), "%12.6f %-8s %s ", timestamp.ToSecondsF(),
+                device_name.c_str(),
+                direction == NetDevice::TapDirection::kTransmit ? "Tx" : "Rx");
+  std::string out = prefix;
+  if (frame.ethertype == EtherType::kArp) {
+    auto arp = ArpMessage::Parse(frame.payload);
+    out += arp ? arp->ToString() : "ARP (malformed)";
+    return out;
+  }
+  auto dg = Ipv4Datagram::Parse(frame.payload);
+  if (!dg) {
+    out += "IP (malformed)";
+    return out;
+  }
+  out += "IP ";
+  out += dg->header.ToString();
+  if (dg->header.protocol == IpProto::kIpIp) {
+    auto inner = Ipv4Datagram::Parse(dg->payload);
+    if (inner) {
+      out += "  [inner: ";
+      out += inner->header.ToString();
+      out += "]";
+    }
+  }
+  return out;
+}
+
+PacketCapture::~PacketCapture() { DetachAll(); }
+
+void PacketCapture::Attach(Simulator& sim, NetDevice* device) {
+  device->SetTap([this, &sim, device](const EthernetFrame& frame,
+                                      NetDevice::TapDirection dir) {
+    frames_.push_back(CapturedFrame{sim.Now(), device->name(), dir, frame});
+  });
+  tapped_.push_back(device);
+}
+
+void PacketCapture::DetachAll() {
+  for (NetDevice* device : tapped_) {
+    device->ClearTap();
+  }
+  tapped_.clear();
+}
+
+std::string PacketCapture::Render() const {
+  std::string out;
+  for (const CapturedFrame& f : frames_) {
+    out += f.Summary();
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<uint8_t> PacketCapture::ToPcapBytes() const {
+  std::vector<uint8_t> out;
+  // Global header.
+  PutU32Le(out, kPcapMagic);
+  PutU16Le(out, 2);   // Version major.
+  PutU16Le(out, 4);   // Version minor.
+  PutU32Le(out, 0);   // Thiszone.
+  PutU32Le(out, 0);   // Sigfigs.
+  PutU32Le(out, 65535);  // Snaplen.
+  PutU32Le(out, kLinkTypeEthernet);
+
+  for (const CapturedFrame& f : frames_) {
+    const int64_t ns = f.timestamp.nanos();
+    PutU32Le(out, static_cast<uint32_t>(ns / 1000000000));
+    PutU32Le(out, static_cast<uint32_t>((ns % 1000000000) / 1000));
+    const uint32_t caplen = static_cast<uint32_t>(kEthernetHeaderLen + f.frame.payload.size());
+    PutU32Le(out, caplen);
+    PutU32Le(out, caplen);
+    // Synthesized Ethernet II header.
+    out.insert(out.end(), f.frame.dst.bytes().begin(), f.frame.dst.bytes().end());
+    out.insert(out.end(), f.frame.src.bytes().begin(), f.frame.src.bytes().end());
+    const uint16_t ethertype = static_cast<uint16_t>(f.frame.ethertype);
+    out.push_back(static_cast<uint8_t>(ethertype >> 8));  // Network order on the wire.
+    out.push_back(static_cast<uint8_t>(ethertype & 0xff));
+    out.insert(out.end(), f.frame.payload.begin(), f.frame.payload.end());
+  }
+  return out;
+}
+
+bool PacketCapture::WritePcapFile(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return false;
+  }
+  const std::vector<uint8_t> bytes = ToPcapBytes();
+  const bool ok = std::fwrite(bytes.data(), 1, bytes.size(), file) == bytes.size();
+  std::fclose(file);
+  return ok;
+}
+
+int PacketCapture::CountPcapRecords(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 24 || GetU32Le(bytes, 0) != kPcapMagic ||
+      GetU32Le(bytes, 20) != kLinkTypeEthernet) {
+    return -1;
+  }
+  size_t at = 24;
+  int records = 0;
+  while (at + 16 <= bytes.size()) {
+    const uint32_t caplen = GetU32Le(bytes, at + 8);
+    const uint32_t origlen = GetU32Le(bytes, at + 12);
+    if (caplen != origlen || at + 16 + caplen > bytes.size()) {
+      return -1;
+    }
+    at += 16 + caplen;
+    ++records;
+  }
+  return at == bytes.size() ? records : -1;
+}
+
+}  // namespace msn

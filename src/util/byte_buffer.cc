@@ -1,0 +1,129 @@
+#include "src/util/byte_buffer.h"
+
+#include <cstdio>
+
+namespace msn {
+
+void ByteWriter::WriteU8(uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::WriteU16(uint16_t v) {
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+  buf_.push_back(static_cast<uint8_t>(v & 0xff));
+}
+
+void ByteWriter::WriteU32(uint32_t v) {
+  buf_.push_back(static_cast<uint8_t>(v >> 24));
+  buf_.push_back(static_cast<uint8_t>((v >> 16) & 0xff));
+  buf_.push_back(static_cast<uint8_t>((v >> 8) & 0xff));
+  buf_.push_back(static_cast<uint8_t>(v & 0xff));
+}
+
+void ByteWriter::WriteU64(uint64_t v) {
+  WriteU32(static_cast<uint32_t>(v >> 32));
+  WriteU32(static_cast<uint32_t>(v & 0xffffffffu));
+}
+
+void ByteWriter::WriteBytes(const uint8_t* data, size_t len) {
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+void ByteWriter::WriteBytes(const std::vector<uint8_t>& data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::WriteString(const std::string& s) {
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::WriteZeros(size_t count) { buf_.insert(buf_.end(), count, 0); }
+
+void ByteWriter::PatchU16(size_t offset, uint16_t v) {
+  if (offset + 2 > buf_.size()) {
+    return;
+  }
+  buf_[offset] = static_cast<uint8_t>(v >> 8);
+  buf_[offset + 1] = static_cast<uint8_t>(v & 0xff);
+}
+
+bool ByteReader::Ensure(size_t n) {
+  if (!ok_ || pos_ + n > len_) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+uint8_t ByteReader::ReadU8() {
+  if (!Ensure(1)) {
+    return 0;
+  }
+  return data_[pos_++];
+}
+
+uint16_t ByteReader::ReadU16() {
+  if (!Ensure(2)) {
+    return 0;
+  }
+  uint16_t v = static_cast<uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+uint32_t ByteReader::ReadU32() {
+  if (!Ensure(4)) {
+    return 0;
+  }
+  uint32_t v = (static_cast<uint32_t>(data_[pos_]) << 24) |
+               (static_cast<uint32_t>(data_[pos_ + 1]) << 16) |
+               (static_cast<uint32_t>(data_[pos_ + 2]) << 8) |
+               static_cast<uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+uint64_t ByteReader::ReadU64() {
+  uint64_t hi = ReadU32();
+  uint64_t lo = ReadU32();
+  return (hi << 32) | lo;
+}
+
+std::vector<uint8_t> ByteReader::ReadBytes(size_t len) {
+  if (!Ensure(len)) {
+    return {};
+  }
+  std::vector<uint8_t> out(data_ + pos_, data_ + pos_ + len);
+  pos_ += len;
+  return out;
+}
+
+std::vector<uint8_t> ByteReader::ReadRemaining() {
+  std::vector<uint8_t> out(data_ + pos_, data_ + len_);
+  pos_ = len_;
+  return out;
+}
+
+void ByteReader::Skip(size_t len) {
+  if (Ensure(len)) {
+    pos_ += len;
+  }
+}
+
+std::string HexDump(const uint8_t* data, size_t len) {
+  std::string out;
+  out.reserve(len * 3);
+  char tmp[4];
+  for (size_t i = 0; i < len; ++i) {
+    std::snprintf(tmp, sizeof(tmp), "%02x", data[i]);
+    if (i != 0) {
+      out.push_back(' ');
+    }
+    out += tmp;
+  }
+  return out;
+}
+
+std::string HexDump(const std::vector<uint8_t>& data) {
+  return HexDump(data.data(), data.size());
+}
+
+}  // namespace msn

@@ -1,0 +1,82 @@
+// Bounds-checked big-endian (network byte order) byte serialization helpers.
+//
+// All multi-byte integers written by ByteWriter and read by ByteReader are in
+// network byte order, so buffers produced here are valid wire images.
+#ifndef MSN_SRC_UTIL_BYTE_BUFFER_H_
+#define MSN_SRC_UTIL_BYTE_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msn {
+
+// Appends values to a growable byte vector in network byte order.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(size_t reserve) { buf_.reserve(reserve); }
+
+  void WriteU8(uint8_t v);
+  void WriteU16(uint16_t v);
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteBytes(const uint8_t* data, size_t len);
+  void WriteBytes(const std::vector<uint8_t>& data);
+  void WriteString(const std::string& s);  // Raw bytes, no terminator.
+  // Writes `count` zero bytes (padding).
+  void WriteZeros(size_t count);
+
+  // Overwrites a previously written big-endian u16 at `offset`. Used to patch
+  // checksums and length fields after the payload is known.
+  void PatchU16(size_t offset, uint16_t v);
+
+  size_t size() const { return buf_.size(); }
+  const std::vector<uint8_t>& data() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+// Reads values from a byte span in network byte order. All reads are bounds
+// checked; after any failed read, `ok()` returns false and subsequent reads
+// return zero values. Callers must check ok() before trusting results.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+  explicit ByteReader(const std::vector<uint8_t>& data)
+      : data_(data.data()), len_(data.size()) {}
+
+  uint8_t ReadU8();
+  uint16_t ReadU16();
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  // Reads exactly `len` bytes; returns an empty vector (and clears ok) if not
+  // enough bytes remain.
+  std::vector<uint8_t> ReadBytes(size_t len);
+  // Reads all remaining bytes (possibly zero). Never fails.
+  std::vector<uint8_t> ReadRemaining();
+  void Skip(size_t len);
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return len_ - pos_; }
+  size_t position() const { return pos_; }
+
+ private:
+  bool Ensure(size_t n);
+
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Renders bytes as lowercase hex separated by spaces, e.g. "de ad be ef".
+std::string HexDump(const uint8_t* data, size_t len);
+std::string HexDump(const std::vector<uint8_t>& data);
+
+}  // namespace msn
+
+#endif  // MSN_SRC_UTIL_BYTE_BUFFER_H_

@@ -1,0 +1,46 @@
+#include "src/util/logging.h"
+
+#include <cstdio>
+
+namespace msn {
+namespace {
+
+LogLevel g_level = LogLevel::kOff;
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel GetLogLevel() { return g_level; }
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+void Logf(LogLevel level, const char* tag, const char* fmt, ...) {
+  if (level < g_level) {
+    return;
+  }
+  std::fprintf(stderr, "[%-5s] %-8s ", LogLevelName(level), tag);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace msn

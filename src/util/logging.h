@@ -1,0 +1,47 @@
+// Minimal leveled logging for the library. Logging is off by default so tests
+// and benches stay quiet; examples turn it on to narrate what the protocol is
+// doing.
+#ifndef MSN_SRC_UTIL_LOGGING_H_
+#define MSN_SRC_UTIL_LOGGING_H_
+
+#include <cstdarg>
+#include <string>
+
+namespace msn {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarning = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+// Sets the global minimum level that is emitted. Thread-compatible (the
+// simulator is single-threaded by design).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// printf-style log statement. `tag` identifies the subsystem ("mip", "arp").
+void Logf(LogLevel level, const char* tag, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+const char* LogLevelName(LogLevel level);
+
+}  // namespace msn
+
+#define MSN_LOG(level, tag, ...)                          \
+  do {                                                    \
+    if ((level) >= ::msn::GetLogLevel()) {                \
+      ::msn::Logf((level), (tag), __VA_ARGS__);           \
+    }                                                     \
+  } while (0)
+
+#define MSN_TRACE(tag, ...) MSN_LOG(::msn::LogLevel::kTrace, tag, __VA_ARGS__)
+#define MSN_DEBUG(tag, ...) MSN_LOG(::msn::LogLevel::kDebug, tag, __VA_ARGS__)
+#define MSN_INFO(tag, ...) MSN_LOG(::msn::LogLevel::kInfo, tag, __VA_ARGS__)
+#define MSN_WARN(tag, ...) MSN_LOG(::msn::LogLevel::kWarning, tag, __VA_ARGS__)
+#define MSN_ERROR(tag, ...) MSN_LOG(::msn::LogLevel::kError, tag, __VA_ARGS__)
+
+#endif  // MSN_SRC_UTIL_LOGGING_H_

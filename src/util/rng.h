@@ -1,0 +1,55 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// The whole system draws randomness from one seeded Rng so that every test and
+// benchmark run is exactly reproducible. The generator is xoshiro256**, seeded
+// through splitmix64 so that small seeds still produce well-mixed state.
+#ifndef MSN_SRC_UTIL_RNG_H_
+#define MSN_SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace msn {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  // Uniform random 64-bit value.
+  uint64_t NextU64();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t UniformInt(uint64_t lo, uint64_t hi);
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  // True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Normal distribution via Box-Muller. A non-positive stddev returns mean.
+  double Normal(double mean, double stddev);
+
+  // Normal clamped to be >= floor. Used for latency/overhead draws that must
+  // never be negative.
+  double NormalAtLeast(double mean, double stddev, double floor);
+
+  // Exponential with the given mean (mean = 1/lambda). Non-positive mean
+  // returns 0.
+  double Exponential(double mean);
+
+  // Derives an independent child generator; handy for giving each component
+  // its own stream while staying deterministic overall.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace msn
+
+#endif  // MSN_SRC_UTIL_RNG_H_

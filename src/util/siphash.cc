@@ -1,0 +1,72 @@
+#include "src/util/siphash.h"
+
+namespace msn {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int b) { return (x << b) | (x >> (64 - b)); }
+
+inline void SipRound(uint64_t& v0, uint64_t& v1, uint64_t& v2, uint64_t& v3) {
+  v0 += v1;
+  v1 = Rotl(v1, 13);
+  v1 ^= v0;
+  v0 = Rotl(v0, 32);
+  v2 += v3;
+  v3 = Rotl(v3, 16);
+  v3 ^= v2;
+  v0 += v3;
+  v3 = Rotl(v3, 21);
+  v3 ^= v0;
+  v2 += v1;
+  v1 = Rotl(v1, 17);
+  v1 ^= v2;
+  v2 = Rotl(v2, 32);
+}
+
+inline uint64_t ReadLe64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+}  // namespace
+
+uint64_t SipHash24(const SipHashKey& key, const uint8_t* data, size_t len) {
+  uint64_t v0 = 0x736f6d6570736575ull ^ key.k0;
+  uint64_t v1 = 0x646f72616e646f6dull ^ key.k1;
+  uint64_t v2 = 0x6c7967656e657261ull ^ key.k0;
+  uint64_t v3 = 0x7465646279746573ull ^ key.k1;
+
+  const size_t whole = len & ~size_t{7};
+  for (size_t i = 0; i < whole; i += 8) {
+    const uint64_t m = ReadLe64(data + i);
+    v3 ^= m;
+    SipRound(v0, v1, v2, v3);
+    SipRound(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+
+  // Final block: remaining bytes + length in the top byte.
+  uint64_t b = static_cast<uint64_t>(len & 0xff) << 56;
+  for (size_t i = 0; i < (len & 7); ++i) {
+    b |= static_cast<uint64_t>(data[whole + i]) << (8 * i);
+  }
+  v3 ^= b;
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  v0 ^= b;
+
+  v2 ^= 0xff;
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+uint64_t SipHash24(const SipHashKey& key, const std::vector<uint8_t>& data) {
+  return SipHash24(key, data.data(), data.size());
+}
+
+}  // namespace msn

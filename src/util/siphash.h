@@ -1,0 +1,27 @@
+// SipHash-2-4: a keyed 64-bit MAC (Aumasson & Bernstein). Used to
+// authenticate mobile-IP registration messages, standing in for the
+// "S-key, Kerberos, PGP, or some other similar strong authentication
+// mechanism" the paper calls for (§5.1).
+#ifndef MSN_SRC_UTIL_SIPHASH_H_
+#define MSN_SRC_UTIL_SIPHASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace msn {
+
+struct SipHashKey {
+  uint64_t k0 = 0;
+  uint64_t k1 = 0;
+
+  auto operator<=>(const SipHashKey&) const = default;
+};
+
+// SipHash-2-4 of `data` under `key`.
+uint64_t SipHash24(const SipHashKey& key, const uint8_t* data, size_t len);
+uint64_t SipHash24(const SipHashKey& key, const std::vector<uint8_t>& data);
+
+}  // namespace msn
+
+#endif  // MSN_SRC_UTIL_SIPHASH_H_

@@ -1,0 +1,94 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace msn {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  sum_ += x;
+  if (count_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Clear() { *this = RunningStats(); }
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+std::string RunningStats::Summary(int precision) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f (%.*f)", precision, mean(), precision, stddev());
+  return buf;
+}
+
+void IntHistogram::Add(int64_t value) {
+  ++buckets_[value];
+  ++total_;
+}
+
+int64_t IntHistogram::CountFor(int64_t value) const {
+  auto it = buckets_.find(value);
+  return it == buckets_.end() ? 0 : it->second;
+}
+
+int64_t IntHistogram::min_value() const {
+  return buckets_.empty() ? 0 : buckets_.begin()->first;
+}
+
+int64_t IntHistogram::max_value() const {
+  return buckets_.empty() ? 0 : buckets_.rbegin()->first;
+}
+
+std::string IntHistogram::Render(const std::string& value_label) const {
+  std::string out;
+  if (buckets_.empty()) {
+    return "  (no samples)\n";
+  }
+  char line[160];
+  for (int64_t v = min_value(); v <= max_value(); ++v) {
+    const int64_t c = CountFor(v);
+    std::string bar(static_cast<size_t>(c), '#');
+    std::snprintf(line, sizeof(line), "  %s %3lld : %3lld  %s\n", value_label.c_str(),
+                  static_cast<long long>(v), static_cast<long long>(c), bar.c_str());
+    out += line;
+  }
+  return out;
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  if (p <= 0.0) {
+    return samples.front();
+  }
+  if (p >= 100.0) {
+    return samples.back();
+  }
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples.size()) {
+    return samples.back();
+  }
+  return samples[lo] * (1.0 - frac) + samples[lo + 1] * frac;
+}
+
+}  // namespace msn

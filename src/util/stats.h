@@ -1,0 +1,66 @@
+// Small statistics helpers used by the benchmark harness and tests:
+// running mean/stddev (Welford), integer histograms, and percentiles.
+#ifndef MSN_SRC_UTIL_STATS_H_
+#define MSN_SRC_UTIL_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace msn {
+
+// Numerically stable running mean and standard deviation (Welford's method).
+class RunningStats {
+ public:
+  void Add(double x);
+  void Clear();
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  // "mean (stddev)" with the given printf precision, e.g. "7.39 (0.21)".
+  std::string Summary(int precision = 2) const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Histogram over integer-valued observations (e.g. packets lost per trial).
+class IntHistogram {
+ public:
+  void Add(int64_t value);
+
+  int64_t CountFor(int64_t value) const;
+  int64_t total() const { return total_; }
+  int64_t min_value() const;
+  int64_t max_value() const;
+  const std::map<int64_t, int64_t>& buckets() const { return buckets_; }
+
+  // Multi-line rendering: one "value: count  ###" row per occupied bucket,
+  // including empty buckets between min and max for a bar-chart feel
+  // (mirrors the paper's Figure 6 presentation).
+  std::string Render(const std::string& value_label = "value") const;
+
+ private:
+  std::map<int64_t, int64_t> buckets_;
+  int64_t total_ = 0;
+};
+
+// Percentile over a sample set (nearest-rank). `p` in [0, 100].
+double Percentile(std::vector<double> samples, double p);
+
+}  // namespace msn
+
+#endif  // MSN_SRC_UTIL_STATS_H_

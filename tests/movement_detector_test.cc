@@ -1,0 +1,135 @@
+// Tests for movement detection / automatic interface selection (paper §6).
+#include <gtest/gtest.h>
+
+#include "src/mip/movement_detector.h"
+#include "src/topo/testbed.h"
+#include "src/tracing/probe.h"
+
+namespace msn {
+namespace {
+
+class MovementFixture : public ::testing::Test {
+ protected:
+  void Build(uint64_t seed = 61) {
+    TestbedConfig cfg;
+    cfg.seed = seed;
+    tb_ = std::make_unique<Testbed>(cfg);
+    tb_->StartMobileAtHome();
+    // Hot-standby configuration: MH visits net 36.8 on the wire with the
+    // radio also up and addressed.
+    tb_->StartMobileOnWired(50);
+    tb_->ForceRadioUp();
+    tb_->mh->stack().ConfigureAddress(tb_->mh_radio, Ipv4Address(36, 134, 0, 70),
+                                      SubnetMask(16));
+
+    MovementDetector::Config mc;
+    mc.probe_interval = Milliseconds(500);
+    mc.probe_timeout = Milliseconds(450);
+    mc.hysteresis_rounds = 3;
+    detector_ = std::make_unique<MovementDetector>(*tb_->mobile, mc);
+    detector_->AddCandidate({tb_->WiredAttachment(50), /*preference=*/10});
+    detector_->AddCandidate({tb_->WirelessAttachment(70), /*preference=*/1});
+    detector_->Start();
+  }
+
+  // Kills the wired path by detaching the MH's Ethernet from its segment.
+  void KillWired() { tb_->MoveMhEthernetTo(nullptr); }
+  void RestoreWired() { tb_->MoveMhEthernetTo(tb_->net8.get()); }
+
+  std::unique_ptr<Testbed> tb_;
+  std::unique_ptr<MovementDetector> detector_;
+};
+
+TEST_F(MovementFixture, StableLinkCausesNoSwitching) {
+  Build();
+  tb_->RunFor(Seconds(10));
+  EXPECT_EQ(detector_->counters().switches, 0u);
+  EXPECT_EQ(tb_->mobile->attachment().device, tb_->mh_eth);
+  // Both links are seen as healthy.
+  EXPECT_LT(detector_->LossEstimate("eth0"), 0.1);
+  EXPECT_LT(detector_->LossEstimate("strip0"), 0.25);  // Radio has rare drops.
+}
+
+TEST_F(MovementFixture, FailsOverToRadioWhenWiredDies) {
+  Build();
+  tb_->RunFor(Seconds(5));
+  ASSERT_EQ(tb_->mobile->attachment().device, tb_->mh_eth);
+
+  KillWired();
+  tb_->RunFor(Seconds(15));
+  EXPECT_GE(detector_->counters().failovers, 1u);
+  EXPECT_EQ(tb_->mobile->attachment().device, tb_->mh_radio);
+  EXPECT_TRUE(tb_->mobile->registered());
+  auto binding = tb_->home_agent->GetBinding(Testbed::HomeAddress());
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_TRUE(Testbed::Net134().Contains(binding->care_of));
+}
+
+TEST_F(MovementFixture, UpgradesBackWhenWiredReturns) {
+  Build();
+  tb_->RunFor(Seconds(5));
+  KillWired();
+  tb_->RunFor(Seconds(15));
+  ASSERT_EQ(tb_->mobile->attachment().device, tb_->mh_radio);
+
+  RestoreWired();
+  tb_->RunFor(Seconds(15));
+  EXPECT_GE(detector_->counters().upgrades, 1u);
+  EXPECT_EQ(tb_->mobile->attachment().device, tb_->mh_eth);
+  EXPECT_TRUE(tb_->mobile->registered());
+}
+
+TEST_F(MovementFixture, HysteresisSuppressesSingleDropFlapping) {
+  Build();
+  tb_->RunFor(Seconds(5));
+  // One lost probe round must not trigger a switch.
+  KillWired();
+  tb_->RunFor(Milliseconds(600));  // ~1 probe round.
+  RestoreWired();
+  tb_->RunFor(Seconds(10));
+  EXPECT_EQ(detector_->counters().switches, 0u);
+  EXPECT_EQ(tb_->mobile->attachment().device, tb_->mh_eth);
+}
+
+TEST_F(MovementFixture, NotifiesUpperLayersWithLinkCharacteristics) {
+  Build();
+  std::vector<LinkCharacteristics> notifications;
+  detector_->SetAttachmentChangeHandler(
+      [&](const LinkCharacteristics& link, bool registered) {
+        EXPECT_TRUE(registered);
+        notifications.push_back(link);
+      });
+  tb_->RunFor(Seconds(5));
+  KillWired();
+  tb_->RunFor(Seconds(15));
+  ASSERT_GE(notifications.size(), 1u);
+  // The paper's §6: upper layers learn the new link's very different
+  // characteristics (35 kb/s radio vs 10 Mb/s Ethernet).
+  EXPECT_EQ(notifications.back().device_name, "strip0");
+  EXPECT_EQ(notifications.back().bandwidth_bps, StripRadioDevice::kDefaultBandwidthBps);
+  EXPECT_LT(notifications.back().loss_estimate, 0.4);
+  EXPECT_GT(notifications.back().last_probe_rtt.ToMillisF(), 100.0);  // Radio RTT.
+}
+
+TEST_F(MovementFixture, TrafficContinuesAcrossAutomaticFailover) {
+  Build();
+  ProbeEchoServer echo(*tb_->mh, 7);
+  ProbeSender sender(*tb_->ch,
+                     ProbeSender::Config{Testbed::HomeAddress(), 7, Milliseconds(250)});
+  sender.Start();
+  tb_->RunFor(Seconds(3));
+  KillWired();
+  tb_->RunFor(Seconds(15));
+  sender.Stop();
+  tb_->RunFor(Seconds(2));
+  // Echoes resumed after the automatic switch; the outage is bounded by the
+  // detection hysteresis (~1.5 s) plus re-registration.
+  EXPECT_EQ(tb_->mobile->attachment().device, tb_->mh_radio);
+  const uint64_t lost = sender.TotalLost();
+  EXPECT_GE(sender.received(), 40u);
+  EXPECT_LE(lost, 14u);
+  EXPECT_GE(lost, 2u);  // The detection window is not free.
+}
+
+}  // namespace
+}  // namespace msn

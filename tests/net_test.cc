@@ -1,0 +1,336 @@
+// Unit tests for src/net: addresses, checksums, and wire formats.
+#include <gtest/gtest.h>
+
+#include "src/net/address.h"
+#include "src/net/checksum.h"
+#include "src/net/frame.h"
+#include "src/net/headers.h"
+
+namespace msn {
+namespace {
+
+// --- Ipv4Address -----------------------------------------------------------------
+
+TEST(AddressTest, ParseAndToString) {
+  auto addr = Ipv4Address::Parse("36.135.0.10");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->ToString(), "36.135.0.10");
+  EXPECT_EQ(addr->value(), (36u << 24) | (135u << 16) | 10u);
+}
+
+TEST(AddressTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Ipv4Address::Parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("256.1.1.1").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3.4x").has_value());
+}
+
+TEST(AddressTest, Predicates) {
+  EXPECT_TRUE(Ipv4Address::Any().IsAny());
+  EXPECT_TRUE(Ipv4Address::Broadcast().IsBroadcast());
+  EXPECT_TRUE(Ipv4Address::Loopback().IsLoopback());
+  EXPECT_TRUE(Ipv4Address(224, 0, 0, 1).IsMulticast());
+  EXPECT_FALSE(Ipv4Address(36, 8, 0, 1).IsMulticast());
+}
+
+// --- Subnet ---------------------------------------------------------------------------
+
+TEST(SubnetTest, ContainsAndBroadcast) {
+  const Subnet net = Subnet::MustParse("36.135.0.0/16");
+  EXPECT_TRUE(net.Contains(Ipv4Address(36, 135, 0, 10)));
+  EXPECT_TRUE(net.Contains(Ipv4Address(36, 135, 255, 254)));
+  EXPECT_FALSE(net.Contains(Ipv4Address(36, 134, 0, 10)));
+  EXPECT_EQ(net.BroadcastAddress(), Ipv4Address(36, 135, 255, 255));
+  EXPECT_EQ(net.HostAt(10), Ipv4Address(36, 135, 0, 10));
+}
+
+TEST(SubnetTest, BaseIsMasked) {
+  const Subnet net(Ipv4Address(10, 1, 2, 3), SubnetMask(8));
+  EXPECT_EQ(net.base(), Ipv4Address(10, 0, 0, 0));
+  EXPECT_EQ(net.ToString(), "10.0.0.0/8");
+}
+
+TEST(SubnetTest, DefaultRouteContainsEverything) {
+  const Subnet def = Subnet::Default();
+  EXPECT_TRUE(def.Contains(Ipv4Address(1, 2, 3, 4)));
+  EXPECT_TRUE(def.Contains(Ipv4Address::Broadcast()));
+  EXPECT_EQ(def.prefix_len(), 0);
+}
+
+TEST(SubnetTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Subnet::Parse("36.135.0.0").has_value());
+  EXPECT_FALSE(Subnet::Parse("36.135.0.0/33").has_value());
+  EXPECT_FALSE(Subnet::Parse("36.135.0.0/-1").has_value());
+  EXPECT_FALSE(Subnet::Parse("x/16").has_value());
+  EXPECT_FALSE(Subnet::Parse("36.135.0.0/16extra").has_value());
+}
+
+TEST(SubnetMaskTest, MaskValues) {
+  EXPECT_EQ(SubnetMask(0).mask_value(), 0u);
+  EXPECT_EQ(SubnetMask(8).mask_value(), 0xff000000u);
+  EXPECT_EQ(SubnetMask(16).mask_value(), 0xffff0000u);
+  EXPECT_EQ(SubnetMask(32).mask_value(), 0xffffffffu);
+  EXPECT_EQ(SubnetMask(16).ToString(), "255.255.0.0");
+}
+
+// --- MacAddress --------------------------------------------------------------------------
+
+TEST(MacAddressTest, FromIdAndToString) {
+  const MacAddress mac = MacAddress::FromId(0x2a);
+  EXPECT_EQ(mac.ToString(), "02:00:00:00:00:2a");
+  EXPECT_FALSE(mac.IsBroadcast());
+  EXPECT_FALSE(mac.IsZero());
+  EXPECT_TRUE(MacAddress::Broadcast().IsBroadcast());
+  EXPECT_TRUE(MacAddress::Zero().IsZero());
+}
+
+TEST(MacAddressTest, Ordering) {
+  EXPECT_LT(MacAddress::FromId(1), MacAddress::FromId(2));
+  EXPECT_EQ(MacAddress::FromId(7), MacAddress::FromId(7));
+}
+
+// --- Internet checksum ---------------------------------------------------------------------
+
+TEST(ChecksumTest, Rfc1071Example) {
+  // Classic example from RFC 1071 §3.
+  const uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(ComputeInternetChecksum(data, sizeof(data)), static_cast<uint16_t>(~0xddf2 & 0xffff));
+}
+
+TEST(ChecksumTest, VerifyRoundTrip) {
+  std::vector<uint8_t> data = {1, 2, 3, 4, 5, 6};
+  const uint16_t sum = ComputeInternetChecksum(data);
+  data.push_back(static_cast<uint8_t>(sum >> 8));
+  data.push_back(static_cast<uint8_t>(sum & 0xff));
+  EXPECT_TRUE(VerifyInternetChecksum(data.data(), data.size()));
+  data[0] ^= 0x80;
+  EXPECT_FALSE(VerifyInternetChecksum(data.data(), data.size()));
+}
+
+TEST(ChecksumTest, OddLengths) {
+  const uint8_t data[] = {0xab};
+  EXPECT_EQ(ComputeInternetChecksum(data, 1), static_cast<uint16_t>(~0xab00 & 0xffff));
+}
+
+TEST(ChecksumTest, IncrementalMatchesOneShot) {
+  std::vector<uint8_t> data;
+  for (int i = 0; i < 101; ++i) {
+    data.push_back(static_cast<uint8_t>(i * 7));
+  }
+  InternetChecksum inc;
+  inc.Add(data.data(), 13);        // Odd split exercises byte pairing.
+  inc.Add(data.data() + 13, 50);
+  inc.Add(data.data() + 63, 38);
+  EXPECT_EQ(inc.Fold(), ComputeInternetChecksum(data));
+}
+
+TEST(ChecksumTest, AddU16U32MatchBytes) {
+  InternetChecksum a;
+  a.AddU16(0x1234);
+  a.AddU32(0xdeadbeef);
+  const uint8_t bytes[] = {0x12, 0x34, 0xde, 0xad, 0xbe, 0xef};
+  EXPECT_EQ(a.Fold(), ComputeInternetChecksum(bytes, sizeof(bytes)));
+}
+
+// --- IPv4 header ------------------------------------------------------------------------------
+
+TEST(Ipv4HeaderTest, SerializeParseRoundTrip) {
+  Ipv4Header h;
+  h.tos = 0x10;
+  h.total_length = 48;
+  h.identification = 777;
+  h.ttl = 31;
+  h.protocol = IpProto::kUdp;
+  h.src = Ipv4Address(36, 135, 0, 10);
+  h.dst = Ipv4Address(36, 8, 0, 20);
+
+  ByteWriter w;
+  h.Serialize(w);
+  ASSERT_EQ(w.size(), Ipv4Header::kSize);
+
+  ByteReader r(w.data());
+  auto parsed = Ipv4Header::Parse(r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->tos, 0x10);
+  EXPECT_EQ(parsed->total_length, 48);
+  EXPECT_EQ(parsed->identification, 777);
+  EXPECT_EQ(parsed->ttl, 31);
+  EXPECT_EQ(parsed->protocol, IpProto::kUdp);
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->dst, h.dst);
+}
+
+TEST(Ipv4HeaderTest, ParseRejectsCorruption) {
+  Ipv4Header h;
+  h.total_length = 20;
+  ByteWriter w;
+  h.Serialize(w);
+  auto bytes = w.Take();
+  // Flip a bit in the TTL: the checksum no longer verifies.
+  bytes[8] ^= 0x01;
+  ByteReader r(bytes);
+  EXPECT_FALSE(Ipv4Header::Parse(r).has_value());
+}
+
+TEST(Ipv4HeaderTest, ParseRejectsTruncation) {
+  std::vector<uint8_t> short_buf(10, 0);
+  ByteReader r(short_buf);
+  EXPECT_FALSE(Ipv4Header::Parse(r).has_value());
+}
+
+TEST(Ipv4HeaderTest, ParseRejectsWrongVersion) {
+  Ipv4Header h;
+  ByteWriter w;
+  h.Serialize(w);
+  auto bytes = w.Take();
+  bytes[0] = 0x65;  // Version 6.
+  ByteReader r(bytes);
+  EXPECT_FALSE(Ipv4Header::Parse(r).has_value());
+}
+
+TEST(Ipv4DatagramTest, BuildAndParse) {
+  Ipv4Header h;
+  h.protocol = IpProto::kIcmp;
+  h.src = Ipv4Address(1, 2, 3, 4);
+  h.dst = Ipv4Address(5, 6, 7, 8);
+  const std::vector<uint8_t> payload = {9, 9, 9};
+  auto bytes = BuildIpv4Datagram(h, payload);
+  EXPECT_EQ(bytes.size(), Ipv4Header::kSize + 3);
+
+  auto dg = Ipv4Datagram::Parse(bytes);
+  ASSERT_TRUE(dg.has_value());
+  EXPECT_EQ(dg->header.total_length, 23);
+  EXPECT_EQ(dg->payload, payload);
+  // Reserialization is stable.
+  EXPECT_EQ(dg->Serialize(), bytes);
+}
+
+TEST(Ipv4DatagramTest, ParseRejectsShortTotalLength) {
+  Ipv4Header h;
+  auto bytes = BuildIpv4Datagram(h, std::vector<uint8_t>(10, 1));
+  bytes.resize(25);  // Truncate below total_length.
+  EXPECT_FALSE(Ipv4Datagram::Parse(bytes).has_value());
+}
+
+// --- UDP ----------------------------------------------------------------------------------------
+
+TEST(UdpTest, RoundTripWithChecksum) {
+  const Ipv4Address src(36, 135, 0, 10), dst(36, 8, 0, 20);
+  UdpDatagram dg;
+  dg.src_port = 1234;
+  dg.dst_port = 434;
+  dg.payload = {'h', 'e', 'l', 'l', 'o'};
+  auto bytes = dg.Serialize(src, dst);
+  EXPECT_EQ(bytes.size(), UdpDatagram::kHeaderSize + 5);
+
+  auto parsed = UdpDatagram::Parse(bytes, src, dst);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src_port, 1234);
+  EXPECT_EQ(parsed->dst_port, 434);
+  EXPECT_EQ(parsed->payload, dg.payload);
+}
+
+TEST(UdpTest, ChecksumCoversAddresses) {
+  const Ipv4Address src(1, 1, 1, 1), dst(2, 2, 2, 2);
+  UdpDatagram dg;
+  dg.src_port = 1;
+  dg.dst_port = 2;
+  auto bytes = dg.Serialize(src, dst);
+  // Same bytes validated against different addresses must fail (this is what
+  // catches mobility code sending with the wrong source address).
+  EXPECT_TRUE(UdpDatagram::Parse(bytes, src, dst).has_value());
+  EXPECT_FALSE(UdpDatagram::Parse(bytes, Ipv4Address(3, 3, 3, 3), dst).has_value());
+}
+
+TEST(UdpTest, CorruptPayloadRejected) {
+  const Ipv4Address src(1, 1, 1, 1), dst(2, 2, 2, 2);
+  UdpDatagram dg;
+  dg.payload = {1, 2, 3, 4};
+  auto bytes = dg.Serialize(src, dst);
+  bytes.back() ^= 0xff;
+  EXPECT_FALSE(UdpDatagram::Parse(bytes, src, dst).has_value());
+}
+
+TEST(UdpTest, EmptyPayload) {
+  const Ipv4Address src(1, 1, 1, 1), dst(2, 2, 2, 2);
+  UdpDatagram dg;
+  auto parsed = UdpDatagram::Parse(dg.Serialize(src, dst), src, dst);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->payload.empty());
+}
+
+// --- ICMP ----------------------------------------------------------------------------------------
+
+TEST(IcmpTest, EchoRoundTrip) {
+  IcmpMessage msg;
+  msg.type = IcmpType::kEchoRequest;
+  msg.rest = IcmpMessage::MakeEchoRest(42, 7);
+  msg.payload = {'p', 'i', 'n', 'g'};
+  auto bytes = msg.Serialize();
+
+  auto parsed = IcmpMessage::Parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, IcmpType::kEchoRequest);
+  EXPECT_EQ(parsed->echo_id(), 42);
+  EXPECT_EQ(parsed->echo_seq(), 7);
+  EXPECT_EQ(parsed->payload, msg.payload);
+}
+
+TEST(IcmpTest, CorruptionRejected) {
+  IcmpMessage msg;
+  msg.type = IcmpType::kEchoReply;
+  auto bytes = msg.Serialize();
+  bytes[4] ^= 1;
+  EXPECT_FALSE(IcmpMessage::Parse(bytes).has_value());
+}
+
+TEST(IcmpTest, TruncationRejected) {
+  EXPECT_FALSE(IcmpMessage::Parse({1, 2, 3}).has_value());
+}
+
+// --- ARP ----------------------------------------------------------------------------------------
+
+TEST(ArpTest, RequestRoundTrip) {
+  ArpMessage msg;
+  msg.op = ArpOp::kRequest;
+  msg.sender_mac = MacAddress::FromId(1);
+  msg.sender_ip = Ipv4Address(36, 135, 0, 1);
+  msg.target_ip = Ipv4Address(36, 135, 0, 10);
+  auto bytes = msg.Serialize();
+  EXPECT_EQ(bytes.size(), ArpMessage::kSize);
+
+  auto parsed = ArpMessage::Parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->op, ArpOp::kRequest);
+  EXPECT_EQ(parsed->sender_mac, msg.sender_mac);
+  EXPECT_EQ(parsed->sender_ip, msg.sender_ip);
+  EXPECT_EQ(parsed->target_ip, msg.target_ip);
+  EXPECT_NE(parsed->ToString().find("who-has"), std::string::npos);
+}
+
+TEST(ArpTest, RejectsBadHardwareType) {
+  ArpMessage msg;
+  auto bytes = msg.Serialize();
+  bytes[1] = 99;  // Hardware type != Ethernet.
+  EXPECT_FALSE(ArpMessage::Parse(bytes).has_value());
+}
+
+TEST(ArpTest, RejectsBadOp) {
+  ArpMessage msg;
+  auto bytes = msg.Serialize();
+  bytes[7] = 9;  // Invalid op.
+  EXPECT_FALSE(ArpMessage::Parse(bytes).has_value());
+}
+
+// --- EthernetFrame ---------------------------------------------------------------------------------
+
+TEST(FrameTest, WireSizeIncludesOverhead) {
+  EthernetFrame frame;
+  frame.payload.resize(100);
+  EXPECT_EQ(frame.WireSize(), 118u);
+}
+
+}  // namespace
+}  // namespace msn

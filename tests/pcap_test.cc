@@ -1,0 +1,137 @@
+// Tests for the packet capture facility: device taps, text rendering, and
+// libpcap file format round-trip.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/node/icmp.h"
+#include "src/topo/testbed.h"
+#include "src/tracing/pcap.h"
+
+namespace msn {
+namespace {
+
+class PcapFixture : public ::testing::Test {
+ protected:
+  PcapFixture() {
+    TestbedConfig cfg;
+    cfg.seed = 71;
+    tb_ = std::make_unique<Testbed>(cfg);
+    tb_->StartMobileAtHome();
+  }
+
+  std::unique_ptr<Testbed> tb_;
+  PacketCapture capture_;
+};
+
+TEST_F(PcapFixture, CapturesBothDirections) {
+  capture_.Attach(tb_->sim, tb_->mh_eth);
+  Pinger pinger(tb_->ch->stack());
+  bool ok = false;
+  pinger.Ping(Testbed::HomeAddress(), Seconds(2), [&](const Pinger::Result& r) {
+    ok = r.success;
+  });
+  tb_->RunFor(Seconds(3));
+  ASSERT_TRUE(ok);
+
+  // At least: ARP exchange pieces + echo request in + echo reply out.
+  ASSERT_GE(capture_.size(), 3u);
+  bool saw_rx = false, saw_tx = false;
+  for (const CapturedFrame& f : capture_.frames()) {
+    saw_rx |= f.direction == NetDevice::TapDirection::kReceive;
+    saw_tx |= f.direction == NetDevice::TapDirection::kTransmit;
+    EXPECT_EQ(f.device_name, "eth0");
+  }
+  EXPECT_TRUE(saw_rx);
+  EXPECT_TRUE(saw_tx);
+}
+
+TEST_F(PcapFixture, SummariesNameProtocols) {
+  capture_.Attach(tb_->sim, tb_->mh_eth);
+  Pinger pinger(tb_->ch->stack());
+  pinger.Ping(Testbed::HomeAddress(), Seconds(2), nullptr);
+  tb_->RunFor(Seconds(3));
+
+  const std::string rendered = capture_.Render();
+  EXPECT_NE(rendered.find("ICMP"), std::string::npos);
+  EXPECT_NE(rendered.find("ARP"), std::string::npos);
+  EXPECT_NE(rendered.find("36.135.0.10"), std::string::npos);
+}
+
+TEST_F(PcapFixture, TunnelPacketsShowInnerHeader) {
+  tb_->StartMobileOnWired(50);
+  capture_.Attach(tb_->sim, tb_->mh_eth);
+  Pinger pinger(tb_->ch->stack());
+  bool ok = false;
+  pinger.Ping(Testbed::HomeAddress(), Seconds(3), [&](const Pinger::Result& r) {
+    ok = r.success;
+  });
+  tb_->RunFor(Seconds(4));
+  ASSERT_TRUE(ok);
+  const std::string rendered = capture_.Render();
+  EXPECT_NE(rendered.find("IPIP"), std::string::npos);
+  EXPECT_NE(rendered.find("[inner:"), std::string::npos);
+}
+
+TEST_F(PcapFixture, PcapFileFormatRoundTrip) {
+  capture_.Attach(tb_->sim, tb_->mh_eth);
+  Pinger pinger(tb_->ch->stack());
+  pinger.Ping(Testbed::HomeAddress(), Seconds(2), nullptr);
+  tb_->RunFor(Seconds(3));
+
+  const auto bytes = capture_.ToPcapBytes();
+  ASSERT_GE(bytes.size(), 24u);
+  // Magic + linktype validated by the reader; record count matches.
+  EXPECT_EQ(PacketCapture::CountPcapRecords(bytes),
+            static_cast<int>(capture_.size()));
+}
+
+TEST_F(PcapFixture, PcapRejectsCorruptImages) {
+  EXPECT_EQ(PacketCapture::CountPcapRecords({}), -1);
+  std::vector<uint8_t> garbage(24, 0);
+  EXPECT_EQ(PacketCapture::CountPcapRecords(garbage), -1);
+
+  capture_.Attach(tb_->sim, tb_->mh_eth);
+  Pinger pinger(tb_->ch->stack());
+  pinger.Ping(Testbed::HomeAddress(), Seconds(2), nullptr);
+  tb_->RunFor(Seconds(3));
+  auto bytes = capture_.ToPcapBytes();
+  bytes.pop_back();  // Truncated final record.
+  EXPECT_EQ(PacketCapture::CountPcapRecords(bytes), -1);
+}
+
+TEST_F(PcapFixture, WritesFileToDisk) {
+  capture_.Attach(tb_->sim, tb_->mh_eth);
+  Pinger pinger(tb_->ch->stack());
+  pinger.Ping(Testbed::HomeAddress(), Seconds(2), nullptr);
+  tb_->RunFor(Seconds(3));
+
+  const std::string path = ::testing::TempDir() + "/msn_capture.pcap";
+  ASSERT_TRUE(capture_.WritePcapFile(path));
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fclose(file);
+  std::remove(path.c_str());
+  EXPECT_EQ(static_cast<size_t>(size), capture_.ToPcapBytes().size());
+}
+
+TEST_F(PcapFixture, ClearAndDetach) {
+  capture_.Attach(tb_->sim, tb_->mh_eth);
+  Pinger pinger(tb_->ch->stack());
+  pinger.Ping(Testbed::HomeAddress(), Seconds(2), nullptr);
+  tb_->RunFor(Seconds(3));
+  ASSERT_GT(capture_.size(), 0u);
+  capture_.Clear();
+  EXPECT_EQ(capture_.size(), 0u);
+
+  capture_.DetachAll();
+  Pinger pinger2(tb_->ch->stack());
+  pinger2.Ping(Testbed::HomeAddress(), Seconds(2), nullptr);
+  tb_->RunFor(Seconds(3));
+  EXPECT_EQ(capture_.size(), 0u);  // Tap removed: nothing recorded.
+}
+
+}  // namespace
+}  // namespace msn

@@ -1,0 +1,148 @@
+// ICMP redirect behaviour (RFC 792; discussed by the paper in §5.2 as one of
+// the reasons full mobility transparency is impractical: a transparent design
+// would have to suppress redirects, while exposing real routes lets them
+// work normally).
+#include <gtest/gtest.h>
+
+#include "src/node/icmp.h"
+#include "src/node/node.h"
+#include "src/node/udp.h"
+#include "src/sim/simulator.h"
+
+namespace msn {
+namespace {
+
+// One segment with two routers:
+//   a (10.0.0.2, default via r1 10.0.0.1)
+//   r1: knows 10.1.0.0/24 via r2 (same segment!)  -> should redirect a to r2
+//   r2 (10.0.0.3) -> owns 10.1.0.0/24 (b attached behind it)
+class RedirectFixture : public ::testing::Test {
+ protected:
+  RedirectFixture()
+      : sim_(91), seg_(sim_, "seg", EthernetMediumParams()),
+        far_(sim_, "far", EthernetMediumParams()), a_(sim_, "a"), r1_(sim_, "r1"),
+        r2_(sim_, "r2"), b_(sim_, "b") {
+    a_dev_ = a_.AddEthernet("eth0", &seg_);
+    r1_dev_ = r1_.AddEthernet("eth0", &seg_);
+    r2_dev_ = r2_.AddEthernet("eth0", &seg_);
+    r2_far_ = r2_.AddEthernet("eth1", &far_);
+    b_dev_ = b_.AddEthernet("eth0", &far_);
+    for (NetDevice* d : {static_cast<NetDevice*>(a_dev_), static_cast<NetDevice*>(r1_dev_),
+                         static_cast<NetDevice*>(r2_dev_), static_cast<NetDevice*>(r2_far_),
+                         static_cast<NetDevice*>(b_dev_)}) {
+      d->ForceUp();
+    }
+    a_.ConfigureInterface(a_dev_, "10.0.0.2/24");
+    r1_.ConfigureInterface(r1_dev_, "10.0.0.1/24");
+    r2_.ConfigureInterface(r2_dev_, "10.0.0.3/24");
+    r2_.ConfigureInterface(r2_far_, "10.1.0.1/24");
+    b_.ConfigureInterface(b_dev_, "10.1.0.2/24");
+
+    a_.AddDefaultRoute(Ipv4Address(10, 0, 0, 1), a_dev_);
+    r1_.AddNetworkRoute(Subnet::MustParse("10.1.0.0/24"), Ipv4Address(10, 0, 0, 3), r1_dev_);
+    b_.AddDefaultRoute(Ipv4Address(10, 1, 0, 1), b_dev_);
+
+    r1_.stack().set_forwarding_enabled(true);
+    r1_.stack().set_send_redirects(true);
+    r2_.stack().set_forwarding_enabled(true);
+  }
+
+  Simulator sim_;
+  BroadcastMedium seg_, far_;
+  Node a_, r1_, r2_, b_;
+  EthernetDevice* a_dev_;
+  EthernetDevice* r1_dev_;
+  EthernetDevice* r2_dev_;
+  EthernetDevice* r2_far_;
+  EthernetDevice* b_dev_;
+};
+
+TEST_F(RedirectFixture, RouterRedirectsAndHostLearnsRoute) {
+  Pinger pinger(a_.stack());
+  bool ok = false;
+  pinger.Ping(Ipv4Address(10, 1, 0, 2), Seconds(2), [&](const Pinger::Result& r) {
+    ok = r.success;
+  });
+  sim_.Run();
+  ASSERT_TRUE(ok);
+  // r1 forwarded the first packet out its arrival interface and redirected.
+  EXPECT_GE(r1_.stack().counters().icmp_redirects_sent, 1u);
+  EXPECT_GE(a_.stack().counters().icmp_redirects_accepted, 1u);
+  // a now has a host route straight to r2.
+  auto route = a_.stack().routes().Lookup(Ipv4Address(10, 1, 0, 2));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->gateway, Ipv4Address(10, 0, 0, 3));
+  EXPECT_EQ(route->dest.prefix_len(), 32);
+}
+
+TEST_F(RedirectFixture, SubsequentTrafficBypassesFirstRouter) {
+  Pinger pinger(a_.stack());
+  pinger.Ping(Ipv4Address(10, 1, 0, 2), Seconds(2), nullptr);
+  sim_.Run();
+  const uint64_t forwarded_before = r1_.stack().counters().datagrams_forwarded;
+
+  bool ok = false;
+  pinger.Ping(Ipv4Address(10, 1, 0, 2), Seconds(2), [&](const Pinger::Result& r) {
+    ok = r.success;
+  });
+  sim_.Run();
+  EXPECT_TRUE(ok);
+  // The second exchange no longer crosses r1.
+  EXPECT_EQ(r1_.stack().counters().datagrams_forwarded, forwarded_before);
+}
+
+TEST_F(RedirectFixture, AcceptanceCanBeDisabled) {
+  a_.stack().set_accept_redirects(false);
+  Pinger pinger(a_.stack());
+  bool ok = false;
+  pinger.Ping(Ipv4Address(10, 1, 0, 2), Seconds(2), [&](const Pinger::Result& r) {
+    ok = r.success;
+  });
+  sim_.Run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(a_.stack().counters().icmp_redirects_accepted, 0u);
+  auto route = a_.stack().routes().Lookup(Ipv4Address(10, 1, 0, 2));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->dest.prefix_len(), 0);  // Still only the default route.
+}
+
+TEST_F(RedirectFixture, RedirectFromWrongGatewayIgnored) {
+  // Forge a redirect from a non-gateway source: must be ignored.
+  IcmpMessage forged;
+  forged.type = IcmpType::kRedirect;
+  forged.code = 1;
+  forged.rest = Ipv4Address(10, 0, 0, 3).value();
+  Ipv4Header offending;
+  offending.src = Ipv4Address(10, 0, 0, 2);
+  offending.dst = Ipv4Address(10, 1, 0, 2);
+  offending.total_length = Ipv4Header::kSize;
+  ByteWriter w;
+  offending.Serialize(w);
+  forged.payload = w.Take();
+  // Sent by b (not a's gateway).
+  b_.stack().SendIcmp(Ipv4Address(10, 0, 0, 2), forged);
+  sim_.Run();
+  EXPECT_EQ(a_.stack().counters().icmp_redirects_accepted, 0u);
+}
+
+TEST_F(RedirectFixture, RedirectToOffSubnetHopIgnored) {
+  // A redirect naming a next hop outside the local subnet must be ignored.
+  IcmpMessage forged;
+  forged.type = IcmpType::kRedirect;
+  forged.code = 1;
+  forged.rest = Ipv4Address(99, 9, 9, 9).value();
+  Ipv4Header offending;
+  offending.src = Ipv4Address(10, 0, 0, 2);
+  offending.dst = Ipv4Address(10, 1, 0, 2);
+  offending.total_length = Ipv4Header::kSize;
+  ByteWriter w;
+  offending.Serialize(w);
+  forged.payload = w.Take();
+  // Spoof the true gateway as the source.
+  r1_.stack().SendIcmp(Ipv4Address(10, 0, 0, 2), forged, Ipv4Address(10, 0, 0, 1));
+  sim_.Run();
+  EXPECT_EQ(a_.stack().counters().icmp_redirects_accepted, 0u);
+}
+
+}  // namespace
+}  // namespace msn

@@ -1,0 +1,97 @@
+// Unit tests for the routing table (longest-prefix match, the paper's
+// unmodified kernel table).
+#include <gtest/gtest.h>
+
+#include "src/link/link_device.h"
+#include "src/node/routing_table.h"
+#include "src/sim/simulator.h"
+
+namespace msn {
+namespace {
+
+class RoutingTest : public ::testing::Test {
+ protected:
+  RoutingTest()
+      : sim_(1),
+        eth0_(sim_, "eth0", MacAddress::FromId(1)),
+        eth1_(sim_, "eth1", MacAddress::FromId(2)) {}
+
+  Simulator sim_;
+  EthernetDevice eth0_, eth1_;
+  RoutingTable table_;
+};
+
+TEST_F(RoutingTest, LongestPrefixWins) {
+  table_.Add({Subnet::MustParse("0.0.0.0/0"), Ipv4Address(10, 0, 0, 1), &eth0_, {}, 0});
+  table_.Add({Subnet::MustParse("36.0.0.0/8"), Ipv4Address(36, 0, 0, 1), &eth0_, {}, 0});
+  table_.Add({Subnet::MustParse("36.135.0.0/16"), Ipv4Address::Any(), &eth1_, {}, 0});
+
+  auto r = table_.Lookup(Ipv4Address(36, 135, 0, 10));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->device, &eth1_);
+  EXPECT_TRUE(r->gateway.IsAny());
+
+  r = table_.Lookup(Ipv4Address(36, 8, 0, 1));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->gateway, Ipv4Address(36, 0, 0, 1));
+
+  r = table_.Lookup(Ipv4Address(171, 64, 0, 1));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->gateway, Ipv4Address(10, 0, 0, 1));
+}
+
+TEST_F(RoutingTest, HostRouteBeatsSubnetRoute) {
+  table_.Add({Subnet::MustParse("36.135.0.0/16"), Ipv4Address::Any(), &eth0_, {}, 0});
+  table_.Add({Subnet::MustParse("36.135.0.10/32"), Ipv4Address::Any(), &eth1_, {}, 0});
+  auto r = table_.Lookup(Ipv4Address(36, 135, 0, 10));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->device, &eth1_);
+}
+
+TEST_F(RoutingTest, EmptyTableHasNoRoute) {
+  EXPECT_FALSE(table_.Lookup(Ipv4Address(1, 2, 3, 4)).has_value());
+}
+
+TEST_F(RoutingTest, MetricBreaksTies) {
+  table_.Add({Subnet::MustParse("36.8.0.0/16"), Ipv4Address::Any(), &eth0_, {}, 5});
+  table_.Add({Subnet::MustParse("36.8.0.0/16"), Ipv4Address::Any(), &eth1_, {}, 1});
+  auto r = table_.Lookup(Ipv4Address(36, 8, 0, 1));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->device, &eth1_);
+}
+
+TEST_F(RoutingTest, RemoveByDestAndDevice) {
+  table_.Add({Subnet::MustParse("36.8.0.0/16"), Ipv4Address::Any(), &eth0_, {}, 0});
+  table_.Add({Subnet::MustParse("36.8.0.0/16"), Ipv4Address::Any(), &eth1_, {}, 0});
+  EXPECT_EQ(table_.Remove(Subnet::MustParse("36.8.0.0/16"), &eth0_), 1u);
+  EXPECT_EQ(table_.size(), 1u);
+  EXPECT_EQ(table_.Remove(Subnet::MustParse("36.8.0.0/16")), 1u);
+  EXPECT_EQ(table_.size(), 0u);
+}
+
+TEST_F(RoutingTest, RemoveForDevice) {
+  table_.Add({Subnet::MustParse("36.8.0.0/16"), Ipv4Address::Any(), &eth0_, {}, 0});
+  table_.Add({Subnet::MustParse("0.0.0.0/0"), Ipv4Address(36, 8, 0, 1), &eth0_, {}, 0});
+  table_.Add({Subnet::MustParse("36.135.0.0/16"), Ipv4Address::Any(), &eth1_, {}, 0});
+  EXPECT_EQ(table_.RemoveForDevice(&eth0_), 2u);
+  EXPECT_EQ(table_.size(), 1u);
+}
+
+TEST_F(RoutingTest, PreferredSourcePropagates) {
+  table_.Add({Subnet::MustParse("36.8.0.0/16"), Ipv4Address::Any(), &eth0_,
+              Ipv4Address(36, 8, 0, 50), 0});
+  auto r = table_.Lookup(Ipv4Address(36, 8, 0, 1));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->pref_src, Ipv4Address(36, 8, 0, 50));
+}
+
+TEST_F(RoutingTest, ToStringListsEntries) {
+  table_.Add({Subnet::MustParse("36.8.0.0/16"), Ipv4Address(1, 2, 3, 4), &eth0_, {}, 2});
+  const std::string dump = table_.ToString();
+  EXPECT_NE(dump.find("36.8.0.0/16"), std::string::npos);
+  EXPECT_NE(dump.find("1.2.3.4"), std::string::npos);
+  EXPECT_NE(dump.find("eth0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msn

@@ -1,0 +1,111 @@
+// Scenario scripting + long roaming soak tests.
+#include <gtest/gtest.h>
+
+#include "src/topo/scenario.h"
+#include "src/tracing/probe.h"
+
+namespace msn {
+namespace {
+
+TEST(ScenarioTest, SimpleRoundTripScript) {
+  TestbedConfig cfg;
+  cfg.seed = 81;
+  Testbed tb(cfg);
+  tb.StartMobileAtHome();
+
+  MovementScript script(tb);
+  script.WiredCold(Seconds(1), 50)
+      .AddressSwitch(Seconds(5), 51)
+      .WirelessCold(Seconds(8), 60)
+      .GoHome(Seconds(14));
+  const auto& outcomes = script.Run(Seconds(22));
+
+  ASSERT_EQ(outcomes.size(), 4u);
+  for (const auto& o : outcomes) {
+    EXPECT_TRUE(o.completed) << o.Description();
+    EXPECT_TRUE(o.success) << o.Description();
+  }
+  EXPECT_EQ(script.successes(), 4);
+  EXPECT_EQ(script.failures(), 0);
+  EXPECT_TRUE(tb.mobile->at_home());
+  EXPECT_FALSE(tb.home_agent->HasBinding(Testbed::HomeAddress()));
+}
+
+TEST(ScenarioTest, HotSwitchScriptKeepsBothInterfaces) {
+  TestbedConfig cfg;
+  cfg.seed = 82;
+  Testbed tb(cfg);
+  tb.StartMobileAtHome();
+  tb.StartMobileOnWired(50);
+  tb.ForceRadioUp();
+  tb.mh->stack().ConfigureAddress(tb.mh_radio, Ipv4Address(36, 134, 0, 70), SubnetMask(16));
+
+  MovementScript script(tb);
+  script.WirelessHot(Seconds(1), 70).WiredHot(Seconds(4), 50).WirelessHot(Seconds(7), 70);
+  script.Run(Seconds(12));
+  EXPECT_EQ(script.successes(), 3);
+  EXPECT_TRUE(tb.mobile->registered());
+  EXPECT_EQ(tb.mobile->attachment().device, tb.mh_radio);
+}
+
+// A long random-ish roaming soak: twelve moves over two simulated minutes
+// with continuous probe traffic. Everything must settle, the binding must
+// track every move, and total loss must stay bounded by the number of cold
+// switches.
+TEST(ScenarioTest, TwelveMoveSoakWithTraffic) {
+  TestbedConfig cfg;
+  cfg.seed = 83;
+  Testbed tb(cfg);
+  tb.StartMobileAtHome();
+  tb.StartMobileOnWired(50);
+
+  ProbeEchoServer echo(*tb.mh, 7);
+  ProbeSender sender(*tb.ch, ProbeSender::Config{Testbed::HomeAddress(), 7, Milliseconds(250)});
+  sender.Start();
+
+  MovementScript script(tb);
+  script.AddressSwitch(Seconds(2), 51)
+      .WirelessCold(Seconds(6), 60)
+      .AddressSwitch(Seconds(14), 61)
+      .WiredCold(Seconds(20), 52)
+      .AddressSwitch(Seconds(26), 53)
+      .AddressSwitch(Seconds(30), 54)
+      .WirelessCold(Seconds(34), 62)
+      .WiredCold(Seconds(44), 55)
+      .AddressSwitch(Seconds(50), 56)
+      .WirelessCold(Seconds(54), 63)
+      .WiredCold(Seconds(64), 57)
+      .GoHome(Seconds(72));
+  script.Run(Seconds(90));
+  sender.Stop();
+  tb.RunFor(Seconds(3));
+
+  for (const auto& o : script.outcomes()) {
+    EXPECT_TRUE(o.completed && o.success) << o.Description();
+  }
+  EXPECT_TRUE(tb.mobile->at_home());
+  EXPECT_FALSE(tb.home_agent->HasBinding(Testbed::HomeAddress()));
+
+  // Loss budget: 6 cold switches at <= ~6 probes each, everything else ~0.
+  EXPECT_GT(sender.received(), 250u);
+  EXPECT_LE(sender.TotalLost(), 40u);
+  // Identification strictly increased across all registrations: no denials.
+  EXPECT_EQ(tb.mobile->counters().registrations_denied, 0u);
+  EXPECT_EQ(tb.home_agent->counters().registrations_denied, 0u);
+}
+
+TEST(ScenarioTest, OutcomeDescriptionsReadable) {
+  TestbedConfig cfg;
+  cfg.seed = 84;
+  Testbed tb(cfg);
+  tb.StartMobileAtHome();
+  MovementScript script(tb);
+  script.WiredCold(Seconds(1), 50);
+  script.Run(Seconds(8));
+  const std::string desc = script.outcomes()[0].Description();
+  EXPECT_NE(desc.find("wired-cold"), std::string::npos);
+  EXPECT_NE(desc.find("ok"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msn

@@ -1,0 +1,228 @@
+// Unit tests for src/sim: time types, event queue, simulator, periodic tasks.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace msn {
+namespace {
+
+// --- Time & Duration -------------------------------------------------------------
+
+TEST(TimeTest, DurationArithmetic) {
+  const Duration a = Milliseconds(5);
+  const Duration b = Microseconds(250);
+  EXPECT_EQ((a + b).nanos(), 5250000);
+  EXPECT_EQ((a - b).nanos(), 4750000);
+  EXPECT_EQ((a * int64_t{3}).millis(), 15);
+  EXPECT_EQ((a / 5).millis(), 1);
+  EXPECT_EQ((a * 0.5).micros(), 2500);
+}
+
+TEST(TimeTest, Conversions) {
+  EXPECT_DOUBLE_EQ(Seconds(2).ToSecondsF(), 2.0);
+  EXPECT_DOUBLE_EQ(Milliseconds(7).ToMillisF(), 7.0);
+  EXPECT_DOUBLE_EQ(MillisecondsF(7.39).ToMillisF(), 7.39);
+  EXPECT_EQ(SecondsF(0.5).millis(), 500);
+}
+
+TEST(TimeTest, Comparisons) {
+  EXPECT_LT(Milliseconds(1), Milliseconds(2));
+  EXPECT_EQ(Time::Zero() + Seconds(1), Time::FromNanos(1000000000));
+  EXPECT_EQ((Time::FromNanos(500) - Time::FromNanos(200)).nanos(), 300);
+  EXPECT_LT(Time::Zero(), Time::Max());
+}
+
+TEST(TimeTest, ToStringAdaptiveUnits) {
+  EXPECT_EQ(Nanoseconds(42).ToString(), "42ns");
+  EXPECT_EQ(Microseconds(250).ToString(), "250.000us");
+  EXPECT_EQ(MillisecondsF(7.39).ToString(), "7.390ms");
+  EXPECT_EQ(Seconds(3).ToString(), "3.000s");
+}
+
+// --- EventQueue --------------------------------------------------------------------
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(Time::FromNanos(30), [&] { order.push_back(3); });
+  q.Schedule(Time::FromNanos(10), [&] { order.push_back(1); });
+  q.Schedule(Time::FromNanos(20), [&] { order.push_back(2); });
+  while (!q.empty()) {
+    q.PopNext().cb();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoForEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(Time::FromNanos(100), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    q.PopNext().cb();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  EventId id = q.Schedule(Time::FromNanos(10), [&] { fired = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));  // Second cancel is a no-op.
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelInvalidIdIsNoop) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(EventId()));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue q;
+  EventId early = q.Schedule(Time::FromNanos(5), [] {});
+  q.Schedule(Time::FromNanos(50), [] {});
+  q.Cancel(early);
+  EXPECT_EQ(q.NextTime(), Time::FromNanos(50));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+// --- Simulator ------------------------------------------------------------------------
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+  Simulator sim;
+  Time fired_at;
+  sim.Schedule(Milliseconds(10), [&] { fired_at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(fired_at, Time::Zero() + Milliseconds(10));
+  EXPECT_EQ(sim.Now(), Time::Zero() + Milliseconds(10));
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.Schedule(Milliseconds(5), [&] {
+    sim.Schedule(Duration::FromNanos(-100), [&] {
+      EXPECT_EQ(sim.Now(), Time::Zero() + Milliseconds(5));
+    });
+  });
+  EXPECT_EQ(sim.Run(), 2u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockToDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(Milliseconds(10), [&] { ++fired; });
+  sim.Schedule(Milliseconds(100), [&] { ++fired; });
+  sim.RunUntil(Time::Zero() + Milliseconds(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), Time::Zero() + Milliseconds(50));
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) {
+      sim.Schedule(Milliseconds(1), recurse);
+    }
+  };
+  sim.Schedule(Milliseconds(1), recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.Now(), Time::Zero() + Milliseconds(10));
+}
+
+TEST(SimulatorTest, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(Milliseconds(1), [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.Schedule(Milliseconds(2), [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.HasPendingEvents());
+}
+
+TEST(SimulatorTest, CancelScheduledEvent) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.Schedule(Milliseconds(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, DeterministicAcrossSameSeed) {
+  auto run = [](uint64_t seed) {
+    Simulator sim(seed);
+    std::vector<uint64_t> values;
+    for (int i = 0; i < 8; ++i) {
+      values.push_back(sim.rng().NextU64());
+    }
+    return values;
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));
+}
+
+// --- PeriodicTask ------------------------------------------------------------------------
+
+TEST(PeriodicTaskTest, FiresAtInterval) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTask task(sim, Milliseconds(10), [&] { ++fires; });
+  task.Start();
+  sim.RunUntil(Time::Zero() + Milliseconds(95));
+  EXPECT_EQ(fires, 9);  // t = 10, 20, ..., 90.
+  task.Stop();
+  sim.RunFor(Milliseconds(100));
+  EXPECT_EQ(fires, 9);
+}
+
+TEST(PeriodicTaskTest, StopInsideCallback) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTask task(sim, Milliseconds(5), [&] {
+    if (++fires == 3) {
+      task.Stop();
+    }
+  });
+  task.Start();
+  sim.RunFor(Seconds(1));
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(PeriodicTaskTest, DestructionCancelsPending) {
+  Simulator sim;
+  int fires = 0;
+  {
+    PeriodicTask task(sim, Milliseconds(5), [&] { ++fires; });
+    task.Start();
+    sim.RunFor(Milliseconds(12));
+  }
+  sim.RunFor(Seconds(1));
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(PeriodicTaskTest, StartIsIdempotent) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTask task(sim, Milliseconds(10), [&] { ++fires; });
+  task.Start();
+  task.Start();
+  sim.RunUntil(Time::Zero() + Milliseconds(25));
+  EXPECT_EQ(fires, 2);
+}
+
+}  // namespace
+}  // namespace msn

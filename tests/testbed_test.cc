@@ -1,0 +1,110 @@
+// End-to-end integration tests on the Figure 5 testbed.
+#include "src/topo/testbed.h"
+
+#include <gtest/gtest.h>
+
+#include "src/node/icmp.h"
+#include "src/tracing/probe.h"
+
+namespace msn {
+namespace {
+
+TEST(TestbedTest, CorrespondentPingsMobileHostAtHome) {
+  Testbed tb;
+  tb.StartMobileAtHome();
+
+  Pinger pinger(tb.ch->stack());
+  bool got_reply = false;
+  pinger.Ping(Testbed::HomeAddress(), Seconds(2), [&](const Pinger::Result& result) {
+    got_reply = result.success;
+    EXPECT_GT(result.rtt.nanos(), 0);
+  });
+  tb.RunFor(Seconds(3));
+  EXPECT_TRUE(got_reply);
+  EXPECT_FALSE(tb.home_agent->HasBinding(Testbed::HomeAddress()));
+}
+
+TEST(TestbedTest, RegistrationInstallsBinding) {
+  Testbed tb;
+  tb.StartMobileAtHome();
+  tb.StartMobileOnWired(50);
+
+  ASSERT_TRUE(tb.mobile->registered());
+  auto binding = tb.home_agent->GetBinding(Testbed::HomeAddress());
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_EQ(binding->care_of, Ipv4Address(36, 8, 0, 50));
+}
+
+TEST(TestbedTest, TunneledEchoWhileVisitingWiredNet) {
+  Testbed tb;
+  tb.StartMobileAtHome();
+  tb.StartMobileOnWired(50);
+
+  ProbeEchoServer echo(*tb.mh, 7);
+  ProbeSender sender(*tb.ch, ProbeSender::Config{Testbed::HomeAddress(), 7, Milliseconds(50)});
+  sender.Start();
+  tb.RunFor(Seconds(2));
+  sender.Stop();
+  tb.RunFor(Seconds(1));
+
+  EXPECT_GT(sender.received(), 30u);
+  EXPECT_EQ(sender.TotalLost(), 0u);
+  // The forward path went through the home agent's tunnel...
+  EXPECT_GT(tb.home_agent->counters().packets_tunneled, 30u);
+  // ...and the mobile host decapsulated and reverse-tunneled.
+  EXPECT_GT(tb.mobile->counters().packets_decapsulated_in, 30u);
+  EXPECT_GT(tb.mobile->counters().packets_tunneled_out, 30u);
+}
+
+TEST(TestbedTest, TunneledEchoOverRadio) {
+  Testbed tb;
+  tb.StartMobileAtHome();
+  tb.StartMobileOnWireless(60);
+
+  ProbeEchoServer echo(*tb.mh, 7);
+  ProbeSender sender(*tb.ch, ProbeSender::Config{Testbed::HomeAddress(), 7, Milliseconds(250)});
+  sender.Start();
+  tb.RunFor(Seconds(5));
+  sender.Stop();
+  tb.RunFor(Seconds(2));
+
+  EXPECT_GT(sender.received(), 15u);
+  // Paper: round trip between CH and MH through the radio is 200-250 ms.
+  auto rtts = sender.RttsInWindow(Time::Zero(), Time::Max());
+  ASSERT_FALSE(rtts.empty());
+  double mean_ms = 0;
+  for (Duration d : rtts) {
+    mean_ms += d.ToMillisF();
+  }
+  mean_ms /= static_cast<double>(rtts.size());
+  EXPECT_GT(mean_ms, 150.0);
+  EXPECT_LT(mean_ms, 320.0);
+}
+
+TEST(TestbedTest, ReturnHomeDeregisters) {
+  Testbed tb;
+  tb.StartMobileAtHome();
+  tb.StartMobileOnWired(50);
+  ASSERT_TRUE(tb.home_agent->HasBinding(Testbed::HomeAddress()));
+
+  // Move the Ethernet cable back to the home segment and re-attach.
+  tb.MoveMhEthernetTo(tb.net135.get());
+  bool done = false;
+  tb.mobile->AttachHome([&](bool ok) { done = ok; });
+  tb.RunFor(Seconds(3));
+
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(tb.mobile->at_home());
+  EXPECT_FALSE(tb.home_agent->HasBinding(Testbed::HomeAddress()));
+
+  // Plain connectivity is restored.
+  Pinger pinger(tb.ch->stack());
+  bool got_reply = false;
+  pinger.Ping(Testbed::HomeAddress(), Seconds(2),
+              [&](const Pinger::Result& r) { got_reply = r.success; });
+  tb.RunFor(Seconds(3));
+  EXPECT_TRUE(got_reply);
+}
+
+}  // namespace
+}  // namespace msn

@@ -1,0 +1,285 @@
+// Unit tests for src/util: byte buffers, RNG, statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/byte_buffer.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace msn {
+namespace {
+
+// --- ByteWriter / ByteReader --------------------------------------------------
+
+TEST(ByteBufferTest, RoundTripAllWidths) {
+  ByteWriter w;
+  w.WriteU8(0xab);
+  w.WriteU16(0x1234);
+  w.WriteU32(0xdeadbeef);
+  w.WriteU64(0x0123456789abcdefull);
+  w.WriteString("hi");
+  ASSERT_EQ(w.size(), 1u + 2 + 4 + 8 + 2);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.ReadU8(), 0xab);
+  EXPECT_EQ(r.ReadU16(), 0x1234);
+  EXPECT_EQ(r.ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.ReadU64(), 0x0123456789abcdefull);
+  auto rest = r.ReadRemaining();
+  EXPECT_EQ(std::string(rest.begin(), rest.end()), "hi");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteBufferTest, BigEndianLayout) {
+  ByteWriter w;
+  w.WriteU16(0x0102);
+  w.WriteU32(0x03040506);
+  const auto& b = w.data();
+  EXPECT_EQ(b[0], 0x01);
+  EXPECT_EQ(b[1], 0x02);
+  EXPECT_EQ(b[2], 0x03);
+  EXPECT_EQ(b[5], 0x06);
+}
+
+TEST(ByteBufferTest, ReaderBoundsChecking) {
+  std::vector<uint8_t> three = {1, 2, 3};
+  ByteReader r(three);
+  EXPECT_EQ(r.ReadU32(), 0u);
+  EXPECT_FALSE(r.ok());
+  // All subsequent reads stay failed and return zero.
+  EXPECT_EQ(r.ReadU8(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteBufferTest, ReadBytesExactAndOverrun) {
+  std::vector<uint8_t> data = {9, 8, 7, 6};
+  ByteReader r(data);
+  auto two = r.ReadBytes(2);
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[0], 9);
+  auto over = r.ReadBytes(5);
+  EXPECT_TRUE(over.empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteBufferTest, PatchU16) {
+  ByteWriter w;
+  w.WriteU16(0);
+  w.WriteU8(0x55);
+  w.PatchU16(0, 0xbeef);
+  EXPECT_EQ(w.data()[0], 0xbe);
+  EXPECT_EQ(w.data()[1], 0xef);
+  EXPECT_EQ(w.data()[2], 0x55);
+  // Out-of-range patch is ignored.
+  w.PatchU16(2, 0xffff);
+  EXPECT_EQ(w.data()[2], 0x55);
+}
+
+TEST(ByteBufferTest, SkipAndPosition) {
+  std::vector<uint8_t> data(10, 0);
+  ByteReader r(data);
+  r.Skip(4);
+  EXPECT_EQ(r.position(), 4u);
+  EXPECT_EQ(r.remaining(), 6u);
+  r.Skip(7);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteBufferTest, HexDump) {
+  std::vector<uint8_t> data = {0xde, 0xad, 0x01};
+  EXPECT_EQ(HexDump(data), "de ad 01");
+  EXPECT_EQ(HexDump(nullptr, 0), "");
+}
+
+// --- Rng -------------------------------------------------------------------------
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformIntRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformInt(uint64_t{10}, uint64_t{20});
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+  EXPECT_EQ(rng.UniformInt(uint64_t{5}, uint64_t{5}), 5u);
+}
+
+TEST(RngTest, UniformIntSigned) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(int64_t{-10}, int64_t{10});
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, 10);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(10);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.Add(rng.Normal(5.0, 2.0));
+  }
+  EXPECT_NEAR(stats.mean(), 5.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, NormalZeroStddevReturnsMean) {
+  Rng rng(11);
+  EXPECT_EQ(rng.Normal(3.5, 0.0), 3.5);
+  EXPECT_EQ(rng.Normal(3.5, -1.0), 3.5);
+}
+
+TEST(RngTest, NormalAtLeastClamps) {
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.NormalAtLeast(1.0, 10.0, 0.5), 0.5);
+  }
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(14);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.Exponential(4.0);
+    EXPECT_GE(v, 0.0);
+    stats.Add(v);
+  }
+  EXPECT_NEAR(stats.mean(), 4.0, 0.15);
+  EXPECT_EQ(rng.Exponential(0.0), 0.0);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(15);
+  Rng child = parent.Fork();
+  // Child and parent produce different streams.
+  EXPECT_NE(parent.NextU64(), child.NextU64());
+}
+
+// --- RunningStats ----------------------------------------------------------------
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // Sample stddev.
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  s.Add(42.0);
+  EXPECT_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.min(), 42.0);
+  EXPECT_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStatsTest, SummaryFormat) {
+  RunningStats s;
+  s.Add(7.0);
+  s.Add(8.0);
+  EXPECT_EQ(s.Summary(1), "7.5 (0.7)");
+}
+
+TEST(RunningStatsTest, Clear) {
+  RunningStats s;
+  s.Add(1.0);
+  s.Clear();
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+// --- IntHistogram ------------------------------------------------------------------
+
+TEST(IntHistogramTest, CountsAndRange) {
+  IntHistogram h;
+  h.Add(0);
+  h.Add(0);
+  h.Add(2);
+  h.Add(5);
+  EXPECT_EQ(h.total(), 4);
+  EXPECT_EQ(h.CountFor(0), 2);
+  EXPECT_EQ(h.CountFor(1), 0);
+  EXPECT_EQ(h.CountFor(2), 1);
+  EXPECT_EQ(h.min_value(), 0);
+  EXPECT_EQ(h.max_value(), 5);
+}
+
+TEST(IntHistogramTest, RenderIncludesEmptyBuckets) {
+  IntHistogram h;
+  h.Add(1);
+  h.Add(3);
+  const std::string rendered = h.Render("lost");
+  // Rows for 1, 2, 3 (2 is an empty bucket between min and max).
+  EXPECT_NE(rendered.find("lost   1"), std::string::npos);
+  EXPECT_NE(rendered.find("lost   2"), std::string::npos);
+  EXPECT_NE(rendered.find("lost   3"), std::string::npos);
+}
+
+TEST(IntHistogramTest, EmptyRender) {
+  IntHistogram h;
+  EXPECT_EQ(h.Render(), "  (no samples)\n");
+}
+
+// --- Percentile ----------------------------------------------------------------------
+
+TEST(PercentileTest, Basics) {
+  std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 5.5);
+  EXPECT_EQ(Percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 99), 7.0);
+}
+
+}  // namespace
+}  // namespace msn
