@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_addr_switch"
+  "../bench/bench_addr_switch.pdb"
+  "CMakeFiles/bench_addr_switch.dir/bench_addr_switch.cc.o"
+  "CMakeFiles/bench_addr_switch.dir/bench_addr_switch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_addr_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_route_opt"
+  "../bench/bench_route_opt.pdb"
+  "CMakeFiles/bench_route_opt.dir/bench_route_opt.cc.o"
+  "CMakeFiles/bench_route_opt.dir/bench_route_opt.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_route_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

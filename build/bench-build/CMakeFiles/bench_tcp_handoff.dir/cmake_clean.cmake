@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tcp_handoff"
+  "../bench/bench_tcp_handoff.pdb"
+  "CMakeFiles/bench_tcp_handoff.dir/bench_tcp_handoff.cc.o"
+  "CMakeFiles/bench_tcp_handoff.dir/bench_tcp_handoff.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tcp_handoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

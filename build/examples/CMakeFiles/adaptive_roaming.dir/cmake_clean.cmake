@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_roaming.dir/adaptive_roaming.cc.o"
+  "CMakeFiles/adaptive_roaming.dir/adaptive_roaming.cc.o.d"
+  "adaptive_roaming"
+  "adaptive_roaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_roaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

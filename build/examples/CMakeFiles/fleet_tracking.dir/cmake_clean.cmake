@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_tracking.dir/fleet_tracking.cc.o"
+  "CMakeFiles/fleet_tracking.dir/fleet_tracking.cc.o.d"
+  "fleet_tracking"
+  "fleet_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roaming_session.dir/roaming_session.cc.o"
+  "CMakeFiles/roaming_session.dir/roaming_session.cc.o.d"
+  "roaming_session"
+  "roaming_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roaming_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

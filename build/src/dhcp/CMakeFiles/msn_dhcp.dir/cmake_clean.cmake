@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msn_dhcp.dir/dhcp.cc.o"
+  "CMakeFiles/msn_dhcp.dir/dhcp.cc.o.d"
+  "libmsn_dhcp.a"
+  "libmsn_dhcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msn_dhcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

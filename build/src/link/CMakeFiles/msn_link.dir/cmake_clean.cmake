@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msn_link.dir/link_device.cc.o"
+  "CMakeFiles/msn_link.dir/link_device.cc.o.d"
+  "CMakeFiles/msn_link.dir/medium.cc.o"
+  "CMakeFiles/msn_link.dir/medium.cc.o.d"
+  "CMakeFiles/msn_link.dir/net_device.cc.o"
+  "CMakeFiles/msn_link.dir/net_device.cc.o.d"
+  "libmsn_link.a"
+  "libmsn_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msn_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mip/foreign_agent.cc" "src/mip/CMakeFiles/msn_mip.dir/foreign_agent.cc.o" "gcc" "src/mip/CMakeFiles/msn_mip.dir/foreign_agent.cc.o.d"
+  "/root/repo/src/mip/home_agent.cc" "src/mip/CMakeFiles/msn_mip.dir/home_agent.cc.o" "gcc" "src/mip/CMakeFiles/msn_mip.dir/home_agent.cc.o.d"
+  "/root/repo/src/mip/ipip.cc" "src/mip/CMakeFiles/msn_mip.dir/ipip.cc.o" "gcc" "src/mip/CMakeFiles/msn_mip.dir/ipip.cc.o.d"
+  "/root/repo/src/mip/messages.cc" "src/mip/CMakeFiles/msn_mip.dir/messages.cc.o" "gcc" "src/mip/CMakeFiles/msn_mip.dir/messages.cc.o.d"
+  "/root/repo/src/mip/mobile_host.cc" "src/mip/CMakeFiles/msn_mip.dir/mobile_host.cc.o" "gcc" "src/mip/CMakeFiles/msn_mip.dir/mobile_host.cc.o.d"
+  "/root/repo/src/mip/movement_detector.cc" "src/mip/CMakeFiles/msn_mip.dir/movement_detector.cc.o" "gcc" "src/mip/CMakeFiles/msn_mip.dir/movement_detector.cc.o.d"
+  "/root/repo/src/mip/policy_table.cc" "src/mip/CMakeFiles/msn_mip.dir/policy_table.cc.o" "gcc" "src/mip/CMakeFiles/msn_mip.dir/policy_table.cc.o.d"
+  "/root/repo/src/mip/vif.cc" "src/mip/CMakeFiles/msn_mip.dir/vif.cc.o" "gcc" "src/mip/CMakeFiles/msn_mip.dir/vif.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/node/CMakeFiles/msn_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/msn_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/msn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/msn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/msn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

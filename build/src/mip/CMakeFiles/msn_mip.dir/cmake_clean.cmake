@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msn_mip.dir/foreign_agent.cc.o"
+  "CMakeFiles/msn_mip.dir/foreign_agent.cc.o.d"
+  "CMakeFiles/msn_mip.dir/home_agent.cc.o"
+  "CMakeFiles/msn_mip.dir/home_agent.cc.o.d"
+  "CMakeFiles/msn_mip.dir/ipip.cc.o"
+  "CMakeFiles/msn_mip.dir/ipip.cc.o.d"
+  "CMakeFiles/msn_mip.dir/messages.cc.o"
+  "CMakeFiles/msn_mip.dir/messages.cc.o.d"
+  "CMakeFiles/msn_mip.dir/mobile_host.cc.o"
+  "CMakeFiles/msn_mip.dir/mobile_host.cc.o.d"
+  "CMakeFiles/msn_mip.dir/movement_detector.cc.o"
+  "CMakeFiles/msn_mip.dir/movement_detector.cc.o.d"
+  "CMakeFiles/msn_mip.dir/policy_table.cc.o"
+  "CMakeFiles/msn_mip.dir/policy_table.cc.o.d"
+  "CMakeFiles/msn_mip.dir/vif.cc.o"
+  "CMakeFiles/msn_mip.dir/vif.cc.o.d"
+  "libmsn_mip.a"
+  "libmsn_mip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msn_mip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

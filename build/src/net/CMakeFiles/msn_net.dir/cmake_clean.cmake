@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msn_net.dir/address.cc.o"
+  "CMakeFiles/msn_net.dir/address.cc.o.d"
+  "CMakeFiles/msn_net.dir/checksum.cc.o"
+  "CMakeFiles/msn_net.dir/checksum.cc.o.d"
+  "CMakeFiles/msn_net.dir/frame.cc.o"
+  "CMakeFiles/msn_net.dir/frame.cc.o.d"
+  "CMakeFiles/msn_net.dir/headers.cc.o"
+  "CMakeFiles/msn_net.dir/headers.cc.o.d"
+  "libmsn_net.a"
+  "libmsn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/node/arp.cc" "src/node/CMakeFiles/msn_node.dir/arp.cc.o" "gcc" "src/node/CMakeFiles/msn_node.dir/arp.cc.o.d"
+  "/root/repo/src/node/icmp.cc" "src/node/CMakeFiles/msn_node.dir/icmp.cc.o" "gcc" "src/node/CMakeFiles/msn_node.dir/icmp.cc.o.d"
+  "/root/repo/src/node/ip_stack.cc" "src/node/CMakeFiles/msn_node.dir/ip_stack.cc.o" "gcc" "src/node/CMakeFiles/msn_node.dir/ip_stack.cc.o.d"
+  "/root/repo/src/node/node.cc" "src/node/CMakeFiles/msn_node.dir/node.cc.o" "gcc" "src/node/CMakeFiles/msn_node.dir/node.cc.o.d"
+  "/root/repo/src/node/reassembly.cc" "src/node/CMakeFiles/msn_node.dir/reassembly.cc.o" "gcc" "src/node/CMakeFiles/msn_node.dir/reassembly.cc.o.d"
+  "/root/repo/src/node/routing_table.cc" "src/node/CMakeFiles/msn_node.dir/routing_table.cc.o" "gcc" "src/node/CMakeFiles/msn_node.dir/routing_table.cc.o.d"
+  "/root/repo/src/node/udp.cc" "src/node/CMakeFiles/msn_node.dir/udp.cc.o" "gcc" "src/node/CMakeFiles/msn_node.dir/udp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/link/CMakeFiles/msn_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/msn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/msn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/msn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msn_node.dir/arp.cc.o"
+  "CMakeFiles/msn_node.dir/arp.cc.o.d"
+  "CMakeFiles/msn_node.dir/icmp.cc.o"
+  "CMakeFiles/msn_node.dir/icmp.cc.o.d"
+  "CMakeFiles/msn_node.dir/ip_stack.cc.o"
+  "CMakeFiles/msn_node.dir/ip_stack.cc.o.d"
+  "CMakeFiles/msn_node.dir/node.cc.o"
+  "CMakeFiles/msn_node.dir/node.cc.o.d"
+  "CMakeFiles/msn_node.dir/reassembly.cc.o"
+  "CMakeFiles/msn_node.dir/reassembly.cc.o.d"
+  "CMakeFiles/msn_node.dir/routing_table.cc.o"
+  "CMakeFiles/msn_node.dir/routing_table.cc.o.d"
+  "CMakeFiles/msn_node.dir/udp.cc.o"
+  "CMakeFiles/msn_node.dir/udp.cc.o.d"
+  "libmsn_node.a"
+  "libmsn_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msn_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msn_sim.dir/event_queue.cc.o"
+  "CMakeFiles/msn_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/msn_sim.dir/simulator.cc.o"
+  "CMakeFiles/msn_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/msn_sim.dir/time.cc.o"
+  "CMakeFiles/msn_sim.dir/time.cc.o.d"
+  "libmsn_sim.a"
+  "libmsn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msn_tcplite.dir/tcplite.cc.o"
+  "CMakeFiles/msn_tcplite.dir/tcplite.cc.o.d"
+  "libmsn_tcplite.a"
+  "libmsn_tcplite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msn_tcplite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

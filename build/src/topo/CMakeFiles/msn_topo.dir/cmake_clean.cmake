@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msn_topo.dir/scenario.cc.o"
+  "CMakeFiles/msn_topo.dir/scenario.cc.o.d"
+  "CMakeFiles/msn_topo.dir/testbed.cc.o"
+  "CMakeFiles/msn_topo.dir/testbed.cc.o.d"
+  "libmsn_topo.a"
+  "libmsn_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msn_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msn_tracing.dir/pcap.cc.o"
+  "CMakeFiles/msn_tracing.dir/pcap.cc.o.d"
+  "CMakeFiles/msn_tracing.dir/probe.cc.o"
+  "CMakeFiles/msn_tracing.dir/probe.cc.o.d"
+  "libmsn_tracing.a"
+  "libmsn_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msn_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msn_util.dir/byte_buffer.cc.o"
+  "CMakeFiles/msn_util.dir/byte_buffer.cc.o.d"
+  "CMakeFiles/msn_util.dir/logging.cc.o"
+  "CMakeFiles/msn_util.dir/logging.cc.o.d"
+  "CMakeFiles/msn_util.dir/rng.cc.o"
+  "CMakeFiles/msn_util.dir/rng.cc.o.d"
+  "CMakeFiles/msn_util.dir/siphash.cc.o"
+  "CMakeFiles/msn_util.dir/siphash.cc.o.d"
+  "CMakeFiles/msn_util.dir/stats.cc.o"
+  "CMakeFiles/msn_util.dir/stats.cc.o.d"
+  "libmsn_util.a"
+  "libmsn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foreign_agent_test.dir/foreign_agent_test.cc.o"
+  "CMakeFiles/foreign_agent_test.dir/foreign_agent_test.cc.o.d"
+  "foreign_agent_test"
+  "foreign_agent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foreign_agent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

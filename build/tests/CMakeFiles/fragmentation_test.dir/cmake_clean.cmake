@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fragmentation_test.dir/fragmentation_test.cc.o"
+  "CMakeFiles/fragmentation_test.dir/fragmentation_test.cc.o.d"
+  "fragmentation_test"
+  "fragmentation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fragmentation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

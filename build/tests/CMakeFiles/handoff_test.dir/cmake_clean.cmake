@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handoff_test.dir/handoff_test.cc.o"
+  "CMakeFiles/handoff_test.dir/handoff_test.cc.o.d"
+  "handoff_test"
+  "handoff_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handoff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

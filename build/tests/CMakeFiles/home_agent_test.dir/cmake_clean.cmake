@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/home_agent_test.dir/home_agent_test.cc.o"
+  "CMakeFiles/home_agent_test.dir/home_agent_test.cc.o.d"
+  "home_agent_test"
+  "home_agent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/home_agent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

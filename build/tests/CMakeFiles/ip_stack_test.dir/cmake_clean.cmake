@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_stack_test.dir/ip_stack_test.cc.o"
+  "CMakeFiles/ip_stack_test.dir/ip_stack_test.cc.o.d"
+  "ip_stack_test"
+  "ip_stack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

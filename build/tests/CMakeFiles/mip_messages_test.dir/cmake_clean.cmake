@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip_messages_test.dir/mip_messages_test.cc.o"
+  "CMakeFiles/mip_messages_test.dir/mip_messages_test.cc.o.d"
+  "mip_messages_test"
+  "mip_messages_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip_messages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip_tunnel_test.dir/mip_tunnel_test.cc.o"
+  "CMakeFiles/mip_tunnel_test.dir/mip_tunnel_test.cc.o.d"
+  "mip_tunnel_test"
+  "mip_tunnel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip_tunnel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_host_test.dir/mobile_host_test.cc.o"
+  "CMakeFiles/mobile_host_test.dir/mobile_host_test.cc.o.d"
+  "mobile_host_test"
+  "mobile_host_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_host_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movement_detector_test.dir/movement_detector_test.cc.o"
+  "CMakeFiles/movement_detector_test.dir/movement_detector_test.cc.o.d"
+  "movement_detector_test"
+  "movement_detector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movement_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

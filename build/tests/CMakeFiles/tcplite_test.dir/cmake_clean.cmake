@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcplite_test.dir/tcplite_test.cc.o"
+  "CMakeFiles/tcplite_test.dir/tcplite_test.cc.o.d"
+  "tcplite_test"
+  "tcplite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcplite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/util_test.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcplite/CMakeFiles/msn_tcplite.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracing/CMakeFiles/msn_tracing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/msn_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/dhcp/CMakeFiles/msn_dhcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mip/CMakeFiles/msn_mip.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/msn_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/msn_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/msn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/msn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/msn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
