@@ -1,0 +1,164 @@
+// Chaos recovery benchmark: time from fault-cleared to re-registered.
+//
+// Sweeps Gilbert-Elliott burst-loss rates against home-agent outage lengths
+// (with daemon restart, so the MH must also resync identifications). For
+// each cell the mobile host starts registered with a short binding lifetime;
+// the outage wipes the binding mid-renewal; recovery time is measured from
+// the instant the outage ends to the instant the MH is back in kRegistered
+// with a matching HA binding.
+//
+// Output: a human-readable table plus one JSON line per cell
+// ({"bench":"chaos_recovery",...}) for machine consumption.
+#include <cstdio>
+#include <vector>
+
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_schedule.h"
+#include "src/topo/testbed.h"
+#include "src/util/stats.h"
+
+namespace msn {
+namespace {
+
+struct Cell {
+  double loss;      // Stationary burst-loss fraction on the foreign subnet.
+  Duration outage;  // HA outage length (daemon restart on recovery).
+  int runs = 0;
+  RunningStats recovery_ms;
+  uint64_t retransmissions = 0;
+  uint64_t resyncs = 0;
+  int failures = 0;  // Runs that never got back to kRegistered.
+};
+
+// Gilbert-Elliott parameters with the requested stationary loss fraction:
+// p_enter / (p_enter + p_exit) = loss, with a fixed burst-exit rate.
+GilbertElliottParams BurstParams(double loss) {
+  GilbertElliottParams ge;
+  ge.p_exit_burst = 0.25;
+  ge.p_enter_burst = loss > 0.0 ? ge.p_exit_burst * loss / (1.0 - loss) : 0.0;
+  ge.loss_good = 0.0;
+  ge.loss_bad = 1.0;
+  return ge;
+}
+
+void RunCell(Cell& cell, uint64_t seed) {
+  TestbedConfig cfg;
+  cfg.seed = seed;
+  cfg.realistic_delays = false;
+  cfg.mh_lifetime_sec = 5;
+  Testbed tb(cfg);
+  tb.StartMobileAtHome();
+  tb.StartMobileOnWired(50);
+  if (!tb.mobile->registered()) {
+    ++cell.failures;
+    return;
+  }
+
+  FaultInjector injector(tb.sim, *tb.net8);
+  if (cell.loss > 0.0) {
+    FaultProfile profile;
+    profile.burst_loss = BurstParams(cell.loss);
+    injector.SetProfile(profile);
+  }
+
+  // Outage begins at 4 s (just as the first renewal goes out) and restarts
+  // the daemon, so recovery needs outage-end + retransmit + resync.
+  const Duration outage_start = Seconds(4);
+  FaultSchedule schedule;
+  schedule.HaOutage(outage_start, *tb.home_agent, cell.outage,
+                    /*restart_daemon=*/true);
+  schedule.Arm(tb.sim);
+
+  const Time fault_clear = tb.sim.Now() + outage_start + cell.outage;
+  const uint64_t retransmissions_before = tb.mobile->counters().retransmissions;
+  const uint64_t resyncs_before = tb.mobile->counters().resyncs;
+
+  // Poll for recovery: registered again with a consistent binding.
+  Time recovered_at = Time::Zero();
+  PeriodicTask poll(tb.sim, Milliseconds(10), [&] {
+    if (recovered_at != Time::Zero() || tb.sim.Now() < fault_clear) {
+      return;
+    }
+    if (tb.mobile->registered() &&
+        tb.home_agent->HasBinding(Testbed::HomeAddress())) {
+      recovered_at = tb.sim.Now();
+    }
+  });
+  poll.Start();
+  tb.RunFor(outage_start + cell.outage + Seconds(60));
+
+  if (recovered_at == Time::Zero()) {
+    ++cell.failures;
+    return;
+  }
+  ++cell.runs;
+  cell.recovery_ms.Add((recovered_at - fault_clear).ToMillisF());
+  cell.retransmissions +=
+      tb.mobile->counters().retransmissions - retransmissions_before;
+  cell.resyncs += tb.mobile->counters().resyncs - resyncs_before;
+}
+
+int Main() {
+  const double kLossRates[] = {0.0, 0.1, 0.3};
+  const Duration kOutages[] = {Milliseconds(500), Milliseconds(1500), Seconds(3)};
+  const int kRunsPerCell = 5;
+
+  std::vector<Cell> cells;
+  for (double loss : kLossRates) {
+    for (Duration outage : kOutages) {
+      Cell cell;
+      cell.loss = loss;
+      cell.outage = outage;
+      for (int run = 0; run < kRunsPerCell; ++run) {
+        const uint64_t seed = 1000 + static_cast<uint64_t>(loss * 100) * 37 +
+                              static_cast<uint64_t>(outage.millis()) * 7 +
+                              static_cast<uint64_t>(run);
+        RunCell(cell, seed);
+      }
+      cells.push_back(cell);
+    }
+  }
+
+  std::printf("=======================================================================\n");
+  std::printf("Chaos recovery: HA outage (daemon restart) + burst loss on the wired\n");
+  std::printf("foreign subnet; time from fault-cleared to re-registered, %d runs/cell\n",
+              kRunsPerCell);
+  std::printf("=======================================================================\n\n");
+  std::printf("loss   outage_ms  recovery ms mean (stddev)       max      rtx  resyncs  fail\n");
+  std::printf("-----  ---------  -------------------------  --------  -------  -------  ----\n");
+  for (const Cell& cell : cells) {
+    std::printf("%4.0f%%  %9lld  %-25s  %8.1f  %7llu  %7llu  %4d\n",
+                cell.loss * 100.0, static_cast<long long>(cell.outage.millis()),
+                cell.recovery_ms.Summary(1).c_str(), cell.recovery_ms.max(),
+                static_cast<unsigned long long>(cell.retransmissions),
+                static_cast<unsigned long long>(cell.resyncs), cell.failures);
+  }
+
+  std::printf("\n");
+  for (const Cell& cell : cells) {
+    std::printf(
+        "{\"bench\":\"chaos_recovery\",\"loss\":%.2f,\"outage_ms\":%lld,"
+        "\"runs\":%d,\"failures\":%d,\"recovery_ms_mean\":%.3f,"
+        "\"recovery_ms_max\":%.3f,\"retransmissions\":%llu,\"resyncs\":%llu}\n",
+        cell.loss, static_cast<long long>(cell.outage.millis()), cell.runs,
+        cell.failures, cell.recovery_ms.mean(), cell.recovery_ms.max(),
+        static_cast<unsigned long long>(cell.retransmissions),
+        static_cast<unsigned long long>(cell.resyncs));
+  }
+
+  std::printf(
+      "\nShape check: recovery is bounded by the retransmit backoff cap (8 s)\n"
+      "plus one identification-resync round trip; higher loss stretches the\n"
+      "tail but never prevents recovery (fail must stay 0 across the sweep).\n\n");
+
+  int total_failures = 0;
+  for (const Cell& cell : cells) {
+    total_failures += cell.failures;
+  }
+  return total_failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace msn
+
+int main() { return msn::Main(); }

@@ -31,13 +31,38 @@ Duration BroadcastMedium::DrawLatency() {
   return Duration::FromNanos(static_cast<int64_t>(ns));
 }
 
+void BroadcastMedium::NotifyDrop(const EthernetFrame& frame, FrameDropReason reason) {
+  if (drop_tap_) {
+    drop_tap_(frame, reason);
+  }
+}
+
 void BroadcastMedium::DeliverAfterLatency(LinkDevice* target, const EthernetFrame& frame) {
   if (params_.drop_probability > 0.0 && sim_.rng().Bernoulli(params_.drop_probability)) {
     ++counters_.frames_dropped;
     MSN_DEBUG("medium", "%s: dropped frame %s", name_.c_str(), frame.ToString().c_str());
+    NotifyDrop(frame, FrameDropReason::kRandomLoss);
     return;
   }
-  sim_.Schedule(DrawLatency(), [target, frame] { target->DeliverFrame(frame); });
+  EthernetFrame delivered = frame;
+  FaultVerdict verdict;
+  if (fault_hook_) {
+    verdict = fault_hook_(target, delivered);
+  }
+  if (verdict.drop) {
+    ++counters_.frames_fault_dropped;
+    MSN_DEBUG("medium", "%s: fault-dropped frame %s", name_.c_str(),
+              delivered.ToString().c_str());
+    NotifyDrop(delivered, FrameDropReason::kFaultInjected);
+    return;
+  }
+  // Each copy (the original plus any injected duplicates) draws its own
+  // latency, so duplicates also land out of order.
+  const int copies = 1 + std::max(0, verdict.duplicates);
+  for (int i = 0; i < copies; ++i) {
+    sim_.Schedule(DrawLatency() + verdict.extra_latency,
+                  [target, delivered] { target->DeliverFrame(delivered); });
+  }
 }
 
 void BroadcastMedium::FrameFromDevice(LinkDevice* sender, const EthernetFrame& frame) {
@@ -59,6 +84,7 @@ void BroadcastMedium::FrameFromDevice(LinkDevice* sender, const EthernetFrame& f
   }
   if (!matched) {
     ++counters_.frames_unmatched;
+    NotifyDrop(frame, FrameDropReason::kUnmatched);
   }
 }
 

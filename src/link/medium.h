@@ -8,6 +8,7 @@
 #ifndef MSN_SRC_LINK_MEDIUM_H_
 #define MSN_SRC_LINK_MEDIUM_H_
 
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -18,6 +19,24 @@
 namespace msn {
 
 class LinkDevice;
+
+// Why a frame vanished between sender and receiver. Distinguishing the three
+// keeps chaos runs debuggable: injected-fault drops must never be confused
+// with the medium's own random loss or with misaddressed frames.
+enum class FrameDropReason {
+  kRandomLoss,     // MediumParams::drop_probability fired.
+  kFaultInjected,  // The installed fault hook (src/fault/) vetoed delivery.
+  kUnmatched,      // No attached device owns the destination MAC.
+};
+
+// Verdict a fault hook returns for one frame delivery. The hook may also
+// mutate the frame in place (bit corruption); the medium delivers whatever
+// the hook leaves behind.
+struct FaultVerdict {
+  bool drop = false;
+  int duplicates = 0;      // Extra copies delivered alongside the original.
+  Duration extra_latency;  // Added queueing delay (reordering).
+};
 
 struct MediumParams {
   // One-way propagation + medium access latency.
@@ -46,9 +65,22 @@ class BroadcastMedium {
   const MediumParams& params() const { return params_; }
   void set_params(const MediumParams& p) { params_ = p; }
 
+  // Consulted once per (frame, receiver) after the medium's own random-loss
+  // draw. At most one hook; a FaultInjector installs itself here.
+  using FaultHook = std::function<FaultVerdict(LinkDevice* target, EthernetFrame& frame)>;
+  void SetFaultHook(FaultHook hook) { fault_hook_ = std::move(hook); }
+  void ClearFaultHook() { fault_hook_ = nullptr; }
+
+  // Observes every frame the medium fails to deliver, with the reason.
+  // PacketCapture taps this so drops show up (tagged) in traces.
+  using DropTap = std::function<void(const EthernetFrame& frame, FrameDropReason reason)>;
+  void SetDropTap(DropTap tap) { drop_tap_ = std::move(tap); }
+  void ClearDropTap() { drop_tap_ = nullptr; }
+
   struct Counters {
     uint64_t frames_carried = 0;
     uint64_t frames_dropped = 0;  // Random medium loss.
+    uint64_t frames_fault_dropped = 0;  // Injected-fault loss (hook verdict).
     uint64_t frames_unmatched = 0;  // No attached device with that MAC.
   };
   const Counters& counters() const { return counters_; }
@@ -56,11 +88,14 @@ class BroadcastMedium {
  private:
   void DeliverAfterLatency(LinkDevice* target, const EthernetFrame& frame);
   Duration DrawLatency();
+  void NotifyDrop(const EthernetFrame& frame, FrameDropReason reason);
 
   Simulator& sim_;
   std::string name_;
   MediumParams params_;
   std::vector<LinkDevice*> devices_;
+  FaultHook fault_hook_;
+  DropTap drop_tap_;
   Counters counters_;
 };
 

@@ -94,8 +94,41 @@ void HomeAgent::EncapsulateAndTunnel(const Ipv4Datagram& inner) {
   node_.stack().SendPreformedDatagram(outer, /*forwarding=*/false);
 }
 
+void HomeAgent::BeginOutage(bool restart_daemon) {
+  service_available_ = false;
+  MSN_WARN("mip-ha", "%s: outage begins%s", node_.name().c_str(),
+           restart_daemon ? " (daemon restart: soft state wiped)" : "");
+  if (!restart_daemon) {
+    return;
+  }
+  // The daemon's soft state dies with it. Snapshot the keys first —
+  // RemoveBinding mutates bindings_.
+  std::vector<Ipv4Address> homes;
+  homes.reserve(bindings_.size());
+  for (const auto& [home, binding] : bindings_) {
+    homes.push_back(home);
+  }
+  for (Ipv4Address home : homes) {
+    resync_required_.insert(home);
+    ++counters_.bindings_wiped;
+    RemoveBinding(home, /*expired=*/false);
+  }
+  last_identification_.clear();
+}
+
+void HomeAgent::EndOutage() {
+  service_available_ = true;
+  MSN_INFO("mip-ha", "%s: outage ends", node_.name().c_str());
+}
+
 void HomeAgent::OnRegistrationDatagram(const std::vector<uint8_t>& data,
                                        const UdpSocket::Metadata& meta) {
+  if (!service_available_) {
+    // Down hard: no reply, no state change. The MH's retransmission and
+    // backoff machinery is what recovers from this.
+    ++counters_.requests_dropped_outage;
+    return;
+  }
   ++counters_.requests_received;
   auto request = RegistrationRequest::Parse(data);
   if (!request) {
@@ -146,6 +179,13 @@ void HomeAgent::ProcessRequest(const RegistrationRequest& request,
     reply.code = MipReplyCode::kDeniedBadAuthenticator;
   } else if (request.home_agent != config_.address) {
     reply.code = MipReplyCode::kDeniedMalformed;
+  } else if (resync_required_.erase(request.home_address) > 0) {
+    // First registration after a daemon restart: deny once with a mismatch,
+    // re-anchoring the replay window at this request's identification. The
+    // MH's resync re-send carries a higher identification and is accepted.
+    last_identification_[request.home_address] = request.identification;
+    ++counters_.resync_denials;
+    reply.code = MipReplyCode::kDeniedIdentificationMismatch;
   } else {
     auto last = last_identification_.find(request.home_address);
     if (last != last_identification_.end() && request.identification <= last->second) {

@@ -78,6 +78,13 @@ class HomeAgent {
     uint64_t reverse_decapsulated = 0;
     uint64_t bindings_expired = 0;
     uint64_t tunnel_drops_no_binding = 0;
+    // Requests silently dropped while the agent was in an outage window.
+    uint64_t requests_dropped_outage = 0;
+    // Bindings discarded by a daemon restart (BeginOutage(restart=true)).
+    uint64_t bindings_wiped = 0;
+    // Post-restart registrations denied once with kDeniedIdentificationMismatch
+    // to re-anchor the replay window.
+    uint64_t resync_denials = 0;
   };
 
   // Observer for binding changes; `new_care_of` is Any() on removal.
@@ -97,6 +104,17 @@ class HomeAgent {
   // MH's registrations are always verified (and replies authenticated), even
   // if require_authentication is off.
   void SetAuthKey(Ipv4Address home_address, const MipAuthKey& key);
+
+  // Fault hooks (driven by FaultSchedule::HaOutage). During an outage every
+  // UDP 434 request is dropped without a reply — from the MH's point of view
+  // the agent is simply unreachable. With `restart_daemon` the outage also
+  // wipes all bindings and the identification history, modeling a crashed
+  // daemon losing its soft state: after recovery, each mobile host's first
+  // registration is denied once with kDeniedIdentificationMismatch (which
+  // re-anchors the replay window), forcing it through the resync path.
+  void BeginOutage(bool restart_daemon = false);
+  void EndOutage();
+  bool service_available() const { return service_available_; }
 
   bool HasBinding(Ipv4Address home_address) const;
   std::optional<Binding> GetBinding(Ipv4Address home_address) const;
@@ -137,6 +155,11 @@ class HomeAgent {
   std::map<Ipv4Address, MipAuthKey> auth_keys_;
   BindingObserver observer_;
   Counters counters_;
+  // False inside a scheduled outage window; requests are dropped unreplied.
+  bool service_available_ = true;
+  // Home addresses whose first post-restart registration must be denied once
+  // to resynchronize identifications.
+  std::set<Ipv4Address> resync_required_;
   // The registration daemon handles one request at a time.
   Time busy_until_ = Time::Zero();
   RunningStats processing_stats_ms_;

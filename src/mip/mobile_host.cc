@@ -1,5 +1,6 @@
 #include "src/mip/mobile_host.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/util/logging.h"
@@ -199,12 +200,40 @@ void MobileHost::StepSendRegistration(uint64_t generation) {
     // it (local role); through a foreign agent the MH has no local address
     // and registers from its home address.
     reg_socket_->BindSourceAddress(fa_mode_ ? config_.home_address : attachment_.care_of);
-    retransmits_left_ = config_.max_retransmits;
+    BeginRegistrationAttempt();
     SendRegistrationRequest(generation, /*deregistration=*/false);
   });
 }
 
+void MobileHost::BeginRegistrationAttempt() {
+  retransmits_left_ = config_.max_retransmits;
+  backoff_ = Duration();
+  resync_attempts_left_ = 2;
+}
+
+Duration MobileHost::NextRetransmitDelay() {
+  if (!config_.retransmit_backoff) {
+    return config_.retransmit_interval;
+  }
+  if (backoff_.nanos() <= 0) {
+    // First send of an attempt waits exactly the base interval, so clean
+    // (loss-free) runs behave identically with or without backoff.
+    backoff_ = config_.retransmit_interval;
+    return backoff_;
+  }
+  // Decorrelated jitter: next = min(cap, U(base, 3 * previous)).
+  const double base_s = config_.retransmit_interval.ToSecondsF();
+  const double prev_s = backoff_.ToSecondsF();
+  const Duration drawn = SecondsF(node_.sim().rng().UniformDouble(base_s, 3.0 * prev_s));
+  backoff_ = std::min(config_.retransmit_max_interval, drawn);
+  return backoff_;
+}
+
 void MobileHost::SendRegistrationRequest(uint64_t generation, bool deregistration) {
+  in_flight_deregistration_ = deregistration;
+  if (renewing_) {
+    ++renewal_sends_;
+  }
   RegistrationRequest request;
   // Through an FA the *agent* decapsulates; co-located care-of means we do.
   request.flags = (fa_mode_ && !deregistration) ? 0 : kMipFlagDecapsulateSelf;
@@ -235,7 +264,7 @@ void MobileHost::SendRegistrationRequest(uint64_t generation, bool deregistratio
     reg_socket_->SendTo(config_.home_agent, kMipRegistrationPort, request.Serialize());
   }
 
-  retransmit_event_ = node_.sim().Schedule(config_.retransmit_interval,
+  retransmit_event_ = node_.sim().Schedule(NextRetransmitDelay(),
                                            [this, generation, deregistration] {
                                              OnRetransmitTimer(generation, deregistration);
                                            });
@@ -243,6 +272,33 @@ void MobileHost::SendRegistrationRequest(uint64_t generation, bool deregistratio
 
 void MobileHost::OnRetransmitTimer(uint64_t generation, bool deregistration) {
   if (generation != attach_generation_) {
+    return;
+  }
+  if (renewing_) {
+    // A renewal must not give up silently: by default it keeps retrying with
+    // backoff until the HA answers or the attachment changes. If the binding
+    // lifetime has meanwhile passed, the HA-side binding is gone — record the
+    // loss and demote so callers see the truth while we keep re-registering.
+    if (!binding_lost_ && binding_expires_ != Time::Zero() &&
+        node_.sim().Now() >= binding_expires_) {
+      binding_lost_ = true;
+      ++counters_.bindings_lost;
+      if (state_ == State::kRegistered) {
+        state_ = State::kRegistering;
+      }
+      MSN_WARN("mip-mh", "%s: binding expired with renewal still in flight",
+               node_.name().c_str());
+    }
+    if (config_.renewal_retry_budget > 0 &&
+        renewal_sends_ >= static_cast<uint64_t>(config_.renewal_retry_budget)) {
+      ++counters_.registrations_timed_out;
+      renewing_ = false;
+      MSN_WARN("mip-mh", "%s: renewal retry budget exhausted", node_.name().c_str());
+      FinishRegistration(generation, /*success=*/false);
+      return;
+    }
+    ++counters_.retransmissions;
+    SendRegistrationRequest(generation, deregistration);
     return;
   }
   if (retransmits_left_ <= 0) {
@@ -253,6 +309,7 @@ void MobileHost::OnRetransmitTimer(uint64_t generation, bool deregistration) {
   }
   --retransmits_left_;
   ++timeline_.retransmissions;
+  ++counters_.retransmissions;
   SendRegistrationRequest(generation, deregistration);
 }
 
@@ -260,27 +317,62 @@ void MobileHost::OnRegistrationDatagram(const std::vector<uint8_t>& data,
                                         const UdpSocket::Metadata& meta) {
   (void)meta;
   auto reply = RegistrationReply::Parse(data);
-  if (!reply || reply->identification != outstanding_identification_ ||
-      reply->home_address != config_.home_address) {
-    return;  // Stale or foreign reply.
+  if (!reply || reply->home_address != config_.home_address) {
+    return;  // Malformed or foreign reply.
+  }
+  if (reply->identification != outstanding_identification_ ||
+      outstanding_identification_ == 0) {
+    // Duplicate (the medium can replicate frames) or stale (an answer to a
+    // request we already gave up on). Either way, acting on it could roll
+    // the binding back to an old care-of address — drop it.
+    if (reply->identification == last_accepted_identification_ &&
+        last_accepted_identification_ != 0) {
+      ++counters_.duplicate_replies_dropped;
+    } else {
+      ++counters_.stale_replies_dropped;
+    }
+    return;
   }
   if (config_.auth_key.has_value() && !reply->VerifyAuthenticator(*config_.auth_key)) {
     MSN_WARN("mip-mh", "%s: discarding reply with bad authenticator", node_.name().c_str());
     return;  // Forged or corrupted; keep retransmitting.
   }
   node_.sim().Cancel(retransmit_event_);
+  outstanding_identification_ = 0;
   const uint64_t generation = attach_generation_;
   MSN_DEBUG("mip-mh", "%s: %s", node_.name().c_str(), reply->ToString().c_str());
 
   if (!reply->accepted()) {
+    if (reply->code == MipReplyCode::kDeniedIdentificationMismatch &&
+        config_.resync_on_identification_mismatch && resync_attempts_left_ > 0) {
+      // The HA rejected our identification — typically because it restarted
+      // and re-anchored its replay window. Re-send the same request with a
+      // fresh identification instead of failing the whole attach.
+      --resync_attempts_left_;
+      ++counters_.resyncs;
+      node_.sim().Cancel(retransmit_event_);
+      MSN_WARN("mip-mh", "%s: identification mismatch from HA; resyncing",
+               node_.name().c_str());
+      SendRegistrationRequest(generation, in_flight_deregistration_);
+      return;
+    }
     ++counters_.registrations_denied;
+    renewing_ = false;
     FinishRegistration(generation, /*success=*/false);
     return;
   }
   ++counters_.registrations_accepted;
+  last_accepted_identification_ = reply->identification;
 
   if (renewing_) {
     renewing_ = false;
+    if (binding_lost_) {
+      // The binding lapsed mid-renewal but we re-established it without a
+      // new attach: the HA saw a fresh registration, we saw a recovery.
+      binding_lost_ = false;
+      ++counters_.recoveries;
+    }
+    state_ = State::kRegistered;
     ScheduleRenewal(reply->lifetime_sec);
     return;
   }
@@ -329,17 +421,19 @@ void MobileHost::FinishRegistration(uint64_t generation, bool success) {
 
 void MobileHost::ScheduleRenewal(uint16_t granted_lifetime_sec) {
   node_.sim().Cancel(renewal_event_);
+  binding_expires_ = node_.sim().Now() + Seconds(granted_lifetime_sec);
   if (!config_.auto_renew || granted_lifetime_sec == 0) {
     return;
   }
-  const Duration lead = Seconds(granted_lifetime_sec) * 0.8;
+  const Duration lead = Seconds(granted_lifetime_sec) * config_.renewal_fraction;
   renewal_event_ = node_.sim().Schedule(lead, [this] {
     if (state_ != State::kRegistered) {
       return;
     }
     ++counters_.renewals;
     renewing_ = true;
-    retransmits_left_ = config_.max_retransmits;
+    renewal_sends_ = 0;
+    BeginRegistrationAttempt();
     SendRegistrationRequest(attach_generation_, /*deregistration=*/false);
   });
 }
@@ -349,6 +443,11 @@ void MobileHost::CancelPendingRegistration() {
   retransmit_event_ = EventId();
   outstanding_identification_ = 0;
   renewing_ = false;
+  binding_lost_ = false;
+  binding_expires_ = Time::Zero();
+  backoff_ = Duration();
+  renewal_sends_ = 0;
+  in_flight_deregistration_ = false;
 }
 
 // --- Public attach operations -------------------------------------------------------
@@ -498,7 +597,7 @@ void MobileHost::ContinueAttachHome(uint64_t generation) {
           return;
         }
         reg_socket_->BindSourceAddress(config_.home_address);
-        retransmits_left_ = config_.max_retransmits;
+        BeginRegistrationAttempt();
         SendRegistrationRequest(generation, /*deregistration=*/true);
       });
     });

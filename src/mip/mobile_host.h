@@ -49,11 +49,28 @@ class MobileHost {
     NetDevice* home_device = nullptr;
     // Requested binding lifetime.
     uint16_t lifetime_sec = 300;
-    // Registration retransmission policy.
+    // Registration retransmission policy. By default retransmission backs
+    // off exponentially with decorrelated jitter: the first wait is exactly
+    // `retransmit_interval`, each later wait is drawn uniform from
+    // [interval, 3 * previous] and capped at `retransmit_max_interval`.
+    // Disabling `retransmit_backoff` restores the paper's fixed interval
+    // (used for Figure-7 calibration runs).
     Duration retransmit_interval = Seconds(1);
+    Duration retransmit_max_interval = Seconds(8);
+    bool retransmit_backoff = true;
     int max_retransmits = 4;
     // Re-register shortly before the binding lifetime runs out.
     bool auto_renew = true;
+    // Fraction of the granted lifetime after which renewal starts.
+    double renewal_fraction = 0.8;
+    // Max registration sends per renewal before giving up; 0 = never give up
+    // (a renewal keeps retrying with backoff until it succeeds or the
+    // attachment changes, so a binding cannot silently expire mid-renewal).
+    int renewal_retry_budget = 0;
+    // On a kDeniedIdentificationMismatch reply (HA restarted or replay
+    // window desynced), immediately re-register with a fresh identification
+    // instead of failing the attach.
+    bool resync_on_identification_mismatch = true;
     // Timeout for triangle-route probes.
     Duration probe_timeout = Seconds(3);
     // Shared secret with the home agent. When set, every registration
@@ -100,6 +117,19 @@ class MobileHost {
     uint64_t registrations_denied = 0;
     uint64_t registrations_timed_out = 0;
     uint64_t renewals = 0;
+    // Registration requests re-sent after a retransmit timeout.
+    uint64_t retransmissions = 0;
+    // Renewals that outlived the binding lifetime (HA-side binding gone).
+    uint64_t bindings_lost = 0;
+    // Lost bindings later re-established without a new attach.
+    uint64_t recoveries = 0;
+    // Re-registrations triggered by kDeniedIdentificationMismatch.
+    uint64_t resyncs = 0;
+    // Replies discarded because their identification was already accepted.
+    uint64_t duplicate_replies_dropped = 0;
+    // Replies discarded as stale (identification matches no outstanding or
+    // accepted request).
+    uint64_t stale_replies_dropped = 0;
     uint64_t packets_tunneled_out = 0;
     uint64_t packets_triangle_out = 0;
     uint64_t packets_encap_direct_out = 0;
@@ -185,6 +215,8 @@ class MobileHost {
   void StepSendRegistration(uint64_t generation);
 
   void ContinueAttachHome(uint64_t generation);
+  void BeginRegistrationAttempt();
+  Duration NextRetransmitDelay();
   void SendRegistrationRequest(uint64_t generation, bool deregistration);
   void OnRegistrationDatagram(const std::vector<uint8_t>& data, const UdpSocket::Metadata& meta);
   void OnRetransmitTimer(uint64_t generation, bool deregistration);
@@ -220,7 +252,23 @@ class MobileHost {
   uint64_t attach_generation_ = 0;
   uint64_t next_identification_ = 1;
   uint64_t outstanding_identification_ = 0;
+  uint64_t last_accepted_identification_ = 0;
   int retransmits_left_ = 0;
+  // Previous decorrelated-jitter wait; zero means a fresh attempt (the next
+  // wait is exactly retransmit_interval).
+  Duration backoff_;
+  // Whether the request currently in flight is a deregistration (needed to
+  // re-send it verbatim on an identification resync).
+  bool in_flight_deregistration_ = false;
+  // Resync re-sends allowed for the current attempt (guards against a
+  // mismatch loop with a broken HA).
+  int resync_attempts_left_ = 0;
+  // When the HA-side binding lapses if no renewal lands.
+  Time binding_expires_;
+  // The binding lifetime passed while a renewal was still in flight.
+  bool binding_lost_ = false;
+  // Sends within the current renewal (compared against renewal_retry_budget).
+  uint64_t renewal_sends_ = 0;
   EventId retransmit_event_;
   EventId renewal_event_;
 };

@@ -114,6 +114,13 @@ void MovementDetector::Evaluate() {
   const bool current_dead =
       current == nullptr || current->rounds_dead >= config_.hysteresis_rounds;
 
+  if (mobile_.node().sim().Now() < cooldown_until_) {
+    if (current_dead) {
+      ++counters_.suppressed_switches;
+    }
+    return;
+  }
+
   if (current_dead) {
     if (best_usable != nullptr) {
       ++counters_.failovers;
@@ -155,6 +162,7 @@ void MovementDetector::SwitchTo(Tracked& target, bool upgrade) {
   Tracked* tp = &target;
   auto done = [this, tp](bool ok) {
     switching_ = false;
+    cooldown_until_ = mobile_.node().sim().Now() + config_.switch_cooldown;
     if (change_handler_) {
       change_handler_(Characterize(*tp), ok);
     }

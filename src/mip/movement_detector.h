@@ -59,6 +59,10 @@ class MovementDetector {
     // Switch to a higher-preference link when it becomes usable (not just
     // when the current one dies).
     bool upgrade_when_available = true;
+    // Debounce: after any switch completes, suppress further switches for
+    // this long. A short link blackout then rides out on retransmission
+    // instead of triggering a spurious (and expensive) cold switch.
+    Duration switch_cooldown = Seconds(2);
   };
 
   using AttachmentChangeHandler =
@@ -88,6 +92,8 @@ class MovementDetector {
     uint64_t switches = 0;
     uint64_t upgrades = 0;
     uint64_t failovers = 0;
+    // Switches vetoed by the post-switch cooldown window.
+    uint64_t suppressed_switches = 0;
   };
   const Counters& counters() const { return counters_; }
 
@@ -116,6 +122,8 @@ class MovementDetector {
   AttachmentChangeHandler change_handler_;
   Counters counters_;
   bool switching_ = false;
+  // Evaluate() will not switch again before this instant.
+  Time cooldown_until_;
 };
 
 }  // namespace msn

@@ -85,6 +85,9 @@ const std::vector<MovementScript::Outcome>& MovementScript::Run(Duration until) 
     outcome.step = step;
     outcomes_.push_back(outcome);
   }
+  if (faults_ != nullptr) {
+    faults_->Arm(tb_.sim);
+  }
   for (size_t i = 0; i < steps_.size(); ++i) {
     tb_.sim.Schedule(steps_[i].at, [this, i] { Execute(i); });
   }

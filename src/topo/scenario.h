@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/fault_schedule.h"
 #include "src/topo/testbed.h"
 
 namespace msn {
@@ -60,6 +61,14 @@ class MovementScript {
     return Add(at, Kind::kAddressSwitch, idx);
   }
 
+  // Runs the movement script under a chaos schedule: `faults` is armed at
+  // Run() start, so its offsets share the step timeline's origin. The
+  // schedule must outlive the run.
+  MovementScript& WithFaults(FaultSchedule& faults) {
+    faults_ = &faults;
+    return *this;
+  }
+
   // Schedules all steps and runs the simulation until `until` past start.
   // Returns outcomes in step order.
   const std::vector<Outcome>& Run(Duration until);
@@ -76,6 +85,7 @@ class MovementScript {
   Testbed& tb_;
   std::vector<Step> steps_;
   std::vector<Outcome> outcomes_;
+  FaultSchedule* faults_ = nullptr;
 };
 
 }  // namespace msn

@@ -43,22 +43,24 @@ std::string CapturedFrame::Summary() const {
   if (frame.ethertype == EtherType::kArp) {
     auto arp = ArpMessage::Parse(frame.payload);
     out += arp ? arp->ToString() : "ARP (malformed)";
-    return out;
-  }
-  auto dg = Ipv4Datagram::Parse(frame.payload);
-  if (!dg) {
-    out += "IP (malformed)";
-    return out;
-  }
-  out += "IP ";
-  out += dg->header.ToString();
-  if (dg->header.protocol == IpProto::kIpIp) {
-    auto inner = Ipv4Datagram::Parse(dg->payload);
-    if (inner) {
-      out += "  [inner: ";
-      out += inner->header.ToString();
-      out += "]";
+  } else if (auto dg = Ipv4Datagram::Parse(frame.payload)) {
+    out += "IP ";
+    out += dg->header.ToString();
+    if (dg->header.protocol == IpProto::kIpIp) {
+      auto inner = Ipv4Datagram::Parse(dg->payload);
+      if (inner) {
+        out += "  [inner: ";
+        out += inner->header.ToString();
+        out += "]";
+      }
     }
+  } else {
+    out += "IP (malformed)";
+  }
+  if (!note.empty()) {
+    out += "  [";
+    out += note;
+    out += "]";
   }
   return out;
 }
@@ -73,11 +75,36 @@ void PacketCapture::Attach(Simulator& sim, NetDevice* device) {
   tapped_.push_back(device);
 }
 
+void PacketCapture::AttachMediumDrops(Simulator& sim, BroadcastMedium* medium) {
+  medium->SetDropTap([this, &sim, medium](const EthernetFrame& frame,
+                                          FrameDropReason reason) {
+    const char* note = "dropped";
+    switch (reason) {
+      case FrameDropReason::kRandomLoss:
+        note = "dropped: random-loss";
+        break;
+      case FrameDropReason::kFaultInjected:
+        note = "dropped: fault";
+        break;
+      case FrameDropReason::kUnmatched:
+        note = "dropped: unmatched";
+        break;
+    }
+    frames_.push_back(CapturedFrame{sim.Now(), medium->name(),
+                                    NetDevice::TapDirection::kReceive, frame, note});
+  });
+  tapped_media_.push_back(medium);
+}
+
 void PacketCapture::DetachAll() {
   for (NetDevice* device : tapped_) {
     device->ClearTap();
   }
   tapped_.clear();
+  for (BroadcastMedium* medium : tapped_media_) {
+    medium->ClearDropTap();
+  }
+  tapped_media_.clear();
 }
 
 std::string PacketCapture::Render() const {

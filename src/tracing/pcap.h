@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/link/medium.h"
 #include "src/link/net_device.h"
 #include "src/net/frame.h"
 #include "src/sim/time.h"
@@ -21,6 +22,9 @@ struct CapturedFrame {
   std::string device_name;
   NetDevice::TapDirection direction;
   EthernetFrame frame;
+  // Annotation appended to the summary, e.g. "dropped: fault". Empty for
+  // ordinary delivered frames.
+  std::string note;
 
   // tcpdump-flavoured one-liner, e.g.
   // "12.345678 eth0 Tx IP 36.8.0.20 -> 36.135.0.10 UDP 7 -> 49152 len 12".
@@ -39,6 +43,11 @@ class PacketCapture {
   // Installs a tap on `device`. The device's previous tap (if any) is
   // replaced. Pass a Simulator so timestamps can be read.
   void Attach(Simulator& sim, NetDevice* device);
+  // Records frames the medium fails to deliver, tagged with the drop reason
+  // ("dropped: random-loss" / "dropped: fault" / "dropped: unmatched") so
+  // chaos runs are debuggable from the trace alone. Replaces the medium's
+  // previous drop tap.
+  void AttachMediumDrops(Simulator& sim, BroadcastMedium* medium);
   void DetachAll();
 
   const std::vector<CapturedFrame>& frames() const { return frames_; }
@@ -62,6 +71,7 @@ class PacketCapture {
  private:
   std::vector<CapturedFrame> frames_;
   std::vector<NetDevice*> tapped_;
+  std::vector<BroadcastMedium*> tapped_media_;
 };
 
 }  // namespace msn
