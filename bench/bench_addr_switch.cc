@@ -10,7 +10,9 @@
 // sixteen lost no packets and four lost exactly one, bounding the interval
 // under 10 ms.
 #include <cstdio>
+#include <vector>
 
+#include "src/telemetry/export.h"
 #include "src/topo/testbed.h"
 #include "src/tracing/probe.h"
 #include "src/util/stats.h"
@@ -23,7 +25,7 @@ struct TrialResult {
   double switch_total_ms = 0;
 };
 
-TrialResult RunTrial(uint64_t seed) {
+TrialResult RunTrial(uint64_t seed, BenchReport* report) {
   TestbedConfig cfg;
   cfg.seed = seed;
   Testbed tb(cfg);
@@ -44,6 +46,9 @@ TrialResult RunTrial(uint64_t seed) {
   sender.Stop();
   tb.RunFor(Seconds(1));
 
+  if (report != nullptr) {
+    report->AddMetrics(tb.metrics);
+  }
   TrialResult result;
   result.lost = ok ? sender.TotalLost() : ~0ull;
   result.switch_total_ms = tb.mobile->last_timeline().Total().ToMillisF();
@@ -51,23 +56,45 @@ TrialResult RunTrial(uint64_t seed) {
 }
 
 int Main() {
+  const int kIterations = BenchIterations(20, 5);
+  const uint64_t kBaseSeed = 1000;
+
   std::printf("==============================================================\n");
   std::printf("E1: same-subnet care-of address switch (paper Section 4)\n");
-  std::printf("CH sends UDP every 10 ms; MH echoes; 20 iterations\n");
+  std::printf("CH sends UDP every 10 ms; MH echoes; %d iterations\n", kIterations);
   std::printf("==============================================================\n\n");
 
-  const int kIterations = 20;
+  BenchReport report("addr_switch",
+                     "E1: same-subnet care-of address switch packet loss (paper Section 4)");
+  report.set_seed(kBaseSeed);
+  report.AddParam("iterations", kIterations);
+  report.AddParam("probe_interval_ms", 10);
+
   IntHistogram losses;
-  RunningStats switch_ms;
+  std::vector<double> loss_samples, switch_samples;
   for (int i = 0; i < kIterations; ++i) {
-    const TrialResult r = RunTrial(1000 + static_cast<uint64_t>(i));
+    const bool last = i == kIterations - 1;
+    const TrialResult r =
+        RunTrial(kBaseSeed + static_cast<uint64_t>(i), last ? &report : nullptr);
     if (r.lost == ~0ull) {
       std::printf("  iteration %2d: REGISTRATION FAILED\n", i + 1);
       continue;
     }
     losses.Add(static_cast<int64_t>(r.lost));
-    switch_ms.Add(r.switch_total_ms);
+    loss_samples.push_back(static_cast<double>(r.lost));
+    switch_samples.push_back(r.switch_total_ms);
   }
+  RunningStats switch_ms;
+  for (double v : switch_samples) {
+    switch_ms.Add(v);
+  }
+
+  report.AddSummary("probes_lost", "probes", loss_samples);
+  report.AddSummary("switch_total_ms", "ms", switch_samples);
+  report.AddRow("zero_loss_iterations",
+                {{"count", losses.CountFor(0)}, {"total", losses.total()}});
+  report.AddRow("one_loss_iterations",
+                {{"count", losses.CountFor(1)}, {"total", losses.total()}});
 
   std::printf("Packets lost per iteration (histogram):\n");
   std::printf("%s\n", losses.Render("lost").c_str());
@@ -90,6 +117,9 @@ int Main() {
   std::printf("%-44s | %-16s | %s\n", "loss interval bound", "< 10 ms",
               losses.max_value() <= 1 ? "< 10 ms (max 1 probe lost)" : ">= 10 ms (!)");
   std::printf("\n");
+
+  const std::string path = report.WriteFile();
+  std::printf("report: %s\n", path.empty() ? "WRITE FAILED" : path.c_str());
   return 0;
 }
 

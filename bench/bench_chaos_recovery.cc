@@ -7,13 +7,15 @@
 // the instant the outage ends to the instant the MH is back in kRegistered
 // with a matching HA binding.
 //
-// Output: a human-readable table plus one JSON line per cell
-// ({"bench":"chaos_recovery",...}) for machine consumption.
+// Output: a human-readable table plus the unified BENCH_chaos_recovery.json
+// report (one row per sweep cell). Exits non-zero if any run fails to
+// recover.
 #include <cstdio>
 #include <vector>
 
 #include "src/fault/fault_injector.h"
 #include "src/fault/fault_schedule.h"
+#include "src/telemetry/export.h"
 #include "src/topo/testbed.h"
 #include "src/util/stats.h"
 
@@ -25,6 +27,7 @@ struct Cell {
   Duration outage;  // HA outage length (daemon restart on recovery).
   int runs = 0;
   RunningStats recovery_ms;
+  std::vector<double> recovery_samples_ms;
   uint64_t retransmissions = 0;
   uint64_t resyncs = 0;
   int failures = 0;  // Runs that never got back to kRegistered.
@@ -41,7 +44,7 @@ GilbertElliottParams BurstParams(double loss) {
   return ge;
 }
 
-void RunCell(Cell& cell, uint64_t seed) {
+void RunCell(Cell& cell, uint64_t seed, BenchReport* report) {
   TestbedConfig cfg;
   cfg.seed = seed;
   cfg.realistic_delays = false;
@@ -54,7 +57,7 @@ void RunCell(Cell& cell, uint64_t seed) {
     return;
   }
 
-  FaultInjector injector(tb.sim, *tb.net8);
+  FaultInjector injector(tb.sim, *tb.net8, &tb.metrics);
   if (cell.loss > 0.0) {
     FaultProfile profile;
     profile.burst_loss = BurstParams(cell.loss);
@@ -87,25 +90,42 @@ void RunCell(Cell& cell, uint64_t seed) {
   poll.Start();
   tb.RunFor(outage_start + cell.outage + Seconds(60));
 
+  if (report != nullptr) {
+    report->AddMetrics(tb.metrics);
+  }
   if (recovered_at == Time::Zero()) {
     ++cell.failures;
     return;
   }
   ++cell.runs;
-  cell.recovery_ms.Add((recovered_at - fault_clear).ToMillisF());
+  const double recovery_ms = (recovered_at - fault_clear).ToMillisF();
+  cell.recovery_ms.Add(recovery_ms);
+  cell.recovery_samples_ms.push_back(recovery_ms);
   cell.retransmissions +=
       tb.mobile->counters().retransmissions - retransmissions_before;
   cell.resyncs += tb.mobile->counters().resyncs - resyncs_before;
 }
 
 int Main() {
-  const double kLossRates[] = {0.0, 0.1, 0.3};
-  const Duration kOutages[] = {Milliseconds(500), Milliseconds(1500), Seconds(3)};
-  const int kRunsPerCell = 5;
+  const bool smoke = BenchSmokeMode();
+  const std::vector<double> loss_rates =
+      smoke ? std::vector<double>{0.0, 0.1} : std::vector<double>{0.0, 0.1, 0.3};
+  const std::vector<Duration> outages =
+      smoke ? std::vector<Duration>{Milliseconds(500), Milliseconds(1500)}
+            : std::vector<Duration>{Milliseconds(500), Milliseconds(1500), Seconds(3)};
+  const int kRunsPerCell = BenchIterations(5, 2);
+
+  BenchReport report("chaos_recovery",
+                     "Recovery time after HA daemon restarts under burst loss");
+  report.set_seed(1000);
+  report.AddParam("runs_per_cell", kRunsPerCell);
+  report.AddParam("cells",
+                  static_cast<int>(loss_rates.size() * outages.size()));
 
   std::vector<Cell> cells;
-  for (double loss : kLossRates) {
-    for (Duration outage : kOutages) {
+  bool metrics_captured = false;
+  for (double loss : loss_rates) {
+    for (Duration outage : outages) {
       Cell cell;
       cell.loss = loss;
       cell.outage = outage;
@@ -113,7 +133,11 @@ int Main() {
         const uint64_t seed = 1000 + static_cast<uint64_t>(loss * 100) * 37 +
                               static_cast<uint64_t>(outage.millis()) * 7 +
                               static_cast<uint64_t>(run);
-        RunCell(cell, seed);
+        // Snapshot registry metrics (incl. fault.* counters) once, from the
+        // first run of the first cell.
+        const bool capture = !metrics_captured;
+        metrics_captured = true;
+        RunCell(cell, seed, capture ? &report : nullptr);
       }
       cells.push_back(cell);
     }
@@ -132,24 +156,34 @@ int Main() {
                 cell.recovery_ms.Summary(1).c_str(), cell.recovery_ms.max(),
                 static_cast<unsigned long long>(cell.retransmissions),
                 static_cast<unsigned long long>(cell.resyncs), cell.failures);
+    char label[64];
+    std::snprintf(label, sizeof(label), "loss=%.2f outage_ms=%lld", cell.loss,
+                  static_cast<long long>(cell.outage.millis()));
+    report.AddRow(label, {{"loss", cell.loss},
+                          {"outage_ms", cell.outage.millis()},
+                          {"runs", cell.runs},
+                          {"failures", cell.failures},
+                          {"recovery_ms_mean", cell.recovery_ms.mean()},
+                          {"recovery_ms_max", cell.recovery_ms.max()},
+                          {"retransmissions", cell.retransmissions},
+                          {"resyncs", cell.resyncs}});
   }
 
-  std::printf("\n");
+  // One pooled summary across all cells (exact percentiles).
+  std::vector<double> all_recovery_ms;
   for (const Cell& cell : cells) {
-    std::printf(
-        "{\"bench\":\"chaos_recovery\",\"loss\":%.2f,\"outage_ms\":%lld,"
-        "\"runs\":%d,\"failures\":%d,\"recovery_ms_mean\":%.3f,"
-        "\"recovery_ms_max\":%.3f,\"retransmissions\":%llu,\"resyncs\":%llu}\n",
-        cell.loss, static_cast<long long>(cell.outage.millis()), cell.runs,
-        cell.failures, cell.recovery_ms.mean(), cell.recovery_ms.max(),
-        static_cast<unsigned long long>(cell.retransmissions),
-        static_cast<unsigned long long>(cell.resyncs));
+    all_recovery_ms.insert(all_recovery_ms.end(), cell.recovery_samples_ms.begin(),
+                           cell.recovery_samples_ms.end());
   }
+  report.AddSummary("recovery_ms_all_cells", "ms", all_recovery_ms);
 
   std::printf(
       "\nShape check: recovery is bounded by the retransmit backoff cap (8 s)\n"
       "plus one identification-resync round trip; higher loss stretches the\n"
       "tail but never prevents recovery (fail must stay 0 across the sweep).\n\n");
+
+  const std::string path = report.WriteFile();
+  std::printf("report: %s\n", path.empty() ? "WRITE FAILED" : path.c_str());
 
   int total_failures = 0;
   for (const Cell& cell : cells) {

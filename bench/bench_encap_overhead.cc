@@ -4,6 +4,8 @@
 //
 // Part 1 (google-benchmark): per-operation CPU cost of checksums, header
 // serialization/parsing, and encapsulation/decapsulation in this library.
+// Skipped under MSN_BENCH_SMOKE (wall-clock timing is meaningless on shared
+// CI runners).
 // Part 2 (scenario table, printed after the micro benchmarks): goodput over
 // the 35 kb/s radio link with and without the 20-byte tunnel header for a
 // range of payload sizes — the overhead matters most exactly where the paper
@@ -17,6 +19,7 @@
 #include "src/net/checksum.h"
 #include "src/net/headers.h"
 #include "src/sim/simulator.h"
+#include "src/telemetry/export.h"
 
 namespace msn {
 namespace {
@@ -84,7 +87,8 @@ void BM_Decapsulate(benchmark::State& state) {
 BENCHMARK(BM_Decapsulate)->Arg(64)->Arg(512)->Arg(1500);
 
 // Scenario: goodput over the radio with/without the tunnel header.
-double MeasureRadioGoodput(size_t payload_bytes, bool encapsulated, uint64_t seed) {
+double MeasureRadioGoodput(size_t payload_bytes, bool encapsulated, uint64_t seed,
+                           int packets) {
   Simulator sim(seed);
   MediumParams params = RadioMediumParams();
   params.drop_probability = 0.0;
@@ -119,8 +123,7 @@ double MeasureRadioGoodput(size_t payload_bytes, bool encapsulated, uint64_t see
   inner.header.dst = Ipv4Address(2, 2, 2, 2);
   inner.payload = MakePayload(payload_bytes);
 
-  const int kPackets = 200;
-  for (int i = 0; i < kPackets; ++i) {
+  for (int i = 0; i < packets; ++i) {
     EthernetFrame frame;
     frame.src = tx.mac();
     frame.dst = rx.mac();
@@ -140,29 +143,47 @@ double MeasureRadioGoodput(size_t payload_bytes, bool encapsulated, uint64_t see
 }
 
 void PrintGoodputTable() {
+  const int kPackets = BenchIterations(200, 50);
+
+  BenchReport report("encap_overhead",
+                     "A2: IP-in-IP tunnel-header cost on the 35 kb/s radio link");
+  report.set_seed(1);
+  report.AddParam("packets_per_run", kPackets);
+  report.AddParam("micro_benchmarks_run", !BenchSmokeMode());
+
   std::printf("\n==============================================================\n");
   std::printf("A2 scenario: goodput over the 35 kb/s radio, with vs without\n");
-  std::printf("the 20-byte IP-in-IP tunnel header (200 packets each)\n");
+  std::printf("the 20-byte IP-in-IP tunnel header (%d packets each)\n", kPackets);
   std::printf("==============================================================\n\n");
   std::printf("%10s  %14s  %14s  %10s\n", "payload B", "plain kb/s", "tunneled kb/s",
               "overhead");
   for (size_t payload : {16u, 64u, 256u, 1024u}) {
-    const double plain = MeasureRadioGoodput(payload, false, 1) / 1000.0;
-    const double tunneled = MeasureRadioGoodput(payload, true, 1) / 1000.0;
-    std::printf("%10zu  %14.2f  %14.2f  %9.1f%%\n", payload, plain, tunneled,
-                plain > 0 ? (plain - tunneled) / plain * 100.0 : 0.0);
+    const double plain = MeasureRadioGoodput(payload, false, 1, kPackets) / 1000.0;
+    const double tunneled = MeasureRadioGoodput(payload, true, 1, kPackets) / 1000.0;
+    const double overhead_pct = plain > 0 ? (plain - tunneled) / plain * 100.0 : 0.0;
+    std::printf("%10zu  %14.2f  %14.2f  %9.1f%%\n", payload, plain, tunneled, overhead_pct);
+    report.AddRow("payload=" + std::to_string(payload),
+                  {{"payload_bytes", static_cast<uint64_t>(payload)},
+                   {"plain_kbps", plain},
+                   {"tunneled_kbps", tunneled},
+                   {"overhead_pct", overhead_pct}});
   }
   std::printf("\nShape check: the fixed 20-byte header costs the most on small\n"
               "packets over slow links — the motivation for the triangle-route\n"
               "optimization, which removes encapsulation entirely (paper S3.2).\n\n");
+
+  const std::string path = report.WriteFile();
+  std::printf("report: %s\n", path.empty() ? "WRITE FAILED" : path.c_str());
 }
 
 }  // namespace
 }  // namespace msn
 
 int main(int argc, char** argv) {
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
+  if (!msn::BenchSmokeMode()) {
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+  }
   msn::PrintGoodputTable();
   return 0;
 }

@@ -10,7 +10,9 @@
 //   post-registration processing
 //   total                               (paper: 7.39 ms)
 #include <cstdio>
+#include <vector>
 
+#include "src/telemetry/export.h"
 #include "src/topo/testbed.h"
 #include "src/util/stats.h"
 
@@ -18,19 +20,26 @@ namespace msn {
 namespace {
 
 int Main() {
+  const int kRuns = BenchIterations(10, 3);
+  const uint64_t kSeed = 42;
+
   std::printf("==============================================================\n");
   std::printf("E3 / Figure 7: registration time-line (same-subnet switch)\n");
-  std::printf("10 runs; mean (stddev) per step, milliseconds\n");
+  std::printf("%d runs; mean (stddev) per step, milliseconds\n", kRuns);
   std::printf("==============================================================\n\n");
 
+  BenchReport report("registration",
+                     "E3 / Figure 7: registration time-line, same-subnet switch");
+  report.set_seed(kSeed);
+  report.AddParam("runs", kRuns);
+
   TestbedConfig cfg;
-  cfg.seed = 42;
+  cfg.seed = kSeed;
   Testbed tb(cfg);
   tb.StartMobileAtHome();
   tb.StartMobileOnWired(50);
 
-  RunningStats pre_ms, iface_ms, route_ms, reqrep_ms, post_ms, total_ms;
-  const int kRuns = 10;
+  std::vector<double> pre_v, iface_v, route_v, reqrep_v, post_v, total_v;
   int completed = 0;
   for (int i = 0; i < kRuns; ++i) {
     bool ok = false;
@@ -42,14 +51,21 @@ int Main() {
       continue;
     }
     const auto& tl = tb.mobile->last_timeline();
-    iface_ms.Add((tl.interface_configured - tl.start).ToMillisF());
-    route_ms.Add((tl.route_changed - tl.interface_configured).ToMillisF());
-    pre_ms.Add(tl.PreRegistration().ToMillisF());
-    reqrep_ms.Add(tl.RequestReply().ToMillisF());
-    post_ms.Add(tl.PostRegistration().ToMillisF());
-    total_ms.Add(tl.Total().ToMillisF());
+    iface_v.push_back((tl.interface_configured - tl.start).ToMillisF());
+    route_v.push_back((tl.route_changed - tl.interface_configured).ToMillisF());
+    pre_v.push_back(tl.PreRegistration().ToMillisF());
+    reqrep_v.push_back(tl.RequestReply().ToMillisF());
+    post_v.push_back(tl.PostRegistration().ToMillisF());
+    total_v.push_back(tl.Total().ToMillisF());
     ++completed;
   }
+  RunningStats pre_ms, iface_ms, route_ms, reqrep_ms, post_ms, total_ms;
+  for (double v : pre_v) pre_ms.Add(v);
+  for (double v : iface_v) iface_ms.Add(v);
+  for (double v : route_v) route_ms.Add(v);
+  for (double v : reqrep_v) reqrep_ms.Add(v);
+  for (double v : post_v) post_ms.Add(v);
+  for (double v : total_v) total_ms.Add(v);
   // HA-side processing, measured at the home agent itself.
   const RunningStats& ha = tb.home_agent->processing_stats_ms();
 
@@ -69,6 +85,19 @@ int Main() {
   std::printf("\ncompleted runs: %d / %d\n", completed, kRuns);
   std::printf("\nShape check: software overhead is milliseconds-scale; the home agent\n"
               "can therefore serve a large number of mobile hosts (see bench_ha_scaling).\n\n");
+
+  report.AddSummary("configure_interface_ms", "ms", iface_v);
+  report.AddSummary("change_route_table_ms", "ms", route_v);
+  report.AddSummary("pre_registration_ms", "ms", pre_v);
+  report.AddSummary("request_reply_ms", "ms", reqrep_v);
+  report.AddSummary("ha_processing_ms", "ms", ha);
+  report.AddSummary("post_registration_ms", "ms", post_v);
+  report.AddSummary("total_ms", "ms", total_v);
+  report.AddRow("completed_runs", {{"completed", completed}, {"runs", kRuns}});
+  report.AddMetrics(tb.metrics);
+
+  const std::string path = report.WriteFile();
+  std::printf("report: %s\n", path.empty() ? "WRITE FAILED" : path.c_str());
   return 0;
 }
 

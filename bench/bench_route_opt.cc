@@ -18,6 +18,7 @@
 #include <cstdio>
 
 #include "src/mip/ipip.h"
+#include "src/telemetry/export.h"
 #include "src/topo/testbed.h"
 #include "src/tracing/probe.h"
 #include "src/util/stats.h"
@@ -34,7 +35,8 @@ struct PolicyResult {
 
 // Runs a UDP echo workload under one policy; CH is on the campus subnet
 // (beyond the visited network's router).
-PolicyResult RunPolicy(MobilePolicy policy, bool transit_filter, uint64_t seed) {
+PolicyResult RunPolicy(MobilePolicy policy, bool transit_filter, uint64_t seed,
+                       Duration probe_window) {
   TestbedConfig cfg;
   cfg.seed = seed;
   cfg.external_ch = true;
@@ -55,7 +57,7 @@ PolicyResult RunPolicy(MobilePolicy policy, bool transit_filter, uint64_t seed) 
   ProbeEchoServer echo(*tb.mh, 7);
   ProbeSender sender(*tb.ch, ProbeSender::Config{Testbed::HomeAddress(), 7, Milliseconds(50)});
   sender.Start();
-  tb.RunFor(Seconds(3));
+  tb.RunFor(probe_window);
   sender.Stop();
   tb.RunFor(Seconds(1));
 
@@ -95,11 +97,20 @@ void PrintRow(const char* name, const PolicyResult& off, const PolicyResult& on)
 }
 
 int Main() {
+  const Duration probe_window = BenchSmokeMode() ? Seconds(1) : Seconds(3);
+
   std::printf("==============================================================\n");
   std::printf("E4: routing optimizations for outgoing packets (paper S3.2)\n");
   std::printf("UDP echo CH(campus) <-> MH(visiting 36.8); RTT mean (stddev),\n");
-  std::printf("echoes received/sent; 3 s of probes every 50 ms\n");
+  std::printf("echoes received/sent; %.0f s of probes every 50 ms\n",
+              probe_window.ToSecondsF());
   std::printf("==============================================================\n\n");
+
+  BenchReport report("route_opt",
+                     "E4: outgoing-packet routing policies vs the transit filter");
+  report.set_seed(7100);
+  report.AddParam("probe_window_s", probe_window.ToSecondsF());
+  report.AddParam("probe_interval_ms", 50);
 
   std::printf("%-14s | %-28s | %-28s\n", "MH tx policy", "filter OFF", "filter ON");
   std::printf("%.14s-+-%.28s-+-%.28s\n", "--------------",
@@ -115,8 +126,8 @@ int Main() {
   };
   PolicyResult tunnel_off, triangle_off;
   for (const Policy& p : policies) {
-    const PolicyResult off = RunPolicy(p.policy, false, 7100);
-    const PolicyResult on = RunPolicy(p.policy, true, 7100);
+    const PolicyResult off = RunPolicy(p.policy, false, 7100, probe_window);
+    const PolicyResult on = RunPolicy(p.policy, true, 7100, probe_window);
     if (p.policy == MobilePolicy::kTunnelHome) {
       tunnel_off = off;
     }
@@ -124,6 +135,16 @@ int Main() {
       triangle_off = off;
     }
     PrintRow(p.name, off, on);
+    report.AddRow(std::string(p.name) + " filter=off",
+                  {{"rtt_ms_mean", off.rtt_ms_mean},
+                   {"rtt_ms_stddev", off.rtt_ms_stddev},
+                   {"received", off.received},
+                   {"sent", off.sent}});
+    report.AddRow(std::string(p.name) + " filter=on",
+                  {{"rtt_ms_mean", on.rtt_ms_mean},
+                   {"rtt_ms_stddev", on.rtt_ms_stddev},
+                   {"received", on.received},
+                   {"sent", on.sent}});
   }
   std::printf("\n");
 
@@ -139,6 +160,11 @@ int Main() {
     std::printf("Encapsulation overhead: inner %zu B -> outer %zu B (+%zu B, paper: 20 B)\n\n",
                 inner.Serialize().size(), outer.Serialize().size(),
                 outer.Serialize().size() - inner.Serialize().size());
+    report.AddRow("encapsulation_overhead",
+                  {{"inner_bytes", static_cast<uint64_t>(inner.Serialize().size())},
+                   {"outer_bytes", static_cast<uint64_t>(outer.Serialize().size())},
+                   {"overhead_bytes", static_cast<uint64_t>(outer.Serialize().size() -
+                                                            inner.Serialize().size())}});
   }
 
   // Probe-driven fallback under the filter.
@@ -158,6 +184,12 @@ int Main() {
                 MobilePolicyName(tb.mobile->policy_table().LookupConst(tb.ch_address())));
     std::printf("  probe fallbacks recorded: %llu\n\n",
                 static_cast<unsigned long long>(tb.mobile->counters().probe_fallbacks));
+    report.AddRow("triangle_probe_fallback",
+                  {{"probe_failed", !probe_ok},
+                   {"cached_policy",
+                    MobilePolicyName(tb.mobile->policy_table().LookupConst(tb.ch_address()))},
+                   {"probe_fallbacks", tb.mobile->counters().probe_fallbacks}});
+    report.AddMetrics(tb.metrics);
   }
 
   std::printf("%-44s | %-12s | %s\n", "shape check", "paper", "measured");
@@ -166,6 +198,9 @@ int Main() {
   std::printf("%-44s | %-12s | %s\n", "triangle faster than tunnel (no filter)", "yes",
               triangle_off.rtt_ms_mean < tunnel_off.rtt_ms_mean ? "yes" : "NO (!)");
   std::printf("\n");
+
+  const std::string path = report.WriteFile();
+  std::printf("report: %s\n", path.empty() ? "WRITE FAILED" : path.c_str());
   return 0;
 }
 

@@ -14,10 +14,12 @@
 #define MSN_SRC_FAULT_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "src/link/medium.h"
 #include "src/sim/simulator.h"
+#include "src/telemetry/metrics.h"
 
 namespace msn {
 
@@ -46,7 +48,10 @@ struct FaultProfile {
 
 class FaultInjector {
  public:
-  FaultInjector(Simulator& sim, BroadcastMedium& medium);
+  // With a registry, injected-event accounting lands under
+  // "fault.<medium>.*"; otherwise in a private registry, so counters()
+  // behaves identically either way.
+  FaultInjector(Simulator& sim, BroadcastMedium& medium, MetricsRegistry* metrics = nullptr);
   ~FaultInjector();
 
   FaultInjector(const FaultInjector&) = delete;
@@ -69,6 +74,8 @@ class FaultInjector {
   bool in_burst() const { return in_burst_; }
   const std::string& medium_name() const { return medium_.name(); }
 
+  // Snapshot of the injector's accounting; the live values are
+  // registry-backed counters named "fault.<medium>.<field>".
   struct Counters {
     uint64_t frames_seen = 0;
     uint64_t burst_drops = 0;
@@ -77,9 +84,20 @@ class FaultInjector {
     uint64_t reorders = 0;
     uint64_t corruptions = 0;
   };
-  const Counters& counters() const { return counters_; }
+  Counters counters() const;
 
  private:
+  // Registry-backed counters; field names mirror Counters so increment sites
+  // read the same as before the telemetry migration.
+  struct LiveCounters {
+    CounterRef frames_seen;
+    CounterRef burst_drops;
+    CounterRef blackout_drops;
+    CounterRef duplicates;
+    CounterRef reorders;
+    CounterRef corruptions;
+  };
+
   FaultVerdict OnFrame(LinkDevice* target, EthernetFrame& frame);
 
   Simulator& sim_;
@@ -88,7 +106,8 @@ class FaultInjector {
   bool in_burst_ = false;
   bool blackout_active_ = false;
   uint64_t blackout_generation_ = 0;
-  Counters counters_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;  // Fallback when unbound.
+  LiveCounters counters_;
 };
 
 }  // namespace msn

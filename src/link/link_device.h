@@ -26,6 +26,11 @@ class LinkDevice : public NetDevice {
   void SendToMedium(const EthernetFrame& frame) override;
 
  private:
+  friend class BroadcastMedium;
+  // Called from ~BroadcastMedium so a device outliving its medium never
+  // touches the dead medium on its own destruction or reattachment.
+  void MediumDestroyed() { medium_ = nullptr; }
+
   uint64_t bandwidth_bps_;
   BroadcastMedium* medium_ = nullptr;
 };

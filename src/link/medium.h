@@ -9,12 +9,14 @@
 #define MSN_SRC_LINK_MEDIUM_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/net/frame.h"
 #include "src/sim/simulator.h"
+#include "src/telemetry/metrics.h"
 
 namespace msn {
 
@@ -50,7 +52,15 @@ struct MediumParams {
 
 class BroadcastMedium {
  public:
-  BroadcastMedium(Simulator& sim, std::string name, MediumParams params);
+  // Per-medium accounting lands in `metrics` under "link.<name>.*"; with no
+  // registry supplied the medium keeps a private one, so accounting (and the
+  // counters() accessor) works identically either way.
+  BroadcastMedium(Simulator& sim, std::string name, MediumParams params,
+                  MetricsRegistry* metrics = nullptr);
+  // Unlinks any still-attached devices so a device that outlives its medium
+  // (tests routinely scope a medium tighter than the fixture's devices)
+  // doesn't detach from freed memory later.
+  ~BroadcastMedium();
 
   BroadcastMedium(const BroadcastMedium&) = delete;
   BroadcastMedium& operator=(const BroadcastMedium&) = delete;
@@ -77,15 +87,25 @@ class BroadcastMedium {
   void SetDropTap(DropTap tap) { drop_tap_ = std::move(tap); }
   void ClearDropTap() { drop_tap_ = nullptr; }
 
+  // Snapshot of the per-drop-reason accounting, read back from the registry.
   struct Counters {
     uint64_t frames_carried = 0;
     uint64_t frames_dropped = 0;  // Random medium loss.
     uint64_t frames_fault_dropped = 0;  // Injected-fault loss (hook verdict).
     uint64_t frames_unmatched = 0;  // No attached device with that MAC.
   };
-  const Counters& counters() const { return counters_; }
+  Counters counters() const;
 
  private:
+  // Registry-backed counters; field names mirror Counters so increment sites
+  // read the same as before the telemetry migration.
+  struct LiveCounters {
+    CounterRef frames_carried;
+    CounterRef frames_dropped;
+    CounterRef frames_fault_dropped;
+    CounterRef frames_unmatched;
+  };
+
   void DeliverAfterLatency(LinkDevice* target, const EthernetFrame& frame);
   Duration DrawLatency();
   void NotifyDrop(const EthernetFrame& frame, FrameDropReason reason);
@@ -96,7 +116,8 @@ class BroadcastMedium {
   std::vector<LinkDevice*> devices_;
   FaultHook fault_hook_;
   DropTap drop_tap_;
-  Counters counters_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;  // Fallback when unbound.
+  LiveCounters counters_;
 };
 
 }  // namespace msn

@@ -2,12 +2,24 @@
 
 #include <utility>
 
+#include "src/telemetry/metrics.h"
 #include "src/util/logging.h"
 
 namespace msn {
 
 NetDevice::NetDevice(Simulator& sim, std::string name, MacAddress mac)
     : sim_(sim), name_(std::move(name)), mac_(mac) {}
+
+void NetDevice::BindQueueDepthGauge(Gauge* gauge) {
+  queue_depth_gauge_ = gauge;
+  UpdateQueueDepthGauge();
+}
+
+void NetDevice::UpdateQueueDepthGauge() {
+  if (queue_depth_gauge_ != nullptr) {
+    queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+  }
+}
 
 void NetDevice::BringUp(std::function<void()> done) {
   if (state_ == State::kUp) {
@@ -44,6 +56,7 @@ void NetDevice::TakeDown() {
   ++bring_up_generation_;
   state_ = State::kDown;
   queue_.clear();
+  UpdateQueueDepthGauge();
   transmitting_ = false;
   MSN_DEBUG("link", "%s: down", name_.c_str());
 }
@@ -67,6 +80,7 @@ bool NetDevice::Transmit(const EthernetFrame& frame) {
     return false;
   }
   queue_.push_back(frame);
+  UpdateQueueDepthGauge();
   if (!transmitting_) {
     StartNextTransmission();
   }
@@ -81,6 +95,7 @@ void NetDevice::StartNextTransmission() {
   transmitting_ = true;
   EthernetFrame frame = std::move(queue_.front());
   queue_.pop_front();
+  UpdateQueueDepthGauge();
   const Duration delay = SerializationDelay(frame.WireSize());
   const uint64_t generation = bring_up_generation_;
   sim_.Schedule(delay, [this, generation, frame = std::move(frame)] {

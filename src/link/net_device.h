@@ -19,6 +19,8 @@
 
 namespace msn {
 
+class Gauge;
+
 class NetDevice {
  public:
   // Invoked when a frame arrives addressed to this device (or broadcast).
@@ -96,6 +98,11 @@ class NetDevice {
   void set_queue_capacity(size_t n) { queue_capacity_ = n; }
   size_t queue_depth() const { return queue_.size(); }
 
+  // Mirrors the live transmit-queue depth into a registry-owned gauge
+  // (telemetry: "dev.<node>.<dev>.queue_depth"). The gauge must outlive the
+  // device; Node wires this up when it owns a metrics registry.
+  void BindQueueDepthGauge(Gauge* gauge);
+
  protected:
   // Hands a fully serialized frame to the underlying medium. Called once the
   // serialization delay has elapsed.
@@ -123,6 +130,9 @@ class NetDevice {
   FrameHandler receive_handler_;
   TapCallback tap_;
   Counters counters_;
+  Gauge* queue_depth_gauge_ = nullptr;
+
+  void UpdateQueueDepthGauge();
 
  protected:
   // Lets subclasses that bypass the queue (VirtualInterface) feed the tap.

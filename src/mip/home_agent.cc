@@ -8,6 +8,25 @@
 namespace msn {
 
 HomeAgent::HomeAgent(Node& node, Config config) : node_(node), config_(config) {
+  MetricsRegistry* metrics = config_.metrics;
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  counters_.requests_received = metrics->GetCounterRef("ha.requests_received");
+  counters_.registrations_accepted = metrics->GetCounterRef("ha.registrations_accepted");
+  counters_.registrations_denied = metrics->GetCounterRef("ha.registrations_denied");
+  counters_.deregistrations = metrics->GetCounterRef("ha.deregistrations");
+  counters_.packets_tunneled = metrics->GetCounterRef("ha.packets_tunneled");
+  counters_.reverse_decapsulated = metrics->GetCounterRef("ha.reverse_decapsulated");
+  counters_.bindings_expired = metrics->GetCounterRef("ha.bindings_expired");
+  counters_.tunnel_drops_no_binding = metrics->GetCounterRef("ha.tunnel_drops_no_binding");
+  counters_.requests_dropped_outage = metrics->GetCounterRef("ha.requests_dropped_outage");
+  counters_.bindings_wiped = metrics->GetCounterRef("ha.bindings_wiped");
+  counters_.resync_denials = metrics->GetCounterRef("ha.resync_denials");
+  bindings_gauge_ = &metrics->GetGauge("ha.bindings");
+  processing_histogram_ = &metrics->GetHistogram("ha.processing_ms");
+
   // Registration service socket.
   socket_ = std::make_unique<UdpSocket>(node_.stack());
   socket_->Bind(kMipRegistrationPort);
@@ -55,6 +74,22 @@ void HomeAgent::AuthorizeMobileHost(Ipv4Address home_address) {
 
 void HomeAgent::SetAuthKey(Ipv4Address home_address, const MipAuthKey& key) {
   auth_keys_[home_address] = key;
+}
+
+HomeAgent::Counters HomeAgent::counters() const {
+  Counters c;
+  c.requests_received = counters_.requests_received;
+  c.registrations_accepted = counters_.registrations_accepted;
+  c.registrations_denied = counters_.registrations_denied;
+  c.deregistrations = counters_.deregistrations;
+  c.packets_tunneled = counters_.packets_tunneled;
+  c.reverse_decapsulated = counters_.reverse_decapsulated;
+  c.bindings_expired = counters_.bindings_expired;
+  c.tunnel_drops_no_binding = counters_.tunnel_drops_no_binding;
+  c.requests_dropped_outage = counters_.requests_dropped_outage;
+  c.bindings_wiped = counters_.bindings_wiped;
+  c.resync_denials = counters_.resync_denials;
+  return c;
 }
 
 bool HomeAgent::HasBinding(Ipv4Address home_address) const {
@@ -142,7 +177,9 @@ void HomeAgent::OnRegistrationDatagram(const std::vector<uint8_t>& data,
   const Time start = std::max(arrival, busy_until_);
   const Duration cost = config_.calibration.ha_processing.Draw(node_.sim().rng());
   busy_until_ = start + cost;
-  processing_stats_ms_.Add((busy_until_ - arrival).ToMillisF());
+  const double processing_ms = (busy_until_ - arrival).ToMillisF();
+  processing_stats_ms_.Add(processing_ms);
+  processing_histogram_->Record(processing_ms);
   // The daemon dequeues the request at `start`, updates kernel state
   // (binding, route, proxy ARP) promptly, and sends the reply once the full
   // processing cost has elapsed. Installing the binding early keeps the
@@ -240,6 +277,7 @@ void HomeAgent::InstallBinding(const RegistrationRequest& request,
   binding.registered_at = node_.sim().Now();
   binding.decapsulates_self = (request.flags & kMipFlagDecapsulateSelf) != 0;
   bindings_[home] = binding;
+  bindings_gauge_->Set(static_cast<double>(bindings_.size()));
 
   // Previous-FA notification: late tunnel packets still headed to the old
   // foreign agent can be forwarded to the new care-of address.
@@ -274,6 +312,7 @@ void HomeAgent::RemoveBinding(Ipv4Address home_address, bool expired) {
   }
   const Ipv4Address old_care_of = it->second.care_of;
   bindings_.erase(it);
+  bindings_gauge_->Set(static_cast<double>(bindings_.size()));
   if (config_.home_device != nullptr) {
     node_.stack().arp().RemoveProxyEntry(config_.home_device, home_address);
     node_.stack().arp().RemoveEntry(home_address);

@@ -31,6 +31,7 @@
 #include "src/mip/vif.h"
 #include "src/node/node.h"
 #include "src/node/udp.h"
+#include "src/telemetry/metrics.h"
 #include "src/util/stats.h"
 
 namespace msn {
@@ -56,6 +57,10 @@ class HomeAgent {
     // registrations"). Keys are installed per mobile host via SetAuthKey.
     bool require_authentication = false;
     Calibration calibration = Calibration::Default();
+    // When given, the agent's accounting lands here under "ha.*" (counters,
+    // an "ha.bindings" gauge, and an "ha.processing_ms" histogram); otherwise
+    // in a private registry, so counters() behaves identically either way.
+    MetricsRegistry* metrics = nullptr;
   };
 
   struct Binding {
@@ -69,6 +74,8 @@ class HomeAgent {
     bool decapsulates_self = true;
   };
 
+  // Snapshot of the agent's accounting; the live values are registry-backed
+  // counters named "ha.<field>".
   struct Counters {
     uint64_t requests_received = 0;
     uint64_t registrations_accepted = 0;
@@ -119,7 +126,7 @@ class HomeAgent {
   bool HasBinding(Ipv4Address home_address) const;
   std::optional<Binding> GetBinding(Ipv4Address home_address) const;
   size_t binding_count() const { return bindings_.size(); }
-  const Counters& counters() const { return counters_; }
+  Counters counters() const;
   const Config& config() const { return config_; }
   Node& node() { return node_; }
 
@@ -132,6 +139,22 @@ class HomeAgent {
   const RunningStats& processing_stats_ms() const { return processing_stats_ms_; }
 
  private:
+  // Registry-backed counters; field names mirror Counters so increment sites
+  // read the same as before the telemetry migration.
+  struct LiveCounters {
+    CounterRef requests_received;
+    CounterRef registrations_accepted;
+    CounterRef registrations_denied;
+    CounterRef deregistrations;
+    CounterRef packets_tunneled;
+    CounterRef reverse_decapsulated;
+    CounterRef bindings_expired;
+    CounterRef tunnel_drops_no_binding;
+    CounterRef requests_dropped_outage;
+    CounterRef bindings_wiped;
+    CounterRef resync_denials;
+  };
+
   void OnRegistrationDatagram(const std::vector<uint8_t>& data, const UdpSocket::Metadata& meta);
   void ProcessRequest(const RegistrationRequest& request, const UdpSocket::Metadata& meta,
                       Time reply_at);
@@ -154,7 +177,10 @@ class HomeAgent {
   std::set<Ipv4Address> authorized_;
   std::map<Ipv4Address, MipAuthKey> auth_keys_;
   BindingObserver observer_;
-  Counters counters_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;  // Fallback when unbound.
+  LiveCounters counters_;
+  Gauge* bindings_gauge_ = nullptr;        // "ha.bindings"
+  Histogram* processing_histogram_ = nullptr;  // "ha.processing_ms"
   // False inside a scheduled outage window; requests are dropped unreplied.
   bool service_available_ = true;
   // Home addresses whose first post-restart registration must be denied once

@@ -8,6 +8,30 @@
 namespace msn {
 
 MobileHost::MobileHost(Node& node, Config config) : node_(node), config_(config) {
+  MetricsRegistry* metrics = config_.metrics;
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  counters_.registrations_sent = metrics->GetCounterRef("mh.registrations_sent");
+  counters_.registrations_accepted = metrics->GetCounterRef("mh.registrations_accepted");
+  counters_.registrations_denied = metrics->GetCounterRef("mh.registrations_denied");
+  counters_.registrations_timed_out = metrics->GetCounterRef("mh.registrations_timed_out");
+  counters_.renewals = metrics->GetCounterRef("mh.renewals");
+  counters_.retransmissions = metrics->GetCounterRef("mh.retransmissions");
+  counters_.bindings_lost = metrics->GetCounterRef("mh.bindings_lost");
+  counters_.recoveries = metrics->GetCounterRef("mh.recoveries");
+  counters_.resyncs = metrics->GetCounterRef("mh.resyncs");
+  counters_.duplicate_replies_dropped = metrics->GetCounterRef("mh.duplicate_replies_dropped");
+  counters_.stale_replies_dropped = metrics->GetCounterRef("mh.stale_replies_dropped");
+  counters_.packets_tunneled_out = metrics->GetCounterRef("mh.packets_tunneled_out");
+  counters_.packets_triangle_out = metrics->GetCounterRef("mh.packets_triangle_out");
+  counters_.packets_encap_direct_out = metrics->GetCounterRef("mh.packets_encap_direct_out");
+  counters_.packets_decapsulated_in = metrics->GetCounterRef("mh.packets_decapsulated_in");
+  counters_.probes_sent = metrics->GetCounterRef("mh.probes_sent");
+  counters_.probe_fallbacks = metrics->GetCounterRef("mh.probe_fallbacks");
+  handoff_histogram_ = &metrics->GetHistogram("mh.handoff_ms");
+
   // The encapsulating virtual interface (paper Figure 4). While away from
   // home the home address is bound to it, so decapsulated packets addressed
   // to the home address are delivered locally.
@@ -38,6 +62,28 @@ MobileHost::MobileHost(Node& node, Config config) : node_(node), config_(config)
   // The paper's single kernel hook: the enhanced route lookup.
   node_.stack().SetRouteLookupOverride(
       [this](const RouteQuery& query) { return RouteOverride(query); });
+}
+
+MobileHost::Counters MobileHost::counters() const {
+  Counters c;
+  c.registrations_sent = counters_.registrations_sent;
+  c.registrations_accepted = counters_.registrations_accepted;
+  c.registrations_denied = counters_.registrations_denied;
+  c.registrations_timed_out = counters_.registrations_timed_out;
+  c.renewals = counters_.renewals;
+  c.retransmissions = counters_.retransmissions;
+  c.bindings_lost = counters_.bindings_lost;
+  c.recoveries = counters_.recoveries;
+  c.resyncs = counters_.resyncs;
+  c.duplicate_replies_dropped = counters_.duplicate_replies_dropped;
+  c.stale_replies_dropped = counters_.stale_replies_dropped;
+  c.packets_tunneled_out = counters_.packets_tunneled_out;
+  c.packets_triangle_out = counters_.packets_triangle_out;
+  c.packets_encap_direct_out = counters_.packets_encap_direct_out;
+  c.packets_decapsulated_in = counters_.packets_decapsulated_in;
+  c.probes_sent = counters_.probes_sent;
+  c.probe_fallbacks = counters_.probe_fallbacks;
+  return c;
 }
 
 MobileHost::~MobileHost() {
@@ -406,6 +452,11 @@ void MobileHost::FinishRegistration(uint64_t generation, bool success) {
   }
   timeline_.done = node_.sim().Now();
   timeline_.success = success;
+  if (success && !pending_deregistration_) {
+    // Handoff downtime as the paper measures it: attach start to usable
+    // binding (Figure 7's total).
+    handoff_histogram_->Record(timeline_.Total().ToMillisF());
+  }
   if (!success) {
     // Registration failed: the attachment may still be usable in its local
     // role (paper §5.2: "especially useful if the home agent is not

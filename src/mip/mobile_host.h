@@ -77,6 +77,11 @@ class MobileHost {
     // request carries a mobile-home authenticator and replies must verify.
     std::optional<MipAuthKey> auth_key;
     Calibration calibration = Calibration::Default();
+    // When given, the host's accounting lands here under "mh.*" (counters
+    // plus an "mh.handoff_ms" histogram of successful-attach total times);
+    // otherwise in a private registry, so counters() behaves identically
+    // either way.
+    MetricsRegistry* metrics = nullptr;
   };
 
   // A point of attachment on some network.
@@ -111,6 +116,8 @@ class MobileHost {
     Duration PostRegistration() const { return done - reply_received; }
   };
 
+  // Snapshot of the host's accounting; the live values are registry-backed
+  // counters named "mh.<field>".
   struct Counters {
     uint64_t registrations_sent = 0;
     uint64_t registrations_accepted = 0;
@@ -199,11 +206,33 @@ class MobileHost {
   Ipv4Address care_of() const { return attachment_.care_of; }
   const Config& config() const { return config_; }
   const RegistrationTimeline& last_timeline() const { return timeline_; }
-  const Counters& counters() const { return counters_; }
+  Counters counters() const;
   VirtualInterface* vif() { return vif_; }
   Node& node() { return node_; }
 
  private:
+  // Registry-backed counters; field names mirror Counters so increment sites
+  // read the same as before the telemetry migration.
+  struct LiveCounters {
+    CounterRef registrations_sent;
+    CounterRef registrations_accepted;
+    CounterRef registrations_denied;
+    CounterRef registrations_timed_out;
+    CounterRef renewals;
+    CounterRef retransmissions;
+    CounterRef bindings_lost;
+    CounterRef recoveries;
+    CounterRef resyncs;
+    CounterRef duplicate_replies_dropped;
+    CounterRef stale_replies_dropped;
+    CounterRef packets_tunneled_out;
+    CounterRef packets_triangle_out;
+    CounterRef packets_encap_direct_out;
+    CounterRef packets_decapsulated_in;
+    CounterRef probes_sent;
+    CounterRef probe_fallbacks;
+  };
+
   std::optional<RouteDecision> RouteOverride(const RouteQuery& query);
   void EncapsulateOut(const Ipv4Datagram& inner);
 
@@ -246,7 +275,9 @@ class MobileHost {
   MobilePolicyTable policy_table_;
 
   RegistrationTimeline timeline_;
-  Counters counters_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;  // Fallback when unbound.
+  LiveCounters counters_;
+  Histogram* handoff_histogram_ = nullptr;  // "mh.handoff_ms"
 
   // Invalidates scheduled steps of superseded attach operations.
   uint64_t attach_generation_ = 0;

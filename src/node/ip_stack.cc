@@ -10,12 +10,59 @@
 
 namespace msn {
 
-IpStack::IpStack(Simulator& sim, std::string node_name)
+IpStack::IpStack(Simulator& sim, std::string node_name, MetricsRegistry* metrics)
     : sim_(sim), node_name_(std::move(node_name)),
       arp_(std::make_unique<ArpService>(sim, *this)),
-      reassembly_(std::make_unique<ReassemblyService>(sim)) {}
+      reassembly_(std::make_unique<ReassemblyService>(sim)) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  const std::string prefix = "ip." + node_name_ + ".";
+  counters_.datagrams_sent = metrics->GetCounterRef(prefix + "datagrams_sent");
+  counters_.datagrams_delivered = metrics->GetCounterRef(prefix + "datagrams_delivered");
+  counters_.datagrams_forwarded = metrics->GetCounterRef(prefix + "datagrams_forwarded");
+  counters_.drop_no_route = metrics->GetCounterRef(prefix + "drop_no_route");
+  counters_.drop_arp_failure = metrics->GetCounterRef(prefix + "drop_arp_failure");
+  counters_.drop_ttl = metrics->GetCounterRef(prefix + "drop_ttl");
+  counters_.drop_filtered = metrics->GetCounterRef(prefix + "drop_filtered");
+  counters_.drop_no_handler = metrics->GetCounterRef(prefix + "drop_no_handler");
+  counters_.drop_bad_packet = metrics->GetCounterRef(prefix + "drop_bad_packet");
+  counters_.drop_device = metrics->GetCounterRef(prefix + "drop_device");
+  counters_.drop_not_for_us = metrics->GetCounterRef(prefix + "drop_not_for_us");
+  counters_.icmp_echo_replies_sent = metrics->GetCounterRef(prefix + "icmp_echo_replies_sent");
+  counters_.icmp_errors_sent = metrics->GetCounterRef(prefix + "icmp_errors_sent");
+  counters_.icmp_redirects_sent = metrics->GetCounterRef(prefix + "icmp_redirects_sent");
+  counters_.icmp_redirects_accepted =
+      metrics->GetCounterRef(prefix + "icmp_redirects_accepted");
+  counters_.fragments_sent = metrics->GetCounterRef(prefix + "fragments_sent");
+  counters_.drop_fragmentation_needed =
+      metrics->GetCounterRef(prefix + "drop_fragmentation_needed");
+}
 
 IpStack::~IpStack() = default;
+
+IpStack::Counters IpStack::counters() const {
+  Counters c;
+  c.datagrams_sent = counters_.datagrams_sent;
+  c.datagrams_delivered = counters_.datagrams_delivered;
+  c.datagrams_forwarded = counters_.datagrams_forwarded;
+  c.drop_no_route = counters_.drop_no_route;
+  c.drop_arp_failure = counters_.drop_arp_failure;
+  c.drop_ttl = counters_.drop_ttl;
+  c.drop_filtered = counters_.drop_filtered;
+  c.drop_no_handler = counters_.drop_no_handler;
+  c.drop_bad_packet = counters_.drop_bad_packet;
+  c.drop_device = counters_.drop_device;
+  c.drop_not_for_us = counters_.drop_not_for_us;
+  c.icmp_echo_replies_sent = counters_.icmp_echo_replies_sent;
+  c.icmp_errors_sent = counters_.icmp_errors_sent;
+  c.icmp_redirects_sent = counters_.icmp_redirects_sent;
+  c.icmp_redirects_accepted = counters_.icmp_redirects_accepted;
+  c.fragments_sent = counters_.fragments_sent;
+  c.drop_fragmentation_needed = counters_.drop_fragmentation_needed;
+  return c;
+}
 
 // --- Interfaces ---------------------------------------------------------------
 

@@ -26,6 +26,7 @@
 #include "src/node/reassembly.h"
 #include "src/node/routing_table.h"
 #include "src/sim/simulator.h"
+#include "src/telemetry/metrics.h"
 
 namespace msn {
 
@@ -98,6 +99,8 @@ class IpStack {
     bool allow_unconfigured_source = false;
   };
 
+  // Snapshot of the stack's accounting; the live values are registry-backed
+  // counters named "ip.<node>.<field>".
   struct Counters {
     uint64_t datagrams_sent = 0;
     uint64_t datagrams_delivered = 0;
@@ -118,7 +121,9 @@ class IpStack {
     uint64_t drop_fragmentation_needed = 0;  // Oversized with DF set.
   };
 
-  IpStack(Simulator& sim, std::string node_name);
+  // Accounting lands in `metrics` when given; otherwise in a private
+  // registry, so counters() behaves identically either way.
+  IpStack(Simulator& sim, std::string node_name, MetricsRegistry* metrics = nullptr);
   ~IpStack();
 
   IpStack(const IpStack&) = delete;
@@ -217,9 +222,30 @@ class IpStack {
 
   void set_delay_params(const DelayParams& p) { delays_ = p; }
   const DelayParams& delay_params() const { return delays_; }
-  const Counters& counters() const { return counters_; }
+  Counters counters() const;
 
  private:
+  // Registry-backed counters; field names mirror Counters so increment sites
+  // read the same as before the telemetry migration.
+  struct LiveCounters {
+    CounterRef datagrams_sent;
+    CounterRef datagrams_delivered;
+    CounterRef datagrams_forwarded;
+    CounterRef drop_no_route;
+    CounterRef drop_arp_failure;
+    CounterRef drop_ttl;
+    CounterRef drop_filtered;
+    CounterRef drop_no_handler;
+    CounterRef drop_bad_packet;
+    CounterRef drop_device;
+    CounterRef drop_not_for_us;
+    CounterRef icmp_echo_replies_sent;
+    CounterRef icmp_errors_sent;
+    CounterRef icmp_redirects_sent;
+    CounterRef icmp_redirects_accepted;
+    CounterRef fragments_sent;
+    CounterRef drop_fragmentation_needed;
+  };
   struct InterfaceEntry {
     NetDevice* device = nullptr;
     Ipv4Address addr;
@@ -272,7 +298,8 @@ class IpStack {
   Time send_pipe_busy_;
   Time deliver_pipe_busy_;
   Time forward_pipe_busy_;
-  Counters counters_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;  // Fallback when unbound.
+  LiveCounters counters_;
   uint16_t next_ip_id_ = 1;
   uint16_t next_ephemeral_port_ = 49152;
 };

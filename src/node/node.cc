@@ -13,10 +13,19 @@ uint32_t g_next_mac_id = 1;
 
 MacAddress Node::AllocateMac() { return MacAddress::FromId(g_next_mac_id++); }
 
-Node::Node(Simulator& sim, std::string name)
-    : sim_(sim), name_(std::move(name)), stack_(std::make_unique<IpStack>(sim, name_)) {}
+Node::Node(Simulator& sim, std::string name, MetricsRegistry* metrics)
+    : sim_(sim), name_(std::move(name)), metrics_(metrics),
+      stack_(std::make_unique<IpStack>(sim, name_, metrics)) {}
 
 Node::~Node() = default;
+
+void Node::RegisterDeviceGauges(NetDevice* device) {
+  if (metrics_ == nullptr) {
+    return;
+  }
+  device->BindQueueDepthGauge(
+      &metrics_->GetGauge("dev." + name_ + "." + device->name() + ".queue_depth"));
+}
 
 EthernetDevice* Node::AddEthernet(const std::string& dev_name, BroadcastMedium* medium) {
   auto device = std::make_unique<EthernetDevice>(sim_, dev_name, AllocateMac());
@@ -25,6 +34,7 @@ EthernetDevice* Node::AddEthernet(const std::string& dev_name, BroadcastMedium* 
     raw->AttachTo(medium);
   }
   stack_->AddInterface(raw);
+  RegisterDeviceGauges(raw);
   devices_.push_back(std::move(device));
   return raw;
 }
@@ -36,6 +46,7 @@ StripRadioDevice* Node::AddRadio(const std::string& dev_name, BroadcastMedium* m
     raw->AttachTo(medium);
   }
   stack_->AddInterface(raw);
+  RegisterDeviceGauges(raw);
   devices_.push_back(std::move(device));
   return raw;
 }

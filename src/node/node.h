@@ -14,7 +14,11 @@ namespace msn {
 
 class Node {
  public:
-  Node(Simulator& sim, std::string name);
+  // With a registry, the node's stack counters land under "ip.<name>.*" and
+  // each added device mirrors its transmit-queue depth into a
+  // "dev.<name>.<dev>.queue_depth" gauge. Without one, the stack keeps
+  // private accounting and no gauges are registered.
+  Node(Simulator& sim, std::string name, MetricsRegistry* metrics = nullptr);
   ~Node();
 
   Node(const Node&) = delete;
@@ -48,8 +52,11 @@ class Node {
   static MacAddress AllocateMac();
 
  private:
+  void RegisterDeviceGauges(NetDevice* device);
+
   Simulator& sim_;
   std::string name_;
+  MetricsRegistry* metrics_ = nullptr;
   std::unique_ptr<IpStack> stack_;
   std::vector<std::unique_ptr<NetDevice>> devices_;
 };

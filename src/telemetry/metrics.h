@@ -1,0 +1,210 @@
+// The metrics registry: named counters, gauges, and log-bucketed latency
+// histograms.
+//
+// Every layer of the system (home agent, mobile host, IP stacks, media,
+// fault injectors) registers its counters here so that one registry holds a
+// complete, uniformly named picture of a run — the observability substrate
+// the benchmark exporter (export.h) and the time-series sampler
+// (time_series.h) read from.
+//
+// Naming convention: dot-separated, component first, instance next, field
+// last — "ha.requests_received", "ip.mh.drop_no_route",
+// "link.net8.frames_dropped", "dev.mh.eth0.queue_depth". Iteration order is
+// always name-sorted, so exports are deterministic.
+//
+// Histograms use multiplicative (log) buckets with a configurable relative
+// error bound: an observation x lands in bucket ceil(log_gamma(x)) with
+// gamma = (1+e)/(1-e), and the bucket's representative value is off from any
+// sample it holds by at most a factor of (1±e). Quantile estimates therefore
+// carry a *guaranteed* relative error bound against the exact nearest-rank
+// percentile (validated in tests/telemetry_test.cc against Percentile()).
+#ifndef MSN_SRC_TELEMETRY_METRICS_H_
+#define MSN_SRC_TELEMETRY_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace msn {
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+const char* MetricTypeName(MetricType type);
+
+// Deterministic, locale-independent number rendering shared by every
+// exporter: integers print without a decimal point ("42"), everything else
+// as shortest-ish round-trippable decimal ("7.39", "0.00123"). Identical
+// inputs always produce identical bytes, which is what makes exported series
+// diffable.
+std::string FormatMetricValue(double value);
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// A handle to a registry-owned Counter that behaves like the plain uint64_t
+// field it replaced: components migrated onto the registry keep their
+// `++counters_.field` / `counters_.field += n` call sites unchanged, and
+// snapshot accessors read through the implicit conversion. Null-safe: a
+// default-constructed (unwired) handle counts nothing and reads zero.
+class CounterRef {
+ public:
+  CounterRef() = default;
+  explicit CounterRef(Counter* counter) : counter_(counter) {}
+
+  CounterRef& operator++() {
+    if (counter_ != nullptr) {
+      counter_->Add(1);
+    }
+    return *this;
+  }
+  CounterRef& operator+=(uint64_t n) {
+    if (counter_ != nullptr) {
+      counter_->Add(n);
+    }
+    return *this;
+  }
+  operator uint64_t() const { return counter_ != nullptr ? counter_->value() : 0; }
+
+ private:
+  Counter* counter_ = nullptr;
+};
+
+// A value that can go up and down (binding count, queue depth). A gauge may
+// instead carry a probe callback, in which case reads evaluate the probe —
+// handy for sampling a quantity the owner never pushes (bytes received so
+// far, live queue depth). Probe owners must outlive every read.
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double d) { value_ += d; }
+  void SetProbe(std::function<double()> probe) { probe_ = std::move(probe); }
+  bool has_probe() const { return static_cast<bool>(probe_); }
+  double value() const { return probe_ ? probe_() : value_; }
+
+ private:
+  double value_ = 0.0;
+  std::function<double()> probe_;
+};
+
+// Log-bucketed histogram for non-negative observations (latencies in ms,
+// sizes in bytes). Quantile estimates are within `relative_error` of the
+// exact nearest-rank sample value; min/max/sum/count are exact.
+class Histogram {
+ public:
+  static constexpr double kDefaultRelativeError = 0.01;
+  // Observations at or below this land in the zero bucket (estimate 0).
+  static constexpr double kMinTrackable = 1e-9;
+
+  explicit Histogram(double relative_error = kDefaultRelativeError);
+
+  // Records one observation. Negative values count as zero.
+  void Record(double value);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double relative_error() const { return relative_error_; }
+  size_t bucket_count() const { return buckets_.size() + (zero_count_ > 0 ? 1 : 0); }
+
+  // Nearest-rank quantile estimate; `p` in [0, 100]. p <= 0 returns the exact
+  // min, p >= 100 the exact max; estimates are clamped into [min, max].
+  double Quantile(double p) const;
+
+ private:
+  int32_t BucketIndex(double value) const;
+  double BucketEstimate(int32_t index) const;
+
+  double relative_error_;
+  double gamma_;
+  double log_gamma_;
+  uint64_t zero_count_ = 0;
+  std::map<int32_t, uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+// One metric's exported state. For counters and gauges `value` is the scalar
+// reading; for histograms it is the observation count and `histogram` holds
+// the distribution.
+struct MetricSnapshot {
+  std::string name;
+  MetricType type = MetricType::kCounter;
+  double value = 0.0;
+  std::optional<HistogramSnapshot> histogram;
+};
+
+// Owns metrics by name. Get* calls create on first use and return the same
+// instance thereafter; requesting an existing name as a different type is a
+// programming error and aborts. Not thread-safe (the simulator is
+// single-threaded by design).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(const std::string& name);
+  CounterRef GetCounterRef(const std::string& name) { return CounterRef(&GetCounter(name)); }
+  Gauge& GetGauge(const std::string& name);
+  // Creates (or rebinds) a gauge whose reads call `probe`.
+  Gauge& GetProbeGauge(const std::string& name, std::function<double()> probe);
+  Histogram& GetHistogram(const std::string& name,
+                          double relative_error = Histogram::kDefaultRelativeError);
+
+  bool Contains(const std::string& name) const;
+  std::optional<MetricType> TypeOf(const std::string& name) const;
+  // Scalar reading used by the sampler: counter/gauge value; histogram count.
+  std::optional<double> ReadValue(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  size_t size() const { return metrics_.size(); }
+  // Name-sorted.
+  std::vector<std::string> Names() const;
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  // Drops a metric (used when a short-lived probe owner unbinds itself).
+  void Remove(const std::string& name) { metrics_.erase(name); }
+
+ private:
+  struct Entry {
+    MetricType type = MetricType::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& GetEntry(const std::string& name, MetricType type);
+
+  // std::map so iteration (and therefore every export) is name-sorted.
+  std::map<std::string, Entry> metrics_;
+};
+
+}  // namespace msn
+
+#endif  // MSN_SRC_TELEMETRY_METRICS_H_

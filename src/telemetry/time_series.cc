@@ -1,0 +1,81 @@
+#include "src/telemetry/time_series.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace msn {
+
+TimeSeriesSampler::TimeSeriesSampler(Simulator& sim, const MetricsRegistry& registry,
+                                     Duration interval)
+    : sim_(sim), registry_(registry), interval_(interval) {
+  task_ = std::make_unique<PeriodicTask>(sim_, interval_, [this] { Sample(); });
+}
+
+TimeSeriesSampler::~TimeSeriesSampler() = default;
+
+void TimeSeriesSampler::Watch(const std::string& metric_name) {
+  for (const Series& s : series_) {
+    if (s.metric == metric_name) {
+      return;
+    }
+  }
+  series_.push_back(Series{metric_name, {}});
+}
+
+void TimeSeriesSampler::WatchAll() {
+  for (const std::string& name : registry_.Names()) {
+    Watch(name);
+  }
+}
+
+void TimeSeriesSampler::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  Sample();
+  task_->Start();
+}
+
+void TimeSeriesSampler::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  task_->Stop();
+}
+
+void TimeSeriesSampler::Sample() {
+  const Time now = sim_.Now();
+  for (Series& s : series_) {
+    const std::optional<double> v = registry_.ReadValue(s.metric);
+    s.points.push_back(Point{now, v.value_or(0.0)});
+  }
+}
+
+std::string TimeSeriesSampler::ToCsv() const {
+  std::string out = "t_ms";
+  for (const Series& s : series_) {
+    out += ',';
+    out += s.metric;
+  }
+  out += '\n';
+  if (series_.empty()) {
+    return out;
+  }
+  // All series sample together, so every series has the same tick count.
+  const size_t rows = series_.front().points.size();
+  char buf[32];
+  for (size_t i = 0; i < rows; ++i) {
+    std::snprintf(buf, sizeof(buf), "%.6f", series_.front().points[i].t.ToMillisF());
+    out += buf;
+    for (const Series& s : series_) {
+      out += ',';
+      out += FormatMetricValue(i < s.points.size() ? s.points[i].value : 0.0);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace msn

@@ -1,0 +1,69 @@
+// The time-series sampler: snapshots selected metrics on the simulator clock
+// into deterministic per-metric series.
+//
+// A sampler watches metrics by name and, every `interval` of simulated time,
+// appends (now, scalar reading) to each watched series — counter/gauge value,
+// histogram observation count. Because sampling rides the simulator's event
+// queue, two runs with the same seed produce byte-identical exported series
+// (ToCsv() / the exporter's JSON), which is what makes BENCH_*.json
+// trajectories diffable across commits.
+#ifndef MSN_SRC_TELEMETRY_TIME_SERIES_H_
+#define MSN_SRC_TELEMETRY_TIME_SERIES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/telemetry/metrics.h"
+
+namespace msn {
+
+class TimeSeriesSampler {
+ public:
+  struct Point {
+    Time t;
+    double value = 0.0;
+  };
+  struct Series {
+    std::string metric;
+    std::vector<Point> points;
+  };
+
+  TimeSeriesSampler(Simulator& sim, const MetricsRegistry& registry, Duration interval);
+  ~TimeSeriesSampler();
+
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  // Adds a metric to the watch list. Watching the same name twice is a no-op.
+  // A metric that does not exist yet samples as 0 until it is registered.
+  void Watch(const std::string& metric_name);
+  // Watches every metric currently in the registry.
+  void WatchAll();
+
+  // Takes an immediate sample, then one every interval until Stop().
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+
+  Duration interval() const { return interval_; }
+  const std::vector<Series>& series() const { return series_; }
+
+  // Wide CSV: "t_ms,<metric>,..." header, one row per sample tick.
+  std::string ToCsv() const;
+
+ private:
+  void Sample();
+
+  Simulator& sim_;
+  const MetricsRegistry& registry_;
+  Duration interval_;
+  std::vector<Series> series_;
+  std::unique_ptr<PeriodicTask> task_;
+  bool running_ = false;
+};
+
+}  // namespace msn
+
+#endif  // MSN_SRC_TELEMETRY_TIME_SERIES_H_

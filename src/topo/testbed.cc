@@ -41,17 +41,17 @@ Testbed::Testbed(TestbedConfig config) : sim(config.seed), config_(config) {
 Testbed::~Testbed() = default;
 
 void Testbed::BuildMedia() {
-  net135 = std::make_unique<BroadcastMedium>(sim, "net-36.135", EthernetMediumParams());
-  net8 = std::make_unique<BroadcastMedium>(sim, "net-36.8", EthernetMediumParams());
-  radio134 = std::make_unique<BroadcastMedium>(sim, "net-36.134", RadioMediumParams());
+  net135 = std::make_unique<BroadcastMedium>(sim, "net-36.135", EthernetMediumParams(), &metrics);
+  net8 = std::make_unique<BroadcastMedium>(sim, "net-36.8", EthernetMediumParams(), &metrics);
+  radio134 = std::make_unique<BroadcastMedium>(sim, "net-36.134", RadioMediumParams(), &metrics);
   MediumParams campus_params = EthernetMediumParams();
   campus_params.latency = MillisecondsF(2.0);  // A couple of campus hops away.
   campus_params.latency_jitter = MillisecondsF(0.3);
-  campus = std::make_unique<BroadcastMedium>(sim, "campus", campus_params);
+  campus = std::make_unique<BroadcastMedium>(sim, "campus", campus_params, &metrics);
 }
 
 void Testbed::BuildRouter() {
-  router = std::make_unique<Node>(sim, "router");
+  router = std::make_unique<Node>(sim, "router", &metrics);
   if (config_.realistic_delays) {
     router->stack().set_delay_params(RouterDelays());
   }
@@ -79,9 +79,10 @@ void Testbed::BuildRouter() {
     ha_config.home_device = r135;
     ha_config.home_subnet = HomeSubnet();
     ha_config.calibration = config_.calibration;
+    ha_config.metrics = &metrics;
     home_agent = std::make_unique<HomeAgent>(*router, ha_config);
   } else {
-    ha_host = std::make_unique<Node>(sim, "ha-host");
+    ha_host = std::make_unique<Node>(sim, "ha-host", &metrics);
     if (config_.realistic_delays) {
       ha_host->stack().set_delay_params(RouterDelays());
     }
@@ -98,6 +99,7 @@ void Testbed::BuildRouter() {
     ha_config.home_device = dev;
     ha_config.home_subnet = HomeSubnet();
     ha_config.calibration = config_.calibration;
+    ha_config.metrics = &metrics;
     home_agent = std::make_unique<HomeAgent>(*ha_host, ha_config);
   }
 
@@ -121,7 +123,7 @@ void Testbed::BuildRouter() {
 }
 
 void Testbed::BuildMobileHost() {
-  mh = std::make_unique<Node>(sim, "mh");
+  mh = std::make_unique<Node>(sim, "mh", &metrics);
   if (config_.realistic_delays) {
     mh->stack().set_delay_params(SlowHostDelays());
   }
@@ -137,11 +139,12 @@ void Testbed::BuildMobileHost() {
   mc.home_device = mh_eth;
   mc.lifetime_sec = config_.mh_lifetime_sec;
   mc.calibration = config_.calibration;
+  mc.metrics = &metrics;
   mobile = std::make_unique<MobileHost>(*mh, mc);
 }
 
 void Testbed::BuildCorrespondent() {
-  ch = std::make_unique<Node>(sim, "ch");
+  ch = std::make_unique<Node>(sim, "ch", &metrics);
   if (config_.realistic_delays) {
     ch->stack().set_delay_params(SlowHostDelays());
   }

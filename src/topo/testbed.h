@@ -24,6 +24,7 @@
 #include "src/mip/mobile_host.h"
 #include "src/node/node.h"
 #include "src/sim/simulator.h"
+#include "src/telemetry/metrics.h"
 
 namespace msn {
 
@@ -73,6 +74,11 @@ class Testbed {
 
   // --- Components ---------------------------------------------------------------
   Simulator sim;
+  // Shared registry every testbed component reports into: link media, node
+  // IP stacks, device queue gauges, the home agent and the mobile host.
+  // Declared before the components so it outlives them all. Benches sample
+  // and export it; see src/telemetry/.
+  MetricsRegistry metrics;
   std::unique_ptr<BroadcastMedium> net135;
   std::unique_ptr<BroadcastMedium> net8;
   std::unique_ptr<BroadcastMedium> radio134;

@@ -1,0 +1,361 @@
+// Unit tests for src/telemetry: counter/gauge semantics, the log-bucketed
+// histogram's quantile error bound (validated against the exact nearest-rank
+// Percentile() from src/util/stats.h), registry snapshot ordering, and
+// sampler determinism (same seed => byte-identical exported series).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/telemetry/export.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/time_series.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace msn {
+namespace {
+
+// --- Counter / CounterRef -----------------------------------------------------
+
+TEST(CounterTest, AddAndRead) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(CounterRefTest, UnwiredHandleIsNullSafe) {
+  CounterRef ref;  // Not bound to any registry.
+  ++ref;
+  ref += 100;
+  EXPECT_EQ(static_cast<uint64_t>(ref), 0u);
+}
+
+TEST(CounterRefTest, WiredHandleCountsIntoRegistry) {
+  MetricsRegistry registry;
+  CounterRef ref = registry.GetCounterRef("ha.requests_received");
+  ++ref;
+  ++ref;
+  ref += 3;
+  EXPECT_EQ(static_cast<uint64_t>(ref), 5u);
+  EXPECT_EQ(registry.GetCounter("ha.requests_received").value(), 5u);
+
+  // A second ref to the same name shares the same underlying counter.
+  CounterRef again = registry.GetCounterRef("ha.requests_received");
+  ++again;
+  EXPECT_EQ(static_cast<uint64_t>(ref), 6u);
+}
+
+// --- Gauge --------------------------------------------------------------------
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.Set(7.0);
+  g.Add(-2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.5);
+  EXPECT_FALSE(g.has_probe());
+}
+
+TEST(GaugeTest, ProbeReadsCallback) {
+  double live = 3.0;
+  MetricsRegistry registry;
+  Gauge& g = registry.GetProbeGauge("dev.mh.eth0.queue_depth", [&] { return live; });
+  EXPECT_TRUE(g.has_probe());
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  live = 11.0;
+  EXPECT_DOUBLE_EQ(g.value(), 11.0);
+  EXPECT_DOUBLE_EQ(*registry.ReadValue("dev.mh.eth0.queue_depth"), 11.0);
+}
+
+// --- MetricsRegistry ----------------------------------------------------------
+
+TEST(MetricsRegistryTest, GetIsCreateOnFirstUseAndStable) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("x");
+  a.Add(2);
+  EXPECT_EQ(&registry.GetCounter("x"), &a);
+  EXPECT_EQ(registry.GetCounter("x").value(), 2u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, TypeOfContainsAndReadValue) {
+  MetricsRegistry registry;
+  registry.GetCounter("c").Add(4);
+  registry.GetGauge("g").Set(2.5);
+  Histogram& h = registry.GetHistogram("h");
+  h.Record(1.0);
+  h.Record(2.0);
+
+  EXPECT_TRUE(registry.Contains("c"));
+  EXPECT_FALSE(registry.Contains("missing"));
+  EXPECT_EQ(*registry.TypeOf("c"), MetricType::kCounter);
+  EXPECT_EQ(*registry.TypeOf("g"), MetricType::kGauge);
+  EXPECT_EQ(*registry.TypeOf("h"), MetricType::kHistogram);
+  EXPECT_FALSE(registry.TypeOf("missing").has_value());
+
+  // ReadValue: counter/gauge scalar, histogram observation count.
+  EXPECT_DOUBLE_EQ(*registry.ReadValue("c"), 4.0);
+  EXPECT_DOUBLE_EQ(*registry.ReadValue("g"), 2.5);
+  EXPECT_DOUBLE_EQ(*registry.ReadValue("h"), 2.0);
+  EXPECT_FALSE(registry.ReadValue("missing").has_value());
+
+  EXPECT_EQ(registry.FindHistogram("h"), &h);
+  EXPECT_EQ(registry.FindHistogram("c"), nullptr);
+
+  registry.Remove("g");
+  EXPECT_FALSE(registry.Contains("g"));
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistryTest, NamesAndSnapshotAreNameSorted) {
+  MetricsRegistry registry;
+  // Registered deliberately out of order.
+  registry.GetCounter("mh.retransmissions").Add(3);
+  registry.GetHistogram("ha.processing_ms").Record(1.5);
+  registry.GetGauge("ha.bindings").Set(2);
+  registry.GetCounter("ip.mh.datagrams_sent").Add(9);
+
+  const std::vector<std::string> names = registry.Names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "ha.bindings");
+  EXPECT_EQ(names[1], "ha.processing_ms");
+  EXPECT_EQ(names[2], "ip.mh.datagrams_sent");
+  EXPECT_EQ(names[3], "mh.retransmissions");
+
+  const std::vector<MetricSnapshot> snap = registry.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap[0].name, "ha.bindings");
+  EXPECT_EQ(snap[0].type, MetricType::kGauge);
+  EXPECT_DOUBLE_EQ(snap[0].value, 2.0);
+  EXPECT_EQ(snap[1].type, MetricType::kHistogram);
+  ASSERT_TRUE(snap[1].histogram.has_value());
+  EXPECT_EQ(snap[1].histogram->count, 1u);
+  EXPECT_DOUBLE_EQ(snap[1].histogram->min, 1.5);
+  EXPECT_EQ(snap[3].name, "mh.retransmissions");
+  EXPECT_DOUBLE_EQ(snap[3].value, 3.0);
+}
+
+// --- Histogram ----------------------------------------------------------------
+
+TEST(HistogramTest, ExactAggregatesAndEdgeCases) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Quantile(50), 0.0);  // Empty: everything reads zero.
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+
+  h.Record(2.0);
+  h.Record(8.0);
+  h.Record(4.0);
+  h.Record(-3.0);  // Negative counts as zero.
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 14.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 8.0);
+
+  // p <= 0 is the exact min, p >= 100 the exact max.
+  EXPECT_DOUBLE_EQ(h.Quantile(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(100), 8.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(150), 8.0);
+}
+
+// The core guarantee: for every quantile, the histogram estimate is within
+// `relative_error` of the exact nearest-rank sample value, across
+// distributions with very different shapes. Percentile() (the summaries'
+// exact statistic) interpolates between the two order statistics bracketing
+// the same rank, so the estimate must also land inside that bracket inflated
+// by (1 +/- e).
+TEST(HistogramTest, QuantileWithinRelativeErrorOfExactPercentile) {
+  const double kQuantiles[] = {1, 10, 25, 50, 75, 90, 95, 99, 99.9};
+  struct Shape {
+    const char* name;
+    double relative_error;
+  };
+  const Shape shapes[] = {{"default", Histogram::kDefaultRelativeError},
+                          {"coarse", 0.05}};
+
+  for (const Shape& shape : shapes) {
+    for (int dist = 0; dist < 3; ++dist) {
+      Rng rng(1234 + static_cast<uint64_t>(dist));
+      Histogram h(shape.relative_error);
+      std::vector<double> samples;
+      samples.reserve(20000);
+      for (int i = 0; i < 20000; ++i) {
+        double v = 0;
+        switch (dist) {
+          case 0:  // Uniform latencies, ms scale.
+            v = rng.UniformDouble(0.05, 250.0);
+            break;
+          case 1:  // Exponential inter-arrivals: long tail.
+            v = rng.Exponential(12.0);
+            break;
+          default:  // Lognormal-ish: heavy tail over several decades.
+            v = std::exp(rng.Normal(1.0, 1.5));
+            break;
+        }
+        h.Record(v);
+        samples.push_back(v);
+      }
+      ASSERT_EQ(h.count(), samples.size());
+
+      std::vector<double> sorted = samples;
+      std::sort(sorted.begin(), sorted.end());
+      const size_t n = sorted.size();
+      const double e = shape.relative_error;
+      for (double p : kQuantiles) {
+        const double est = h.Quantile(p);
+        // Guaranteed bound vs the exact nearest-rank sample.
+        const size_t rank = static_cast<size_t>(std::max<uint64_t>(
+            1, static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(n)))));
+        const double exact = sorted[rank - 1];
+        EXPECT_LE(std::abs(est - exact), e * exact + 1e-12)
+            << "dist=" << dist << " shape=" << shape.name << " p=" << p
+            << " exact=" << exact << " est=" << est;
+        // Consistency with Percentile(): both the interpolated value and the
+        // estimate fall in the [sorted[lo], sorted[lo+1]] bracket (the
+        // estimate after inflating by the error bound).
+        const double interp = Percentile(samples, p);
+        const size_t lo =
+            static_cast<size_t>(p / 100.0 * static_cast<double>(n - 1));
+        const double bracket_lo = sorted[lo];
+        const double bracket_hi = sorted[std::min(lo + 1, n - 1)];
+        EXPECT_GE(interp, bracket_lo);
+        EXPECT_LE(interp, bracket_hi);
+        EXPECT_GE(est, bracket_lo * (1.0 - e) - 1e-12)
+            << "dist=" << dist << " p=" << p;
+        EXPECT_LE(est, bracket_hi * (1.0 + e) + 1e-12)
+            << "dist=" << dist << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(HistogramTest, MergesTinyValuesIntoZeroBucket) {
+  Histogram h;
+  h.Record(0.0);
+  h.Record(1e-12);  // Below kMinTrackable: lands in the zero bucket.
+  h.Record(5.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(100), 5.0);
+}
+
+// --- FormatMetricValue --------------------------------------------------------
+
+TEST(FormatMetricValueTest, IntegersPrintWithoutDecimalPoint) {
+  EXPECT_EQ(FormatMetricValue(0.0), "0");
+  EXPECT_EQ(FormatMetricValue(42.0), "42");
+  EXPECT_EQ(FormatMetricValue(-7.0), "-7");
+  EXPECT_EQ(FormatMetricValue(2.5), "2.5");
+  // Non-finite readings must never corrupt a JSON export.
+  EXPECT_EQ(FormatMetricValue(std::nan("")), "0");
+}
+
+// --- TimeSeriesSampler --------------------------------------------------------
+
+// One seeded run of a small scenario: a periodic task makes random-sized
+// steps on a counter and a gauge; the sampler snapshots both (plus a metric
+// that only appears mid-run) every 50 ms for one simulated second.
+std::string RunSampledScenario(uint64_t seed) {
+  Simulator sim(seed);
+  MetricsRegistry registry;
+  CounterRef events = registry.GetCounterRef("evt.count");
+  Gauge& depth = registry.GetGauge("evt.depth");
+
+  TimeSeriesSampler sampler(sim, registry, Milliseconds(50));
+  sampler.Watch("evt.count");
+  sampler.Watch("evt.count");  // Duplicate watch is a no-op.
+  sampler.Watch("evt.depth");
+  sampler.Watch("late.metric");  // Samples as 0 until it exists.
+  sampler.Start();
+
+  PeriodicTask churn(sim, Milliseconds(10), [&] {
+    events += sim.rng().UniformInt(uint64_t{0}, uint64_t{4});
+    depth.Set(static_cast<double>(sim.rng().UniformInt(uint64_t{0}, uint64_t{20})));
+  });
+  churn.Start();
+  sim.Schedule(Milliseconds(500),
+               [&] { registry.GetCounter("late.metric").Add(17); });
+
+  sim.RunFor(Seconds(1));
+  sampler.Stop();
+  return sampler.ToCsv();
+}
+
+TEST(TimeSeriesSamplerTest, SameSeedProducesByteIdenticalSeries) {
+  const std::string a = RunSampledScenario(97);
+  const std::string b = RunSampledScenario(97);
+  EXPECT_EQ(a, b);
+  // And the seed actually matters — a different seed changes the trajectory.
+  EXPECT_NE(a, RunSampledScenario(98));
+}
+
+TEST(TimeSeriesSamplerTest, SamplesOnTheSimulatorClock) {
+  Simulator sim(1);
+  MetricsRegistry registry;
+  registry.GetCounter("c").Add(5);
+
+  TimeSeriesSampler sampler(sim, registry, Milliseconds(100));
+  sampler.WatchAll();
+  sampler.Start();
+  sim.RunFor(Seconds(1));
+  sampler.Stop();
+
+  ASSERT_EQ(sampler.series().size(), 1u);
+  const auto& points = sampler.series()[0].points;
+  // Immediate sample at t=0 plus one per 100 ms tick.
+  ASSERT_EQ(points.size(), 11u);
+  EXPECT_EQ(points.front().t, Time::Zero());
+  EXPECT_DOUBLE_EQ(points.front().value, 5.0);
+  EXPECT_EQ(points.back().t, Time::Zero() + Seconds(1));
+
+  const std::string csv = sampler.ToCsv();
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "t_ms,c");
+}
+
+// --- BenchReport --------------------------------------------------------------
+
+TEST(BenchReportTest, JsonIsDeterministicAndCarriesAllSections) {
+  auto build = [] {
+    BenchReport report("unit_test", "telemetry unit-test report");
+    report.set_seed(7);
+    report.AddParam("iterations", 3);
+    report.AddSummary("latency_ms", "ms", std::vector<double>{1.0, 2.0, 3.0, 4.0});
+    report.AddRow("cell", {{"lost", uint64_t{2}}, {"note", "a\"b"}});
+    MetricsRegistry registry;
+    registry.GetCounter("mh.recoveries").Add(2);
+    registry.GetHistogram("ha.processing_ms").Record(0.25);
+    report.AddMetrics(registry);
+    return report.ToJson();
+  };
+  const std::string json = build();
+  EXPECT_EQ(json, build());
+
+  EXPECT_NE(json.find("\"schema\":\"msn-bench-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"bench\":\"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"smoke\":"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"latency_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"mh.recoveries\""), std::string::npos);
+  EXPECT_NE(json.find("\"ha.processing_ms\""), std::string::npos);
+  // The summary's percentiles are exact nearest-rank over the samples.
+  EXPECT_NE(json.find("\"p50\":2"), std::string::npos);
+  // Escaping: the row note must survive as a\"b.
+  EXPECT_NE(json.find("a\\\"b"), std::string::npos);
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("line\nbreak"), "line\\nbreak");
+}
+
+}  // namespace
+}  // namespace msn
