@@ -49,8 +49,8 @@ struct DhcpMessage {
   uint8_t prefix_len = 24;   // Subnet mask option.
   uint32_t lease_sec = 0;
 
-  std::vector<uint8_t> Serialize() const;
-  static std::optional<DhcpMessage> Parse(const std::vector<uint8_t>& bytes);
+  [[nodiscard]] std::vector<uint8_t> Serialize() const;
+  [[nodiscard]] static std::optional<DhcpMessage> Parse(const std::vector<uint8_t>& bytes);
 };
 
 // Address lease handed to a client.
@@ -89,7 +89,7 @@ class DhcpServer {
   size_t active_leases() const { return leases_by_mac_.size(); }
   const Counters& counters() const { return counters_; }
   // For tests: the next address that would be offered to a new client.
-  std::optional<Ipv4Address> PeekNextFree() const;
+  [[nodiscard]] std::optional<Ipv4Address> PeekNextFree() const;
 
  private:
   struct Lease {
@@ -98,7 +98,7 @@ class DhcpServer {
   };
 
   void OnDatagram(const std::vector<uint8_t>& data, const UdpSocket::Metadata& meta);
-  std::optional<Ipv4Address> AllocateFor(MacAddress mac);
+  [[nodiscard]] std::optional<Ipv4Address> AllocateFor(MacAddress mac);
   void ReleaseAddress(MacAddress mac);
   void ExpireLeases();
   void SendToClient(const DhcpMessage& msg);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/util/assert.h"
 #include "src/util/logging.h"
 
 namespace msn {
@@ -201,11 +202,12 @@ void HomeAgent::ProcessRequest(const RegistrationRequest& request,
   reply.identification = request.identification;
   reply.lifetime_sec = 0;
 
-  // Validation.
+  // Validation. Explicit authorization narrows service within the home
+  // subnet; it never extends it (Config: "Home addresses must fall inside
+  // this subnet to be served").
   const bool known =
-      authorized_.empty()
-          ? config_.home_subnet.Contains(request.home_address)
-          : authorized_.find(request.home_address) != authorized_.end();
+      config_.home_subnet.Contains(request.home_address) &&
+      (authorized_.empty() || authorized_.find(request.home_address) != authorized_.end());
   const auto key = auth_keys_.find(request.home_address);
   const bool must_authenticate =
       config_.require_authentication || key != auth_keys_.end();
@@ -215,6 +217,10 @@ void HomeAgent::ProcessRequest(const RegistrationRequest& request,
              (key == auth_keys_.end() || !request.VerifyAuthenticator(key->second))) {
     reply.code = MipReplyCode::kDeniedBadAuthenticator;
   } else if (request.home_agent != config_.address) {
+    reply.code = MipReplyCode::kDeniedMalformed;
+  } else if (!request.IsDeregistration() && request.care_of_address.IsAny()) {
+    // A registration must name somewhere to tunnel to; accepting an empty
+    // care-of address would install a black-hole binding.
     reply.code = MipReplyCode::kDeniedMalformed;
   } else if (resync_required_.erase(request.home_address) > 0) {
     // First registration after a daemon restart: deny once with a mismatch,
@@ -276,6 +282,14 @@ void HomeAgent::InstallBinding(const RegistrationRequest& request,
   binding.identification = request.identification;
   binding.registered_at = node_.sim().Now();
   binding.decapsulates_self = (request.flags & kMipFlagDecapsulateSelf) != 0;
+  // A binding serves exactly the home address it is keyed by, and only
+  // addresses inside the served subnet ever reach this point (ProcessRequest
+  // rejects the rest); a violation means tunnel traffic would be delivered
+  // to the wrong mobile host.
+  MSN_CHECK(binding.home_address == home);
+  MSN_CHECK(config_.home_subnet.Contains(home))
+      << home.ToString() << " outside " << config_.home_subnet.ToString();
+  MSN_ASSERT(!binding.care_of.IsAny()) << "registration with an empty care-of address";
   bindings_[home] = binding;
   bindings_gauge_->Set(static_cast<double>(bindings_.size()));
 

@@ -123,8 +123,8 @@ class HomeAgent {
   void EndOutage();
   bool service_available() const { return service_available_; }
 
-  bool HasBinding(Ipv4Address home_address) const;
-  std::optional<Binding> GetBinding(Ipv4Address home_address) const;
+  [[nodiscard]] bool HasBinding(Ipv4Address home_address) const;
+  [[nodiscard]] std::optional<Binding> GetBinding(Ipv4Address home_address) const;
   size_t binding_count() const { return bindings_.size(); }
   Counters counters() const;
   const Config& config() const { return config_; }
@@ -163,7 +163,7 @@ class HomeAgent {
   void RemoveBinding(Ipv4Address home_address, bool expired);
   void ScheduleExpiry(Ipv4Address home_address, Time expires);
   void EncapsulateAndTunnel(const Ipv4Datagram& inner);
-  std::optional<RouteDecision> RouteOverride(const RouteQuery& query);
+  [[nodiscard]] std::optional<RouteDecision> RouteOverride(const RouteQuery& query);
 
   Node& node_;
   Config config_;

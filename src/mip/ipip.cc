@@ -1,8 +1,15 @@
 #include "src/mip/ipip.h"
 
+#include "src/util/assert.h"
 #include "src/util/logging.h"
 
 namespace msn {
+
+// Deepest tunnel-in-tunnel nesting the endpoint will unwrap in one receive.
+// Normal operation uses one level (HA -> care-of), two with a reverse tunnel
+// inside an outage drill; anything deeper is a forwarding loop or a crafted
+// packet, and unwrapping it would recurse once per layer.
+inline constexpr int kMaxDecapDepth = 4;
 
 Ipv4Datagram EncapsulateIpIp(const Ipv4Datagram& inner, Ipv4Address outer_src,
                              Ipv4Address outer_dst) {
@@ -34,6 +41,14 @@ void IpIpTunnelEndpoint::OnIpIp(const Ipv4Header& header, const std::vector<uint
     ++decapsulation_errors_;
     return;
   }
+  // A nested tunnel packet re-enters OnIpIp from InjectReceivedDatagram
+  // below, one stack frame per layer; bound that recursion.
+  if (decap_depth_ >= kMaxDecapDepth) {
+    ++decapsulation_errors_;
+    MSN_WARN("ipip", "%s: dropping tunnel packet nested deeper than %d levels",
+             stack_.node_name().c_str(), kMaxDecapDepth);
+    return;
+  }
   if (inspector_ && !inspector_(header, *inner)) {
     return;
   }
@@ -44,7 +59,10 @@ void IpIpTunnelEndpoint::OnIpIp(const Ipv4Header& header, const std::vector<uint
   // at the tunnel endpoint, so interface-level transit filters must not be
   // re-applied to it.
   (void)ingress;
+  ++decap_depth_;
   stack_.InjectReceivedDatagram(*inner, nullptr);
+  --decap_depth_;
+  MSN_ASSERT(decap_depth_ >= 0);
 }
 
 }  // namespace msn

@@ -19,12 +19,13 @@ namespace msn {
 
 // Wraps `inner` in an outer IPv4 header (protocol 4) addressed outer_src ->
 // outer_dst with a fresh TTL.
-Ipv4Datagram EncapsulateIpIp(const Ipv4Datagram& inner, Ipv4Address outer_src,
+[[nodiscard]] Ipv4Datagram EncapsulateIpIp(const Ipv4Datagram& inner, Ipv4Address outer_src,
                              Ipv4Address outer_dst);
 
 // Extracts the inner datagram from an IPIP payload. Returns nullopt if the
 // payload is not a valid IPv4 datagram.
-std::optional<Ipv4Datagram> DecapsulateIpIp(const std::vector<uint8_t>& outer_payload);
+[[nodiscard]] std::optional<Ipv4Datagram> DecapsulateIpIp(
+    const std::vector<uint8_t>& outer_payload);
 
 // Registers as the protocol-4 handler on a stack. Each received tunnel packet
 // is decapsulated and the inner datagram re-injected into the stack's receive
@@ -53,6 +54,9 @@ class IpIpTunnelEndpoint {
   Inspector inspector_;
   uint64_t packets_decapsulated_ = 0;
   uint64_t decapsulation_errors_ = 0;
+  // Current nesting level while unwrapping tunnel-in-tunnel packets; bounds
+  // the indirect recursion through InjectReceivedDatagram.
+  int decap_depth_ = 0;
 };
 
 }  // namespace msn

@@ -55,7 +55,7 @@ enum class MipReplyCode : uint8_t {
 };
 
 const char* MipReplyCodeName(MipReplyCode code);
-bool MipReplyCodeAccepted(MipReplyCode code);
+[[nodiscard]] bool MipReplyCodeAccepted(MipReplyCode code);
 
 struct RegistrationRequest {
   static constexpr size_t kSize = 24;
@@ -73,15 +73,15 @@ struct RegistrationRequest {
   // header fields. Absent when authentication is not in use.
   std::optional<uint64_t> authenticator;
 
-  bool IsDeregistration() const { return lifetime_sec == 0; }
+  [[nodiscard]] bool IsDeregistration() const { return lifetime_sec == 0; }
 
   // Computes and attaches the authenticator under `key`.
   void Authenticate(const MipAuthKey& key);
   // True iff an authenticator is present and matches `key`.
-  bool VerifyAuthenticator(const MipAuthKey& key) const;
+  [[nodiscard]] bool VerifyAuthenticator(const MipAuthKey& key) const;
 
-  std::vector<uint8_t> Serialize() const;
-  static std::optional<RegistrationRequest> Parse(const std::vector<uint8_t>& bytes);
+  [[nodiscard]] std::vector<uint8_t> Serialize() const;
+  [[nodiscard]] static std::optional<RegistrationRequest> Parse(const std::vector<uint8_t>& bytes);
   std::string ToString() const;
 
  private:
@@ -102,10 +102,10 @@ struct RegistrationReply {
   bool accepted() const { return MipReplyCodeAccepted(code); }
 
   void Authenticate(const MipAuthKey& key);
-  bool VerifyAuthenticator(const MipAuthKey& key) const;
+  [[nodiscard]] bool VerifyAuthenticator(const MipAuthKey& key) const;
 
-  std::vector<uint8_t> Serialize() const;
-  static std::optional<RegistrationReply> Parse(const std::vector<uint8_t>& bytes);
+  [[nodiscard]] std::vector<uint8_t> Serialize() const;
+  [[nodiscard]] static std::optional<RegistrationReply> Parse(const std::vector<uint8_t>& bytes);
   std::string ToString() const;
 
  private:
@@ -125,8 +125,8 @@ struct BindingUpdate {
   Ipv4Address new_care_of;
   uint16_t grace_sec = 10;
 
-  std::vector<uint8_t> Serialize() const;
-  static std::optional<BindingUpdate> Parse(const std::vector<uint8_t>& bytes);
+  [[nodiscard]] std::vector<uint8_t> Serialize() const;
+  [[nodiscard]] static std::optional<BindingUpdate> Parse(const std::vector<uint8_t>& bytes);
 };
 
 // Broadcast periodically by a foreign agent on its local segment (over UDP
@@ -137,8 +137,8 @@ struct AgentAdvertisement {
   Ipv4Address agent_address;
   uint16_t lifetime_sec = 3;  // Advertisement validity.
 
-  std::vector<uint8_t> Serialize() const;
-  static std::optional<AgentAdvertisement> Parse(const std::vector<uint8_t>& bytes);
+  [[nodiscard]] std::vector<uint8_t> Serialize() const;
+  [[nodiscard]] static std::optional<AgentAdvertisement> Parse(const std::vector<uint8_t>& bytes);
 };
 
 }  // namespace msn

@@ -233,7 +233,7 @@ class MobileHost {
     CounterRef probe_fallbacks;
   };
 
-  std::optional<RouteDecision> RouteOverride(const RouteQuery& query);
+  [[nodiscard]] std::optional<RouteDecision> RouteOverride(const RouteQuery& query);
   void EncapsulateOut(const Ipv4Datagram& inner);
 
   // Shared attach pipeline (steps time-stamped into timeline_).

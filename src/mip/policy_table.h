@@ -55,7 +55,7 @@ class MobilePolicyTable {
 
   // Longest-prefix match; falls back to the default policy. Counts a hit on
   // the matched entry.
-  MobilePolicy Lookup(Ipv4Address dst);
+  [[nodiscard]] MobilePolicy Lookup(Ipv4Address dst);
   MobilePolicy LookupConst(Ipv4Address dst) const;
 
   // Caches "this destination needs tunneling" after a failed optimization

@@ -21,9 +21,9 @@ class Ipv4Address {
                (static_cast<uint32_t>(c) << 8) | d) {}
 
   // Parses dotted-quad, e.g. "36.135.0.5". Returns nullopt on malformed input.
-  static std::optional<Ipv4Address> Parse(const std::string& s);
+  [[nodiscard]] static std::optional<Ipv4Address> Parse(const std::string& s);
   // Parses or aborts; for literals in tests/examples.
-  static Ipv4Address MustParse(const std::string& s);
+  [[nodiscard]] static Ipv4Address MustParse(const std::string& s);
 
   static constexpr Ipv4Address Any() { return Ipv4Address(0); }
   static constexpr Ipv4Address Broadcast() { return Ipv4Address(0xffffffffu); }
@@ -70,8 +70,8 @@ class Subnet {
       : base_(Ipv4Address(base.value() & mask.mask_value())), mask_(mask) {}
 
   // Parses "36.135.0.0/16". Returns nullopt on malformed input.
-  static std::optional<Subnet> Parse(const std::string& s);
-  static Subnet MustParse(const std::string& s);
+  [[nodiscard]] static std::optional<Subnet> Parse(const std::string& s);
+  [[nodiscard]] static Subnet MustParse(const std::string& s);
   // The default route 0.0.0.0/0.
   static constexpr Subnet Default() { return Subnet(); }
 

@@ -53,4 +53,15 @@ bool VerifyInternetChecksum(const uint8_t* data, size_t len) {
   return ComputeInternetChecksum(data, len) == 0;
 }
 
+uint16_t IncrementalChecksumUpdate(uint16_t old_checksum, uint16_t old_word, uint16_t new_word) {
+  // RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m'), computed in one's complement.
+  uint32_t sum = static_cast<uint16_t>(~old_checksum);
+  sum += static_cast<uint16_t>(~old_word);
+  sum += new_word;
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum & 0xffff);
+}
+
 }  // namespace msn

@@ -19,7 +19,7 @@ class InternetChecksum {
   void AddU32(uint32_t v);
 
   // Final checksum value (already complemented, ready to write to the wire).
-  uint16_t Fold() const;
+  [[nodiscard]] uint16_t Fold() const;
 
  private:
   uint64_t sum_ = 0;
@@ -28,12 +28,19 @@ class InternetChecksum {
 };
 
 // One-shot checksum over a single buffer.
-uint16_t ComputeInternetChecksum(const uint8_t* data, size_t len);
-uint16_t ComputeInternetChecksum(const std::vector<uint8_t>& data);
+[[nodiscard]] uint16_t ComputeInternetChecksum(const uint8_t* data, size_t len);
+[[nodiscard]] uint16_t ComputeInternetChecksum(const std::vector<uint8_t>& data);
 
 // Verifies a buffer whose checksum field is included: the folded sum over the
 // whole buffer must be zero.
-bool VerifyInternetChecksum(const uint8_t* data, size_t len);
+[[nodiscard]] bool VerifyInternetChecksum(const uint8_t* data, size_t len);
+
+// RFC 1624 incremental update: the checksum of a buffer after one 16-bit
+// word changes from `old_word` to `new_word`, without re-summing the buffer.
+// This is how a router updates the header checksum for a TTL decrement;
+// equivalence with a full recompute is pinned down in tests/net_test.cc.
+[[nodiscard]] uint16_t IncrementalChecksumUpdate(uint16_t old_checksum, uint16_t old_word,
+                                                 uint16_t new_word);
 
 }  // namespace msn
 

@@ -5,8 +5,13 @@
 #include <cstdio>
 
 #include "src/net/checksum.h"
+#include "src/util/assert.h"
 
 namespace msn {
+
+// Largest payload that still fits a 16-bit total_length / length field.
+inline constexpr size_t kMaxIpv4Payload = 0xffff - Ipv4Header::kSize;
+inline constexpr size_t kMaxUdpPayload = 0xffff - UdpDatagram::kHeaderSize;
 
 const char* IpProtoName(IpProto proto) {
   switch (proto) {
@@ -98,6 +103,8 @@ std::string Ipv4Header::ToString() const {
 std::vector<uint8_t> BuildIpv4Datagram(const Ipv4Header& header,
                                        const std::vector<uint8_t>& payload) {
   Ipv4Header h = header;
+  MSN_CHECK(payload.size() <= kMaxIpv4Payload)
+      << "IPv4 payload of " << payload.size() << " bytes would truncate total_length";
   h.total_length = static_cast<uint16_t>(Ipv4Header::kSize + payload.size());
   ByteWriter w(h.total_length);
   h.Serialize(w);
@@ -137,6 +144,8 @@ void AddUdpPseudoHeader(InternetChecksum& cs, Ipv4Address src_ip, Ipv4Address ds
 }  // namespace
 
 std::vector<uint8_t> UdpDatagram::Serialize(Ipv4Address src_ip, Ipv4Address dst_ip) const {
+  MSN_CHECK(payload.size() <= kMaxUdpPayload)
+      << "UDP payload of " << payload.size() << " bytes would truncate the length field";
   const uint16_t length = static_cast<uint16_t>(kHeaderSize + payload.size());
   ByteWriter w(length);
   w.WriteU16(src_port);
@@ -207,7 +216,7 @@ std::optional<IcmpMessage> IcmpMessage::Parse(const std::vector<uint8_t>& bytes)
   IcmpMessage msg;
   msg.type = static_cast<IcmpType>(r.ReadU8());
   msg.code = r.ReadU8();
-  r.ReadU16();  // Checksum (already verified).
+  r.Skip(2);  // Checksum (already verified).
   msg.rest = r.ReadU32();
   msg.payload = r.ReadRemaining();
   return msg;

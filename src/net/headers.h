@@ -46,7 +46,7 @@ struct Ipv4Header {
   void Serialize(ByteWriter& w) const;
   // Parses and verifies the header checksum. Returns nullopt on truncation,
   // bad version, or checksum failure.
-  static std::optional<Ipv4Header> Parse(ByteReader& r);
+  [[nodiscard]] static std::optional<Ipv4Header> Parse(ByteReader& r);
 
   bool IsFragment() const { return more_fragments || fragment_offset != 0; }
 
@@ -54,7 +54,7 @@ struct Ipv4Header {
 };
 
 // Builds a complete IPv4 datagram (header + payload bytes).
-std::vector<uint8_t> BuildIpv4Datagram(const Ipv4Header& header,
+[[nodiscard]] std::vector<uint8_t> BuildIpv4Datagram(const Ipv4Header& header,
                                        const std::vector<uint8_t>& payload);
 
 // A parsed IPv4 datagram: header plus payload slice.
@@ -62,8 +62,10 @@ struct Ipv4Datagram {
   Ipv4Header header;
   std::vector<uint8_t> payload;
 
-  static std::optional<Ipv4Datagram> Parse(const std::vector<uint8_t>& bytes);
-  std::vector<uint8_t> Serialize() const { return BuildIpv4Datagram(header, payload); }
+  [[nodiscard]] static std::optional<Ipv4Datagram> Parse(const std::vector<uint8_t>& bytes);
+  [[nodiscard]] std::vector<uint8_t> Serialize() const {
+    return BuildIpv4Datagram(header, payload);
+  }
 };
 
 // UDP header (8 bytes) + payload. Checksum covers the RFC 768 pseudo-header.
@@ -75,10 +77,10 @@ struct UdpDatagram {
   std::vector<uint8_t> payload;
 
   // Serializes with the pseudo-header checksum for the given address pair.
-  std::vector<uint8_t> Serialize(Ipv4Address src_ip, Ipv4Address dst_ip) const;
+  [[nodiscard]] std::vector<uint8_t> Serialize(Ipv4Address src_ip, Ipv4Address dst_ip) const;
   // Parses and verifies the checksum against the given address pair.
-  static std::optional<UdpDatagram> Parse(const std::vector<uint8_t>& bytes, Ipv4Address src_ip,
-                                          Ipv4Address dst_ip);
+  [[nodiscard]] static std::optional<UdpDatagram> Parse(const std::vector<uint8_t>& bytes,
+                                                        Ipv4Address src_ip, Ipv4Address dst_ip);
 };
 
 // ICMP message types used by the system.
@@ -120,8 +122,8 @@ struct IcmpMessage {
     return (static_cast<uint32_t>(id) << 16) | seq;
   }
 
-  std::vector<uint8_t> Serialize() const;
-  static std::optional<IcmpMessage> Parse(const std::vector<uint8_t>& bytes);
+  [[nodiscard]] std::vector<uint8_t> Serialize() const;
+  [[nodiscard]] static std::optional<IcmpMessage> Parse(const std::vector<uint8_t>& bytes);
 };
 
 // ARP for IPv4-over-Ethernet (RFC 826).
@@ -139,8 +141,8 @@ struct ArpMessage {
   MacAddress target_mac;  // Zero in requests.
   Ipv4Address target_ip;
 
-  std::vector<uint8_t> Serialize() const;
-  static std::optional<ArpMessage> Parse(const std::vector<uint8_t>& bytes);
+  [[nodiscard]] std::vector<uint8_t> Serialize() const;
+  [[nodiscard]] static std::optional<ArpMessage> Parse(const std::vector<uint8_t>& bytes);
 
   std::string ToString() const;
 };

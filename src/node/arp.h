@@ -56,7 +56,7 @@ class ArpService {
   // that already have an entry for `ip` overwrite it (stale-entry voiding).
   void SendGratuitousArp(NetDevice* device, Ipv4Address ip);
 
-  std::optional<MacAddress> CachedLookup(Ipv4Address ip) const;
+  [[nodiscard]] std::optional<MacAddress> CachedLookup(Ipv4Address ip) const;
   void Flush();
   // Entries expire this long after last refresh.
   void set_entry_lifetime(Duration d) { entry_lifetime_ = d; }

@@ -537,9 +537,7 @@ void IpStack::HandleIcmp(const Ipv4Header& header, const std::vector<uint8_t>& p
         // pinger: this is how the mobile host learns a triangle-route probe
         // was administratively filtered.
         if (offending->protocol == IpProto::kIcmp && r.remaining() >= 8) {
-          r.ReadU8();   // type
-          r.ReadU8();   // code
-          r.ReadU16();  // checksum
+          r.Skip(4);  // Inner ICMP type, code, checksum.
           const uint16_t echo_id = r.ReadU16();
           auto it = echo_listeners_.find(echo_id);
           if (it != echo_listeners_.end()) {

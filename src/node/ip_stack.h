@@ -145,8 +145,8 @@ class IpStack {
   // Removes the address and the connected route.
   void UnconfigureAddress(NetDevice* device);
 
-  std::optional<Ipv4Address> GetInterfaceAddress(NetDevice* device) const;
-  std::optional<Subnet> GetInterfaceSubnet(NetDevice* device) const;
+  [[nodiscard]] std::optional<Ipv4Address> GetInterfaceAddress(NetDevice* device) const;
+  [[nodiscard]] std::optional<Subnet> GetInterfaceSubnet(NetDevice* device) const;
   bool IsLocalAddress(Ipv4Address addr) const;
   std::vector<NetDevice*> Interfaces() const;
 
@@ -160,7 +160,7 @@ class IpStack {
   void ClearRouteLookupOverride() { route_override_ = nullptr; }
 
   // The paper's ip_rt_route(): override first, then the routing table.
-  std::optional<RouteDecision> RouteLookup(const RouteQuery& query);
+  [[nodiscard]] std::optional<RouteDecision> RouteLookup(const RouteQuery& query);
 
   // --- Send path -------------------------------------------------------------
 

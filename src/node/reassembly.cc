@@ -2,7 +2,14 @@
 
 #include <algorithm>
 
+#include "src/util/assert.h"
+
 namespace msn {
+
+// Largest payload a reassembled datagram may carry and still serialize with a
+// valid 16-bit total_length. Fragments claiming bytes beyond this bound are
+// hostile or corrupt (the classic "ping of death" overflow) and are dropped.
+inline constexpr size_t kMaxReassembledPayload = 0xffff - Ipv4Header::kSize;
 
 std::vector<Ipv4Datagram> FragmentDatagram(const Ipv4Datagram& dg, size_t mtu) {
   std::vector<Ipv4Datagram> fragments;
@@ -16,6 +23,10 @@ std::vector<Ipv4Datagram> FragmentDatagram(const Ipv4Datagram& dg, size_t mtu) {
     const size_t chunk = std::min(max_payload, dg.payload.size() - at);
     Ipv4Datagram fragment;
     fragment.header = dg.header;
+    // The 13-bit offset field caps how far into a datagram a fragment can
+    // start; beyond it the cast below would silently wrap.
+    MSN_CHECK((base_offset_bytes + at) / 8 <= 0x1fff)
+        << "fragment offset " << (base_offset_bytes + at) << " bytes exceeds the 13-bit field";
     fragment.header.fragment_offset =
         static_cast<uint16_t>((base_offset_bytes + at) / 8);
     const bool last_piece = at + chunk == dg.payload.size();
@@ -59,6 +70,9 @@ std::optional<Ipv4Datagram> ReassemblyService::TryComplete(const Key& key, Buffe
   if (covered != *buffer.total_length) {
     return std::nullopt;
   }
+  // Guaranteed by the oversize rejection in Add(); a violation here means a
+  // buffer was fed around that check and the datagram could not serialize.
+  MSN_ASSERT(covered <= kMaxReassembledPayload) << "reassembled " << covered << " bytes";
   Ipv4Datagram whole;
   whole.header = buffer.first_header;
   whole.header.more_fragments = false;
@@ -78,6 +92,15 @@ std::optional<Ipv4Datagram> ReassemblyService::Add(const Ipv4Datagram& fragment)
   }
   ++counters_.fragments_received;
   Expire();
+
+  // Reject fragments whose claimed extent cannot belong to a well-formed
+  // datagram before they touch a buffer.
+  const size_t claimed_end =
+      static_cast<size_t>(fragment.header.fragment_offset) * 8 + fragment.payload.size();
+  if (claimed_end > kMaxReassembledPayload) {
+    ++counters_.fragments_rejected_oversize;
+    return std::nullopt;
+  }
 
   const Key key{fragment.header.src.value(), fragment.header.dst.value(),
                 fragment.header.identification,
@@ -101,7 +124,7 @@ std::optional<Ipv4Datagram> ReassemblyService::Add(const Ipv4Datagram& fragment)
   }
 
   Buffer& buffer = it->second;
-  const uint16_t offset_bytes = fragment.header.fragment_offset * 8;
+  const auto offset_bytes = static_cast<uint16_t>(fragment.header.fragment_offset * 8);
   buffer.pieces[offset_bytes] = fragment.payload;
   if (fragment.header.fragment_offset == 0) {
     buffer.first_header = fragment.header;

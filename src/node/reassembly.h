@@ -22,7 +22,7 @@ namespace msn {
 // Splits a datagram into MTU-sized fragments (offsets in 8-byte multiples).
 // Requires mtu >= 28 (header + one fragment unit). The input must not itself
 // have DF set (callers check and signal ICMP fragmentation-needed instead).
-std::vector<Ipv4Datagram> FragmentDatagram(const Ipv4Datagram& dg, size_t mtu);
+[[nodiscard]] std::vector<Ipv4Datagram> FragmentDatagram(const Ipv4Datagram& dg, size_t mtu);
 
 // Per-host reassembly queues keyed by (src, dst, id, protocol).
 class ReassemblyService {
@@ -31,7 +31,7 @@ class ReassemblyService {
 
   // Feeds a fragment. Returns the whole datagram once complete, nullopt
   // while fragments are missing. Non-fragments pass through unchanged.
-  std::optional<Ipv4Datagram> Add(const Ipv4Datagram& fragment);
+  [[nodiscard]] std::optional<Ipv4Datagram> Add(const Ipv4Datagram& fragment);
 
   // Incomplete buffers are discarded this long after their first fragment.
   void set_timeout(Duration d) { timeout_ = d; }
@@ -45,6 +45,9 @@ class ReassemblyService {
     uint64_t datagrams_reassembled = 0;
     uint64_t buffers_timed_out = 0;
     uint64_t buffers_evicted = 0;
+    // Fragments whose offset+length claims bytes past the 16-bit datagram
+    // bound ("ping of death"); dropped before buffering.
+    uint64_t fragments_rejected_oversize = 0;
   };
   const Counters& counters() const { return counters_; }
 
@@ -61,7 +64,7 @@ class ReassemblyService {
   };
 
   void Expire();
-  std::optional<Ipv4Datagram> TryComplete(const Key& key, Buffer& buffer);
+  [[nodiscard]] std::optional<Ipv4Datagram> TryComplete(const Key& key, Buffer& buffer);
 
   Simulator& sim_;
   std::map<Key, Buffer> buffers_;

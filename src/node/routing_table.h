@@ -43,7 +43,7 @@ class RoutingTable {
   void Clear();
 
   // Longest-prefix match; ties broken by lowest metric, then insertion order.
-  std::optional<RouteEntry> Lookup(Ipv4Address dst) const;
+  [[nodiscard]] std::optional<RouteEntry> Lookup(Ipv4Address dst) const;
 
   const std::vector<RouteEntry>& entries() const { return entries_; }
   size_t size() const { return entries_.size(); }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/net/checksum.h"
+#include "src/util/assert.h"
 #include "src/util/byte_buffer.h"
 #include "src/util/logging.h"
 
@@ -12,6 +13,8 @@ namespace msn {
 // --- Wire format -----------------------------------------------------------------
 
 std::vector<uint8_t> TcpLiteSegment::Serialize(Ipv4Address src_ip, Ipv4Address dst_ip) const {
+  MSN_CHECK(payload.size() <= size_t{0xffff} - kHeaderSize)
+      << "tcplite payload of " << payload.size() << " bytes would truncate the length";
   const uint16_t length = static_cast<uint16_t>(kHeaderSize + payload.size());
   ByteWriter w(length);
   w.WriteU16(src_port);
@@ -55,7 +58,7 @@ std::optional<TcpLiteSegment> TcpLiteSegment::Parse(const std::vector<uint8_t>& 
   seg.ack = r.ReadU32();
   seg.flags = r.ReadU8();
   seg.window_segments = r.ReadU8();
-  r.ReadU16();  // Checksum.
+  r.Skip(2);  // Checksum (verified above via the pseudo-header fold).
   seg.payload = r.ReadRemaining();
   return seg;
 }

@@ -47,8 +47,8 @@ struct TcpLiteSegment {
   bool fin() const { return (flags & kFlagFin) != 0; }
   bool rst() const { return (flags & kFlagRst) != 0; }
 
-  std::vector<uint8_t> Serialize(Ipv4Address src_ip, Ipv4Address dst_ip) const;
-  static std::optional<TcpLiteSegment> Parse(const std::vector<uint8_t>& bytes,
+  [[nodiscard]] std::vector<uint8_t> Serialize(Ipv4Address src_ip, Ipv4Address dst_ip) const;
+  [[nodiscard]] static std::optional<TcpLiteSegment> Parse(const std::vector<uint8_t>& bytes,
                                              Ipv4Address src_ip, Ipv4Address dst_ip);
 };
 

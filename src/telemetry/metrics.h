@@ -120,7 +120,7 @@ class Histogram {
 
   // Nearest-rank quantile estimate; `p` in [0, 100]. p <= 0 returns the exact
   // min, p >= 100 the exact max; estimates are clamped into [min, max].
-  double Quantile(double p) const;
+  [[nodiscard]] double Quantile(double p) const;
 
  private:
   int32_t BucketIndex(double value) const;
@@ -178,10 +178,10 @@ class MetricsRegistry {
                           double relative_error = Histogram::kDefaultRelativeError);
 
   bool Contains(const std::string& name) const;
-  std::optional<MetricType> TypeOf(const std::string& name) const;
+  [[nodiscard]] std::optional<MetricType> TypeOf(const std::string& name) const;
   // Scalar reading used by the sampler: counter/gauge value; histogram count.
-  std::optional<double> ReadValue(const std::string& name) const;
-  const Histogram* FindHistogram(const std::string& name) const;
+  [[nodiscard]] std::optional<double> ReadValue(const std::string& name) const;
+  [[nodiscard]] const Histogram* FindHistogram(const std::string& name) const;
 
   size_t size() const { return metrics_.size(); }
   // Name-sorted.

@@ -70,7 +70,7 @@ PacketCapture::~PacketCapture() { DetachAll(); }
 void PacketCapture::Attach(Simulator& sim, NetDevice* device) {
   device->SetTap([this, &sim, device](const EthernetFrame& frame,
                                       NetDevice::TapDirection dir) {
-    frames_.push_back(CapturedFrame{sim.Now(), device->name(), dir, frame});
+    frames_.push_back(CapturedFrame{sim.Now(), device->name(), dir, frame, /*note=*/""});
   });
   tapped_.push_back(device);
 }

@@ -1,0 +1,24 @@
+#include "src/util/assert.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace msn {
+namespace internal {
+
+ContractFailure::ContractFailure(const char* macro, const char* expr, const char* file, int line) {
+  stream_ << macro << " failed: " << expr << " at " << file << ":" << line;
+}
+
+ContractFailure::~ContractFailure() {
+  const std::string message = stream_.str();
+  // stderr directly rather than MSN_LOG: contract failures must be visible
+  // even when logging is at kOff (the default in tests and benches).
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace msn

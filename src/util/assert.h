@@ -1,0 +1,75 @@
+// Contract-checking macros for protocol invariants.
+//
+// MSN_CHECK(cond) is always compiled in: on failure it prints the failed
+// expression, the source location, and any streamed context, then aborts.
+// Use it for invariants whose violation means simulation state is corrupt
+// (binding-table consistency, reassembly bounds, encapsulation depth) —
+// continuing would silently produce wrong traces, which is worse than dying.
+//
+// MSN_ASSERT(cond) is the hot-path variant: identical semantics, but it
+// compiles to nothing when MSN_ASSERTS_ENABLED is 0 (the condition is not
+// evaluated; names it mentions still count as used). The build defines
+// MSN_ASSERTS_ENABLED via the MSN_ASSERTS CMake option, which defaults ON in
+// every build type so tests and CI always run with contracts armed; only
+// explicitly configured benchmark builds turn it off.
+//
+// Both accept streamed context after the condition:
+//
+//   MSN_CHECK(offset + len <= total) << "offset=" << offset << " len=" << len;
+#ifndef MSN_SRC_UTIL_ASSERT_H_
+#define MSN_SRC_UTIL_ASSERT_H_
+
+#include <sstream>
+
+namespace msn {
+namespace internal {
+
+// Collects the streamed failure context; the destructor reports and aborts.
+class ContractFailure {
+ public:
+  ContractFailure(const char* macro, const char* expr, const char* file, int line);
+  [[noreturn]] ~ContractFailure();
+
+  ContractFailure(const ContractFailure&) = delete;
+  ContractFailure& operator=(const ContractFailure&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Gives the check macros a `void` expression type while keeping `<<` chains
+// binding tighter than the `&` (the classic glog voidify trick).
+struct ContractVoidify {
+  void operator&(std::ostream&) const {}
+};
+
+}  // namespace internal
+}  // namespace msn
+
+#define MSN_CHECK(cond)                                   \
+  (cond) ? (void)0                                        \
+         : ::msn::internal::ContractVoidify() &           \
+               ::msn::internal::ContractFailure("MSN_CHECK", #cond, __FILE__, __LINE__).stream()
+
+#ifndef MSN_ASSERTS_ENABLED
+#ifdef NDEBUG
+#define MSN_ASSERTS_ENABLED 0
+#else
+#define MSN_ASSERTS_ENABLED 1
+#endif
+#endif
+
+#if MSN_ASSERTS_ENABLED
+#define MSN_ASSERT(cond)                                  \
+  (cond) ? (void)0                                        \
+         : ::msn::internal::ContractVoidify() &           \
+               ::msn::internal::ContractFailure("MSN_ASSERT", #cond, __FILE__, __LINE__).stream()
+#else
+// sizeof keeps the condition's names odr-used-free but "used" for -Wunused,
+// without evaluating it.
+#define MSN_ASSERT(cond) ((void)sizeof((cond) ? 1 : 0))
+#endif
+
+#endif  // MSN_SRC_UTIL_ASSERT_H_

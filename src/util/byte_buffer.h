@@ -34,7 +34,7 @@ class ByteWriter {
 
   size_t size() const { return buf_.size(); }
   const std::vector<uint8_t>& data() const { return buf_; }
-  std::vector<uint8_t> Take() { return std::move(buf_); }
+  [[nodiscard]] std::vector<uint8_t> Take() { return std::move(buf_); }
 
  private:
   std::vector<uint8_t> buf_;
@@ -49,18 +49,18 @@ class ByteReader {
   explicit ByteReader(const std::vector<uint8_t>& data)
       : data_(data.data()), len_(data.size()) {}
 
-  uint8_t ReadU8();
-  uint16_t ReadU16();
-  uint32_t ReadU32();
-  uint64_t ReadU64();
+  [[nodiscard]] uint8_t ReadU8();
+  [[nodiscard]] uint16_t ReadU16();
+  [[nodiscard]] uint32_t ReadU32();
+  [[nodiscard]] uint64_t ReadU64();
   // Reads exactly `len` bytes; returns an empty vector (and clears ok) if not
   // enough bytes remain.
-  std::vector<uint8_t> ReadBytes(size_t len);
+  [[nodiscard]] std::vector<uint8_t> ReadBytes(size_t len);
   // Reads all remaining bytes (possibly zero). Never fails.
-  std::vector<uint8_t> ReadRemaining();
+  [[nodiscard]] std::vector<uint8_t> ReadRemaining();
   void Skip(size_t len);
 
-  bool ok() const { return ok_; }
+  [[nodiscard]] bool ok() const { return ok_; }
   size_t remaining() const { return len_ - pos_; }
   size_t position() const { return pos_; }
 
@@ -74,8 +74,8 @@ class ByteReader {
 };
 
 // Renders bytes as lowercase hex separated by spaces, e.g. "de ad be ef".
-std::string HexDump(const uint8_t* data, size_t len);
-std::string HexDump(const std::vector<uint8_t>& data);
+[[nodiscard]] std::string HexDump(const uint8_t* data, size_t len);
+[[nodiscard]] std::string HexDump(const std::vector<uint8_t>& data);
 
 }  // namespace msn
 

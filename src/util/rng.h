@@ -15,34 +15,34 @@ class Rng {
   explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
 
   // Uniform random 64-bit value.
-  uint64_t NextU64();
+  [[nodiscard]] uint64_t NextU64();
 
   // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
-  uint64_t UniformInt(uint64_t lo, uint64_t hi);
-  int64_t UniformInt(int64_t lo, int64_t hi);
+  [[nodiscard]] uint64_t UniformInt(uint64_t lo, uint64_t hi);
+  [[nodiscard]] int64_t UniformInt(int64_t lo, int64_t hi);
 
   // Uniform double in [0, 1).
-  double UniformDouble();
+  [[nodiscard]] double UniformDouble();
   // Uniform double in [lo, hi).
-  double UniformDouble(double lo, double hi);
+  [[nodiscard]] double UniformDouble(double lo, double hi);
 
   // True with probability p (clamped to [0, 1]).
-  bool Bernoulli(double p);
+  [[nodiscard]] bool Bernoulli(double p);
 
   // Normal distribution via Box-Muller. A non-positive stddev returns mean.
-  double Normal(double mean, double stddev);
+  [[nodiscard]] double Normal(double mean, double stddev);
 
   // Normal clamped to be >= floor. Used for latency/overhead draws that must
   // never be negative.
-  double NormalAtLeast(double mean, double stddev, double floor);
+  [[nodiscard]] double NormalAtLeast(double mean, double stddev, double floor);
 
   // Exponential with the given mean (mean = 1/lambda). Non-positive mean
   // returns 0.
-  double Exponential(double mean);
+  [[nodiscard]] double Exponential(double mean);
 
   // Derives an independent child generator; handy for giving each component
   // its own stream while staying deterministic overall.
-  Rng Fork();
+  [[nodiscard]] Rng Fork();
 
  private:
   uint64_t s_[4];

@@ -19,8 +19,8 @@ struct SipHashKey {
 };
 
 // SipHash-2-4 of `data` under `key`.
-uint64_t SipHash24(const SipHashKey& key, const uint8_t* data, size_t len);
-uint64_t SipHash24(const SipHashKey& key, const std::vector<uint8_t>& data);
+[[nodiscard]] uint64_t SipHash24(const SipHashKey& key, const uint8_t* data, size_t len);
+[[nodiscard]] uint64_t SipHash24(const SipHashKey& key, const std::vector<uint8_t>& data);
 
 }  // namespace msn
 

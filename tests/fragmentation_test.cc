@@ -48,6 +48,40 @@ TEST(FragmentTest, SplitsAtEightByteBoundaries) {
   }
 }
 
+TEST(FragmentDeathTest, OffsetBeyondThirteenBitsTripsContract) {
+  // A middle fragment re-fragmented near the top of the offset field: the
+  // pieces past byte 65528 cannot be encoded and previously wrapped silently
+  // into a low offset, corrupting reassembly at the far end.
+  Ipv4Datagram dg = MakeDatagram(6000);
+  dg.header.fragment_offset = 0x1f00;  // Starts at byte 63488.
+  dg.header.more_fragments = true;
+  EXPECT_DEATH((void)FragmentDatagram(dg, 1500), "13-bit field");
+}
+
+TEST(FragmentTest, OversizeFragmentRejectedBeforeBuffering) {
+  // offset 0x1fff * 8 + payload claims bytes past the 65535-byte datagram
+  // bound — the "ping of death" shape. It must be dropped up front, not
+  // buffered (where completion would build an unserializable datagram).
+  Simulator sim(1);
+  ReassemblyService service(sim);
+  Ipv4Datagram evil = MakeDatagram(200);
+  evil.header.fragment_offset = 0x1fff;
+  evil.header.more_fragments = false;
+  EXPECT_FALSE(service.Add(evil).has_value());
+  EXPECT_EQ(service.pending(), 0u);
+  EXPECT_EQ(service.counters().fragments_rejected_oversize, 1u);
+  EXPECT_EQ(service.counters().fragments_received, 1u);
+
+  // A well-formed sibling datagram still reassembles normally afterwards.
+  const auto fragments = FragmentDatagram(MakeDatagram(3000, 8), 1500);
+  std::optional<Ipv4Datagram> out;
+  for (const auto& f : fragments) {
+    out = service.Add(f);
+  }
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->payload.size(), 3000u);
+}
+
 TEST(FragmentTest, SmallDatagramUntouchedByReassemblyService) {
   Simulator sim(1);
   ReassemblyService service(sim);
@@ -116,7 +150,7 @@ TEST(FragmentTest, MissingFragmentTimesOut) {
   EXPECT_EQ(service.pending(), 1u);
   sim.RunFor(Seconds(6));
   // Feeding an unrelated fragment triggers expiry sweep.
-  service.Add(FragmentDatagram(MakeDatagram(2000, 99), 1500)[0]);
+  EXPECT_FALSE(service.Add(FragmentDatagram(MakeDatagram(2000, 99), 1500)[0]).has_value());
   EXPECT_EQ(service.counters().buffers_timed_out, 1u);
 }
 
@@ -125,7 +159,7 @@ TEST(FragmentTest, BufferEvictionUnderPressure) {
   ReassemblyService service(sim);
   service.set_max_buffers(4);
   for (uint16_t id = 0; id < 10; ++id) {
-    service.Add(FragmentDatagram(MakeDatagram(2000, id), 1500)[0]);
+    EXPECT_FALSE(service.Add(FragmentDatagram(MakeDatagram(2000, id), 1500)[0]).has_value());
   }
   EXPECT_LE(service.pending(), 4u);
   EXPECT_GE(service.counters().buffers_evicted, 6u);

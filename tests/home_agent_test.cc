@@ -92,6 +92,31 @@ TEST_F(HomeAgentFixture, DeniesForeignHomeAddress) {
   EXPECT_EQ(tb_->home_agent->counters().registrations_denied, 1u);
 }
 
+TEST_F(HomeAgentFixture, AuthorizationCannotExtendServiceOutsideHomeSubnet) {
+  // Regression: an explicitly authorized address used to bypass the
+  // home-subnet membership check entirely, so the HA would install bindings
+  // for addresses it cannot proxy (Config: "Home addresses must fall inside
+  // this subnet to be served").
+  tb_->home_agent->AuthorizeMobileHost(Ipv4Address(99, 1, 2, 3));
+  SendRequest(MakeRequest(Ipv4Address(99, 1, 2, 3), Ipv4Address(36, 8, 0, 50), 300, 1));
+  tb_->RunFor(Seconds(1));
+  ASSERT_TRUE(last_reply_.has_value());
+  EXPECT_EQ(last_reply_->code, MipReplyCode::kDeniedUnknownHomeAddress);
+  EXPECT_EQ(tb_->home_agent->binding_count(), 0u);
+}
+
+TEST_F(HomeAgentFixture, DeniesRegistrationWithEmptyCareOf) {
+  // Regression: a nonzero-lifetime request with care-of 0.0.0.0 used to be
+  // accepted, installing a binding that tunneled the MH's traffic to the
+  // unspecified address (a black hole).
+  SendRequest(MakeRequest(Testbed::HomeAddress(), Ipv4Address::Any(), 300, 1));
+  tb_->RunFor(Seconds(1));
+  ASSERT_TRUE(last_reply_.has_value());
+  EXPECT_EQ(last_reply_->code, MipReplyCode::kDeniedMalformed);
+  EXPECT_EQ(tb_->home_agent->binding_count(), 0u);
+  EXPECT_FALSE(tb_->home_agent->HasBinding(Testbed::HomeAddress()));
+}
+
 TEST_F(HomeAgentFixture, DeniesWrongHomeAgentAddress) {
   auto req = MakeRequest(Testbed::HomeAddress(), Ipv4Address(36, 8, 0, 50), 300, 1);
   req.home_agent = Ipv4Address(1, 2, 3, 4);

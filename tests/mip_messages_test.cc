@@ -117,8 +117,8 @@ TEST(PolicyTableTest, SetReplacesExisting) {
 TEST(PolicyTableTest, HitCounting) {
   MobilePolicyTable table;
   table.Set(Subnet::MustParse("36.8.0.0/16"), MobilePolicy::kTriangle);
-  table.Lookup(Ipv4Address(36, 8, 0, 1));
-  table.Lookup(Ipv4Address(36, 8, 0, 2));
+  EXPECT_EQ(table.Lookup(Ipv4Address(36, 8, 0, 1)), MobilePolicy::kTriangle);
+  EXPECT_EQ(table.Lookup(Ipv4Address(36, 8, 0, 2)), MobilePolicy::kTriangle);
   table.LookupConst(Ipv4Address(36, 8, 0, 3));  // Advisory: no hit.
   EXPECT_EQ(table.entries()[0].hits, 2u);
 }

@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Self-test for tools/msn_lint.py: one positive and one allowlisted/clean
+negative fixture per rule, plus CLI exit-code behaviour. Registered in ctest
+as `msn_lint_test` so tier-1 runs it alongside the C++ suites."""
+
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import msn_lint  # noqa: E402
+
+
+def run_lint(root: Path, paths=("src",)):
+    return msn_lint.lint_paths(root, list(paths))
+
+
+def rules_of(violations):
+    return [v.rule for v in violations]
+
+
+class FixtureTree:
+    """Builds a throwaway repo-shaped tree to lint."""
+
+    def __init__(self):
+        self._tmp = tempfile.TemporaryDirectory(prefix="msn_lint_test_")
+        self.root = Path(self._tmp.name)
+
+    def write(self, rel: str, content: str) -> Path:
+        path = self.root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content)
+        return path
+
+    def cleanup(self):
+        self._tmp.cleanup()
+
+
+class MsnLintTest(unittest.TestCase):
+    def setUp(self):
+        self.tree = FixtureTree()
+        self.addCleanup(self.tree.cleanup)
+
+    # --- determinism/wall-clock ---------------------------------------------
+
+    def test_wall_clock_flagged(self):
+        self.tree.write("src/node/bad.cc", "void f() { long t = time(nullptr); (void)t; }\n")
+        self.assertEqual(rules_of(run_lint(self.tree.root)), ["determinism/wall-clock"])
+
+    def test_chrono_clocks_flagged(self):
+        self.tree.write("src/node/bad.cc",
+                        "auto t = std::chrono::steady_clock::now();\n"
+                        "auto u = std::chrono::system_clock::now();\n")
+        self.assertEqual(rules_of(run_lint(self.tree.root)),
+                         ["determinism/wall-clock", "determinism/wall-clock"])
+
+    def test_wall_clock_in_comment_not_flagged(self):
+        self.tree.write("src/node/ok.cc",
+                        "// Never call time(nullptr) here; the sim clock rules.\n"
+                        "int f();\n")
+        self.assertEqual(run_lint(self.tree.root), [])
+
+    def test_wall_clock_allowlisted_inline(self):
+        self.tree.write("src/node/ok.cc",
+                        "long t = time(nullptr);  // msn-lint: allow(determinism/wall-clock)\n")
+        self.assertEqual(run_lint(self.tree.root), [])
+
+    def test_identifier_suffix_time_not_flagged(self):
+        self.tree.write("src/node/ok.cc", "set_bring_up_time(d); auto x = bring_up_time();\n")
+        self.assertEqual(run_lint(self.tree.root), [])
+
+    # --- determinism/ambient-rng --------------------------------------------
+
+    def test_std_rand_and_random_device_flagged(self):
+        self.tree.write("src/link/bad.cc",
+                        "int a = std::rand();\n"
+                        "std::random_device rd;\n"
+                        "std::mt19937 gen(42);\n")
+        self.assertEqual(rules_of(run_lint(self.tree.root)), ["determinism/ambient-rng"] * 3)
+
+    def test_msn_rng_not_flagged(self):
+        self.tree.write("src/link/ok.cc",
+                        '#include "src/util/rng.h"\n'
+                        "double d = rng_.UniformDouble();\n")
+        self.assertEqual(run_lint(self.tree.root), [])
+
+    def test_rng_allow_comment_on_previous_line(self):
+        self.tree.write("src/link/ok.cc",
+                        "// msn-lint: allow(determinism/ambient-rng)\n"
+                        "std::mt19937 gen(seed);\n")
+        self.assertEqual(run_lint(self.tree.root), [])
+
+    # --- layering/upward-include --------------------------------------------
+
+    def test_upward_include_flagged(self):
+        self.tree.write("src/net/bad.cc", '#include "src/mip/home_agent.h"\n')
+        self.assertEqual(rules_of(run_lint(self.tree.root)), ["layering/upward-include"])
+
+    def test_peer_rank_include_flagged(self):
+        # net and sim share a rank; neither may include the other.
+        self.tree.write("src/net/bad.cc", '#include "src/sim/time.h"\n')
+        self.assertEqual(rules_of(run_lint(self.tree.root)), ["layering/upward-include"])
+
+    def test_downward_and_same_dir_includes_ok(self):
+        self.tree.write("src/mip/ok.cc",
+                        '#include "src/mip/messages.h"\n'
+                        '#include "src/net/headers.h"\n'
+                        '#include "src/util/rng.h"\n')
+        self.assertEqual(run_lint(self.tree.root), [])
+
+    def test_unknown_layer_flagged(self):
+        self.tree.write("src/node/bad.cc", '#include "src/quantum/teleport.h"\n')
+        self.assertEqual(rules_of(run_lint(self.tree.root)), ["layering/upward-include"])
+
+    # --- header/guard --------------------------------------------------------
+
+    def test_wrong_guard_name_flagged(self):
+        self.tree.write("src/net/thing.h",
+                        "#ifndef WRONG_GUARD_H\n#define WRONG_GUARD_H\n#endif\n")
+        self.assertEqual(rules_of(run_lint(self.tree.root)), ["header/guard"])
+
+    def test_pragma_once_flagged(self):
+        self.tree.write("src/net/thing.h", "#pragma once\nint x;\n")
+        self.assertEqual(rules_of(run_lint(self.tree.root)), ["header/guard"])
+
+    def test_missing_define_flagged(self):
+        self.tree.write("src/net/thing.h",
+                        "#ifndef MSN_SRC_NET_THING_H_\n#include <vector>\n#endif\n")
+        self.assertEqual(rules_of(run_lint(self.tree.root)), ["header/guard"])
+
+    def test_correct_guard_ok(self):
+        self.tree.write("src/net/thing.h",
+                        "// A comment first is fine.\n"
+                        "#ifndef MSN_SRC_NET_THING_H_\n"
+                        "#define MSN_SRC_NET_THING_H_\n"
+                        "int x;\n"
+                        "#endif  // MSN_SRC_NET_THING_H_\n")
+        self.assertEqual(run_lint(self.tree.root), [])
+
+    # --- header/using-namespace ---------------------------------------------
+
+    def test_using_namespace_in_header_flagged(self):
+        self.tree.write("src/net/thing.h",
+                        "#ifndef MSN_SRC_NET_THING_H_\n"
+                        "#define MSN_SRC_NET_THING_H_\n"
+                        "using namespace std;\n"
+                        "#endif\n")
+        self.assertEqual(rules_of(run_lint(self.tree.root)), ["header/using-namespace"])
+
+    def test_using_namespace_in_cc_not_flagged(self):
+        self.tree.write("src/net/thing.cc", "using namespace std::literals;\n")
+        self.assertEqual(run_lint(self.tree.root), [])
+
+    def test_using_declaration_in_header_ok(self):
+        self.tree.write("src/net/thing.h",
+                        "#ifndef MSN_SRC_NET_THING_H_\n"
+                        "#define MSN_SRC_NET_THING_H_\n"
+                        "using MipAuthKey = int;\n"
+                        "#endif\n")
+        self.assertEqual(run_lint(self.tree.root), [])
+
+    # --- telemetry/metric-name ----------------------------------------------
+
+    def test_bad_metric_names_flagged(self):
+        self.tree.write("src/mip/bad.cc",
+                        'auto& a = reg.GetCounter("HA.Requests");\n'
+                        'auto& b = reg.GetGauge("bindings");\n'
+                        'auto& c = reg.GetHistogram("ha processing ms");\n')
+        self.assertEqual(rules_of(run_lint(self.tree.root)), ["telemetry/metric-name"] * 3)
+
+    def test_good_metric_names_ok(self):
+        self.tree.write("src/mip/ok.cc",
+                        'auto& a = reg.GetCounter("ha.requests_received");\n'
+                        'auto& b = reg.GetGauge("dev.mh.eth0.queue_depth");\n'
+                        'auto r = reg.GetCounterRef(prefix + "drop_ttl");\n'
+                        'auto& h = reg.GetHistogram("mh.handoff_ms", 0.01);\n')
+        self.assertEqual(run_lint(self.tree.root), [])
+
+    def test_concatenated_prefix_charset_enforced(self):
+        self.tree.write("src/mip/bad.cc", 'auto& a = reg.GetCounter("IP." + name);\n')
+        self.assertEqual(rules_of(run_lint(self.tree.root)), ["telemetry/metric-name"])
+
+    # --- CLI ----------------------------------------------------------------
+
+    def test_cli_exit_codes_and_output(self):
+        self.tree.write("src/node/bad.cc", "long t = time(nullptr);\n")
+        tool = REPO_ROOT / "tools" / "msn_lint.py"
+        proc = subprocess.run(
+            [sys.executable, str(tool), "--root", str(self.tree.root), "src"],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("[determinism/wall-clock]", proc.stdout)
+
+        clean = subprocess.run(
+            [sys.executable, str(tool), "--root", str(self.tree.root),
+             "src/node/bad.cc"], capture_output=True, text=True)
+        self.assertEqual(clean.returncode, 1)
+
+        missing = subprocess.run(
+            [sys.executable, str(tool), "--root", str(self.tree.root), "nope/"],
+            capture_output=True, text=True)
+        self.assertEqual(missing.returncode, 2)
+
+    def test_repo_src_is_clean(self):
+        # The real tree must stay lint-clean; this is the same gate CI runs.
+        self.assertEqual(run_lint(REPO_ROOT, ["src"]), [])
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -126,6 +126,84 @@ TEST(ChecksumTest, IncrementalMatchesOneShot) {
   EXPECT_EQ(inc.Fold(), ComputeInternetChecksum(data));
 }
 
+TEST(ChecksumTest, EmptyBufferIsAllOnes) {
+  // An empty sum is 0; the transmitted complement is 0xffff.
+  EXPECT_EQ(ComputeInternetChecksum(nullptr, 0), 0xffff);
+}
+
+TEST(ChecksumTest, OddLengthSplitAcrossAdds) {
+  // An odd-length first chunk leaves a pending byte that must pair with the
+  // first byte of the next chunk, exactly as if the stream were contiguous.
+  const uint8_t data[] = {0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde};
+  for (size_t split = 0; split <= sizeof(data); ++split) {
+    InternetChecksum cs;
+    cs.Add(data, split);
+    cs.Add(data + split, sizeof(data) - split);
+    EXPECT_EQ(cs.Fold(), ComputeInternetChecksum(data, sizeof(data))) << "split=" << split;
+  }
+}
+
+TEST(ChecksumTest, CarryFoldingAtFFFF) {
+  // Every 16-bit word is 0xffff: the one's-complement sum saturates at 0xffff
+  // (negative zero), so the transmitted checksum is 0x0000 regardless of
+  // length — the canonical carry-wraparound case.
+  for (size_t words : {1u, 2u, 32u, 1000u}) {
+    const std::vector<uint8_t> data(words * 2, 0xff);
+    EXPECT_EQ(ComputeInternetChecksum(data), 0x0000) << "words=" << words;
+  }
+  // 0x8000 + 0x8000 + 0x0001 overflows 16 bits; the carry folds back in:
+  // 0x10001 -> 0x0002, complement 0xfffd.
+  const uint8_t carry[] = {0x80, 0x00, 0x80, 0x00, 0x00, 0x01};
+  EXPECT_EQ(ComputeInternetChecksum(carry, sizeof(carry)), 0xfffd);
+}
+
+TEST(ChecksumTest, IncrementalUpdateMatchesFullRecompute) {
+  // Change each word of a buffer to assorted new values; RFC 1624 must agree
+  // with recomputing the sum from scratch every time.
+  std::vector<uint8_t> data;
+  for (int i = 0; i < 20; ++i) {
+    data.push_back(static_cast<uint8_t>(i * 31 + 5));
+  }
+  const uint16_t original = ComputeInternetChecksum(data);
+  for (size_t offset = 0; offset + 1 < data.size(); offset += 2) {
+    for (uint16_t new_word : {uint16_t{0x0000}, uint16_t{0xffff}, uint16_t{0x0001},
+                              uint16_t{0x8000}, uint16_t{0x1234}}) {
+      const auto old_word =
+          static_cast<uint16_t>((data[offset] << 8) | data[offset + 1]);
+      std::vector<uint8_t> modified = data;
+      modified[offset] = static_cast<uint8_t>(new_word >> 8);
+      modified[offset + 1] = static_cast<uint8_t>(new_word & 0xff);
+      EXPECT_EQ(IncrementalChecksumUpdate(original, old_word, new_word),
+                ComputeInternetChecksum(modified))
+          << "offset=" << offset << " new_word=" << new_word;
+    }
+  }
+}
+
+TEST(ChecksumTest, IncrementalUpdateHandlesTtlDecrement) {
+  // The router use case: decrement the TTL byte inside the ttl|protocol word
+  // of a real serialized header and patch the header checksum incrementally;
+  // the result must still verify as a whole.
+  Ipv4Header h;
+  h.src = Ipv4Address(36, 135, 0, 10);
+  h.dst = Ipv4Address(36, 8, 0, 50);
+  h.total_length = Ipv4Header::kSize;
+  for (uint8_t ttl : {uint8_t{64}, uint8_t{2}, uint8_t{255}}) {
+    h.ttl = ttl;
+    ByteWriter w;
+    h.Serialize(w);
+    std::vector<uint8_t> bytes = w.Take();
+    const auto old_word = static_cast<uint16_t>((bytes[8] << 8) | bytes[9]);
+    const auto old_checksum = static_cast<uint16_t>((bytes[10] << 8) | bytes[11]);
+    const auto new_word = static_cast<uint16_t>(old_word - 0x0100);  // ttl - 1.
+    bytes[8] = static_cast<uint8_t>(new_word >> 8);
+    const uint16_t updated = IncrementalChecksumUpdate(old_checksum, old_word, new_word);
+    bytes[10] = static_cast<uint8_t>(updated >> 8);
+    bytes[11] = static_cast<uint8_t>(updated & 0xff);
+    EXPECT_TRUE(VerifyInternetChecksum(bytes.data(), Ipv4Header::kSize)) << "ttl=" << int{ttl};
+  }
+}
+
 TEST(ChecksumTest, AddU16U32MatchBytes) {
   InternetChecksum a;
   a.AddU16(0x1234);
@@ -205,6 +283,25 @@ TEST(Ipv4DatagramTest, BuildAndParse) {
   EXPECT_EQ(dg->payload, payload);
   // Reserialization is stable.
   EXPECT_EQ(dg->Serialize(), bytes);
+}
+
+TEST(Ipv4DatagramDeathTest, OversizedPayloadTripsLengthContract) {
+  // 70000 bytes cannot be represented in the 16-bit total_length; before the
+  // MSN_CHECK this silently truncated and produced a corrupt wire image.
+  Ipv4Header h;
+  h.src = Ipv4Address(1, 1, 1, 1);
+  h.dst = Ipv4Address(2, 2, 2, 2);
+  const std::vector<uint8_t> oversized(70000);
+  EXPECT_DEATH((void)BuildIpv4Datagram(h, oversized), "truncate total_length");
+}
+
+TEST(UdpDeathTest, OversizedPayloadTripsLengthContract) {
+  UdpDatagram dg;
+  dg.src_port = 1000;
+  dg.dst_port = 2000;
+  dg.payload.resize(70000);
+  EXPECT_DEATH((void)dg.Serialize(Ipv4Address(1, 1, 1, 1), Ipv4Address(2, 2, 2, 2)),
+               "truncate the length");
 }
 
 TEST(Ipv4DatagramTest, ParseRejectsShortTotalLength) {
@@ -324,7 +421,7 @@ TEST(ArpTest, RejectsBadOp) {
   EXPECT_FALSE(ArpMessage::Parse(bytes).has_value());
 }
 
-// --- EthernetFrame ---------------------------------------------------------------------------------
+// --- EthernetFrame ---------------------------------------------------------
 
 TEST(FrameTest, WireSizeIncludesOverhead) {
   EthernetFrame frame;

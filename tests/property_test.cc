@@ -288,7 +288,7 @@ TEST(TimelineStatistics, TenSwitchesAverageNearPaperNumbers) {
   const int kRuns = 10;
   for (int i = 0; i < kRuns; ++i) {
     bool ok = false;
-    tb.mobile->SwitchCareOfAddress(Ipv4Address(36, 8, 0, 60 + (i % 2)),
+    tb.mobile->SwitchCareOfAddress(Ipv4Address(36, 8, 0, static_cast<uint8_t>(60 + (i % 2))),
                                    [&](bool r) { ok = r; });
     tb.RunFor(Seconds(2));
     ASSERT_TRUE(ok);

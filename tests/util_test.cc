@@ -1,14 +1,43 @@
-// Unit tests for src/util: byte buffers, RNG, statistics.
+// Unit tests for src/util: byte buffers, RNG, statistics, contract macros.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
+#include "src/util/assert.h"
 #include "src/util/byte_buffer.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
 
 namespace msn {
 namespace {
+
+// --- MSN_CHECK / MSN_ASSERT -------------------------------------------------
+
+TEST(AssertTest, PassingChecksAreSilent) {
+  MSN_CHECK(2 + 2 == 4);
+  MSN_CHECK(true) << "never rendered";
+  MSN_ASSERT(1 < 2);
+}
+
+TEST(AssertDeathTest, FailingCheckAbortsWithContext) {
+  const int encap_depth = 9;
+  EXPECT_DEATH(MSN_CHECK(encap_depth <= 4) << "depth=" << encap_depth,
+               "MSN_CHECK failed: encap_depth <= 4 .*depth=9");
+}
+
+#if MSN_ASSERTS_ENABLED
+TEST(AssertDeathTest, AssertsAreArmedInTestBuilds) {
+  // The build defines MSN_ASSERTS_ENABLED=1 (CMake option MSN_ASSERTS,
+  // default ON), so hot-path asserts fire under test like checks do.
+  EXPECT_DEATH(MSN_ASSERT(false), "MSN_ASSERT failed: false");
+}
+#else
+TEST(AssertTest, DisabledAssertDoesNotEvaluate) {
+  int evaluations = 0;
+  MSN_ASSERT(++evaluations > 0);
+  EXPECT_EQ(evaluations, 0);
+}
+#endif
 
 // --- ByteWriter / ByteReader --------------------------------------------------
 
