@@ -153,7 +153,11 @@ int Main() {
                      "E5: one home agent serving N simultaneous registrations");
   report.set_seed(8000);
 
-  const std::vector<int> full_sweep = {1, 2, 5, 10, 20, 50, 100};
+  // The tail of the sweep (200/500) exercises the "large number of mobile
+  // hosts" claim at a scale the pre-zero-copy engine made impractically
+  // slow; per-N seeds are unchanged, so the original rows stay
+  // byte-identical.
+  const std::vector<int> full_sweep = {1, 2, 5, 10, 20, 50, 100, 200, 500};
   const std::vector<int> smoke_sweep = {1, 5, 20};
   const std::vector<int>& sweep = BenchSmokeMode() ? smoke_sweep : full_sweep;
   report.AddParam("max_n", sweep.back());

@@ -37,10 +37,12 @@ std::optional<DhcpMessage> DhcpMessage::Parse(const std::vector<uint8_t>& bytes)
   msg.op = static_cast<DhcpOp>(op);
   msg.prefix_len = r.ReadU8();
   msg.xid = r.ReadU32();
-  auto mac = r.ReadBytes(6);
-  std::array<uint8_t, 6> m;
-  std::copy(mac.begin(), mac.end(), m.begin());
-  msg.client_mac = MacAddress(m);
+  const auto mac = r.ReadSpan(6);
+  if (mac.size() == 6) {
+    std::array<uint8_t, 6> m;
+    std::copy(mac.begin(), mac.end(), m.begin());
+    msg.client_mac = MacAddress(m);
+  }
   msg.yiaddr = Ipv4Address(r.ReadU32());
   msg.server = Ipv4Address(r.ReadU32());
   msg.gateway = Ipv4Address(r.ReadU32());

@@ -89,7 +89,9 @@ FaultVerdict FaultInjector::OnFrame(LinkDevice* /*target*/, EthernetFrame& frame
     const size_t byte = static_cast<size_t>(
         sim_.rng().UniformInt(uint64_t{0}, uint64_t{frame.payload.size() - 1}));
     const int bit = static_cast<int>(sim_.rng().UniformInt(uint64_t{0}, uint64_t{7}));
-    frame.payload[byte] ^= static_cast<uint8_t>(1u << bit);
+    // MutableData: the corrupt copy must not bleed into the shared broadcast
+    // buffer other receivers (or duplicates) deliver from.
+    frame.payload.MutableData()[byte] ^= static_cast<uint8_t>(1u << bit);
     ++counters_.corruptions;
   }
 

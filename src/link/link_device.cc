@@ -50,7 +50,10 @@ LoopbackDevice::LoopbackDevice(Simulator& sim, std::string name)
 }
 
 void LoopbackDevice::SendToMedium(const EthernetFrame& frame) {
-  sim_.Schedule(Microseconds(1), [this, frame] { DeliverFrame(frame); });
+  // Init-capture so the closure member is a mutable EthernetFrame (a plain
+  // copy-capture of a const& parameter would keep the const).
+  sim_.Schedule(Microseconds(1),
+                [this, f = frame]() mutable { DeliverFrame(std::move(f)); });
 }
 
 MediumParams EthernetMediumParams() {

@@ -70,11 +70,17 @@ void BroadcastMedium::DeliverAfterLatency(LinkDevice* target, const EthernetFram
     NotifyDrop(frame, FrameDropReason::kRandomLoss);
     return;
   }
-  EthernetFrame delivered = frame;
+  // The frame is not copied up front: a broadcast shares one immutable
+  // buffer across every receiver, and each delivery callback holds only a
+  // refcounted reference. The fault hook is the one mutator; when installed
+  // it works on an explicit frame copy whose payload COWs on first write.
   FaultVerdict verdict;
+  EthernetFrame mutated;
   if (fault_hook_) {
-    verdict = fault_hook_(target, delivered);
+    mutated = frame;
+    verdict = fault_hook_(target, mutated);
   }
+  const EthernetFrame& delivered = fault_hook_ ? mutated : frame;
   if (verdict.drop) {
     ++counters_.frames_fault_dropped;
     MSN_DEBUG("medium", "%s: fault-dropped frame %s", name_.c_str(),
@@ -87,7 +93,7 @@ void BroadcastMedium::DeliverAfterLatency(LinkDevice* target, const EthernetFram
   const int copies = 1 + std::max(0, verdict.duplicates);
   for (int i = 0; i < copies; ++i) {
     sim_.Schedule(DrawLatency() + verdict.extra_latency,
-                  [target, delivered] { target->DeliverFrame(delivered); });
+                  [target, f = delivered]() mutable { target->DeliverFrame(std::move(f)); });
   }
 }
 

@@ -110,7 +110,7 @@ void NetDevice::StartNextTransmission() {
   });
 }
 
-void NetDevice::DeliverFrame(const EthernetFrame& frame) {
+void NetDevice::DeliverFrame(EthernetFrame&& frame) {
   if (state_ != State::kUp) {
     ++counters_.dropped_rx_down;
     return;
@@ -119,7 +119,7 @@ void NetDevice::DeliverFrame(const EthernetFrame& frame) {
   counters_.rx_bytes += frame.WireSize();
   NotifyTap(frame, TapDirection::kReceive);
   if (receive_handler_) {
-    receive_handler_(*this, frame);
+    receive_handler_(*this, std::move(frame));
   }
 }
 

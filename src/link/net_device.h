@@ -24,7 +24,10 @@ class Gauge;
 class NetDevice {
  public:
   // Invoked when a frame arrives addressed to this device (or broadcast).
-  using FrameHandler = std::function<void(NetDevice&, const EthernetFrame&)>;
+  // The frame is passed as an rvalue: the device hands over its (refcounted)
+  // ownership so the stack can consume the payload without a copy. Handlers
+  // that only observe may still bind it as `const EthernetFrame&`.
+  using FrameHandler = std::function<void(NetDevice&, EthernetFrame&&)>;
 
   enum class State {
     kDown,
@@ -82,8 +85,10 @@ class NetDevice {
   size_t mtu() const { return mtu_; }
   void set_mtu(size_t mtu) { mtu_ = mtu; }
 
-  // Delivery from the medium. Drops silently if the device is down.
-  void DeliverFrame(const EthernetFrame& frame);
+  // Delivery from the medium. Drops silently if the device is down. Takes
+  // ownership of the frame (a refcounted handle, so callers keeping their own
+  // copy just bump the count) and hands it to the receive handler.
+  void DeliverFrame(EthernetFrame&& frame);
 
   void SetReceiveHandler(FrameHandler handler) { receive_handler_ = std::move(handler); }
 

@@ -40,7 +40,9 @@ HomeAgent::HomeAgent(Node& node, Config config) : node_(node), config_(config) {
   // Encapsulating virtual interface (paper §3.4: the HA shares the MH's need
   // for a VIF).
   auto vif = std::make_unique<VirtualInterface>(node_.sim(), "ha-vif");
-  vif->SetEncapHandler([this](const Ipv4Datagram& inner) { EncapsulateAndTunnel(inner); });
+  vif->SetEncapHandler([this](const Ipv4Header& inner, const Packet& wire) {
+    EncapsulateAndTunnel(inner, wire);
+  });
   vif_ = static_cast<VirtualInterface*>(node_.AdoptDevice(std::move(vif)));
 
   // Reverse-tunnel decapsulation; inner packets are re-injected and forwarded
@@ -117,17 +119,18 @@ std::optional<RouteDecision> HomeAgent::RouteOverride(const RouteQuery& query) {
   return decision;
 }
 
-void HomeAgent::EncapsulateAndTunnel(const Ipv4Datagram& inner) {
-  auto it = bindings_.find(inner.header.dst);
+void HomeAgent::EncapsulateAndTunnel(const Ipv4Header& inner, const Packet& inner_wire) {
+  auto it = bindings_.find(inner.dst);
   if (it == bindings_.end()) {
     ++counters_.tunnel_drops_no_binding;
     return;
   }
   ++counters_.packets_tunneled;
-  Ipv4Datagram outer = EncapsulateIpIp(inner, config_.address, it->second.care_of);
+  Ipv4Header outer;
+  Packet wire = EncapsulateIpIpPacket(outer, inner_wire, config_.address, it->second.care_of);
   MSN_TRACE("mip-ha", "%s: tunneling %s -> careof %s", node_.name().c_str(),
-            inner.header.ToString().c_str(), it->second.care_of.ToString().c_str());
-  node_.stack().SendPreformedDatagram(outer, /*forwarding=*/false);
+            inner.ToString().c_str(), it->second.care_of.ToString().c_str());
+  node_.stack().SendPreformedPacket(outer, std::move(wire), /*forwarding=*/false);
 }
 
 void HomeAgent::BeginOutage(bool restart_daemon) {

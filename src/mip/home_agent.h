@@ -162,7 +162,7 @@ class HomeAgent {
   void InstallBinding(const RegistrationRequest& request, uint16_t granted_lifetime_sec);
   void RemoveBinding(Ipv4Address home_address, bool expired);
   void ScheduleExpiry(Ipv4Address home_address, Time expires);
-  void EncapsulateAndTunnel(const Ipv4Datagram& inner);
+  void EncapsulateAndTunnel(const Ipv4Header& inner, const Packet& inner_wire);
   [[nodiscard]] std::optional<RouteDecision> RouteOverride(const RouteQuery& query);
 
   Node& node_;

@@ -22,45 +22,74 @@ Ipv4Datagram EncapsulateIpIp(const Ipv4Datagram& inner, Ipv4Address outer_src,
   return outer;
 }
 
-std::optional<Ipv4Datagram> DecapsulateIpIp(const std::vector<uint8_t>& outer_payload) {
+// msn-lint: allow(perf/frame-by-value) — ownership sink; callers move.
+Packet EncapsulateIpIpPacket(Ipv4Header& outer_header, Packet inner_wire,
+                             Ipv4Address outer_src, Ipv4Address outer_dst) {
+  outer_header = Ipv4Header{};
+  outer_header.protocol = IpProto::kIpIp;
+  outer_header.src = outer_src;
+  outer_header.dst = outer_dst;
+  outer_header.ttl = Ipv4Header::kDefaultTtl;
+  outer_header.total_length =
+      static_cast<uint16_t>(Ipv4Header::kSize + inner_wire.size());
+  uint8_t hdr[Ipv4Header::kSize];
+  outer_header.SerializeTo(hdr);
+  inner_wire.Prepend(std::span<const uint8_t>(hdr, Ipv4Header::kSize));
+  return inner_wire;
+}
+
+std::optional<Ipv4Datagram> DecapsulateIpIp(std::span<const uint8_t> outer_payload) {
   return Ipv4Datagram::Parse(outer_payload);
 }
 
 IpIpTunnelEndpoint::IpIpTunnelEndpoint(IpStack& stack) : stack_(stack) {
   stack_.RegisterProtocolHandler(
-      IpProto::kIpIp, [this](const Ipv4Header& header, const std::vector<uint8_t>& payload,
+      IpProto::kIpIp, [this](const Ipv4Header& header, const Packet& payload,
                              NetDevice* ingress) { OnIpIp(header, payload, ingress); });
 }
 
 IpIpTunnelEndpoint::~IpIpTunnelEndpoint() { stack_.UnregisterProtocolHandler(IpProto::kIpIp); }
 
-void IpIpTunnelEndpoint::OnIpIp(const Ipv4Header& header, const std::vector<uint8_t>& payload,
+void IpIpTunnelEndpoint::OnIpIp(const Ipv4Header& header, const Packet& payload,
                                 NetDevice* ingress) {
-  auto inner = DecapsulateIpIp(payload);
-  if (!inner) {
+  // Parse the inner header in place; the inner wire image is a slice of the
+  // outer payload, so decapsulation strips the outer header without copying.
+  ByteReader r(payload.data(), payload.size());
+  auto inner_header = Ipv4Header::Parse(r);
+  if (!inner_header || inner_header->total_length < Ipv4Header::kSize ||
+      inner_header->total_length > payload.size()) {
     ++decapsulation_errors_;
     return;
   }
-  // A nested tunnel packet re-enters OnIpIp from InjectReceivedDatagram
-  // below, one stack frame per layer; bound that recursion.
+  // A nested tunnel packet re-enters OnIpIp from InjectReceivedPacket below,
+  // one stack frame per layer; bound that recursion.
   if (decap_depth_ >= kMaxDecapDepth) {
     ++decapsulation_errors_;
     MSN_WARN("ipip", "%s: dropping tunnel packet nested deeper than %d levels",
              stack_.node_name().c_str(), kMaxDecapDepth);
     return;
   }
-  if (inspector_ && !inspector_(header, *inner)) {
-    return;
+  if (inspector_) {
+    // Inspectors (agent policy hooks) want an owned datagram they can buffer
+    // or re-tunnel; materialize one only when a hook is installed.
+    Ipv4Datagram inner;
+    inner.header = *inner_header;
+    inner.payload.assign(payload.begin() + Ipv4Header::kSize,
+                         payload.begin() + inner_header->total_length);
+    if (!inspector_(header, inner)) {
+      return;
+    }
   }
   ++packets_decapsulated_;
   MSN_TRACE("ipip", "%s: decapsulated %s", stack_.node_name().c_str(),
-            inner->header.ToString().c_str());
+            inner_header->ToString().c_str());
   // Re-inject with no ingress device: the inner packet logically originates
   // at the tunnel endpoint, so interface-level transit filters must not be
   // re-applied to it.
   (void)ingress;
   ++decap_depth_;
-  stack_.InjectReceivedDatagram(*inner, nullptr);
+  stack_.InjectReceivedPacket(*inner_header, payload.Slice(0, inner_header->total_length),
+                              nullptr);
   --decap_depth_;
   MSN_ASSERT(decap_depth_ >= 0);
 }

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 
 #include "src/net/headers.h"
 #include "src/node/ip_stack.h"
@@ -22,10 +23,19 @@ namespace msn {
 [[nodiscard]] Ipv4Datagram EncapsulateIpIp(const Ipv4Datagram& inner, Ipv4Address outer_src,
                              Ipv4Address outer_dst);
 
+// Zero-copy encapsulation: prepends the 20-byte outer header directly to the
+// inner wire image (allocation-free when the Packet has headroom and sole
+// ownership). Fills `outer_header` with the parsed form of the prepended
+// header; the return value is the complete outer wire image, ready for
+// IpStack::SendPreformedPacket.
+// msn-lint: allow(perf/frame-by-value) — ownership sink; callers move.
+[[nodiscard]] Packet EncapsulateIpIpPacket(Ipv4Header& outer_header, Packet inner_wire,
+                                           Ipv4Address outer_src, Ipv4Address outer_dst);
+
 // Extracts the inner datagram from an IPIP payload. Returns nullopt if the
 // payload is not a valid IPv4 datagram.
 [[nodiscard]] std::optional<Ipv4Datagram> DecapsulateIpIp(
-    const std::vector<uint8_t>& outer_payload);
+    std::span<const uint8_t> outer_payload);
 
 // Registers as the protocol-4 handler on a stack. Each received tunnel packet
 // is decapsulated and the inner datagram re-injected into the stack's receive
@@ -48,7 +58,7 @@ class IpIpTunnelEndpoint {
   uint64_t decapsulation_errors() const { return decapsulation_errors_; }
 
  private:
-  void OnIpIp(const Ipv4Header& header, const std::vector<uint8_t>& payload, NetDevice* ingress);
+  void OnIpIp(const Ipv4Header& header, const Packet& payload, NetDevice* ingress);
 
   IpStack& stack_;
   Inspector inspector_;

@@ -36,7 +36,9 @@ MobileHost::MobileHost(Node& node, Config config) : node_(node), config_(config)
   // home the home address is bound to it, so decapsulated packets addressed
   // to the home address are delivered locally.
   auto vif = std::make_unique<VirtualInterface>(node_.sim(), "vif");
-  vif->SetEncapHandler([this](const Ipv4Datagram& inner) { EncapsulateOut(inner); });
+  vif->SetEncapHandler([this](const Ipv4Header& inner, const Packet& wire) {
+    EncapsulateOut(inner, wire);
+  });
   vif_ = static_cast<VirtualInterface*>(node_.AdoptDevice(std::move(vif)));
 
   // Decapsulation of tunneled packets arriving at the care-of address.
@@ -157,11 +159,11 @@ std::optional<RouteDecision> MobileHost::RouteOverride(const RouteQuery& query) 
   return std::nullopt;
 }
 
-void MobileHost::EncapsulateOut(const Ipv4Datagram& inner) {
-  const MobilePolicy policy = policy_table_.LookupConst(inner.header.dst);
+void MobileHost::EncapsulateOut(const Ipv4Header& inner, const Packet& inner_wire) {
+  const MobilePolicy policy = policy_table_.LookupConst(inner.dst);
   Ipv4Address outer_dst;
   if (policy == MobilePolicy::kEncapDirect) {
-    outer_dst = inner.header.dst;
+    outer_dst = inner.dst;
     ++counters_.packets_encap_direct_out;
   } else {
     outer_dst = config_.home_agent;
@@ -170,8 +172,9 @@ void MobileHost::EncapsulateOut(const Ipv4Datagram& inner) {
   // Outer source is the physical (care-of) address: valid on the local
   // network, so transit filters pass it, and the route lookup sees a
   // non-mobile source and does not encapsulate again (paper §3.3).
-  const Ipv4Datagram outer = EncapsulateIpIp(inner, attachment_.care_of, outer_dst);
-  node_.stack().SendPreformedDatagram(outer, /*forwarding=*/false);
+  Ipv4Header outer;
+  Packet wire = EncapsulateIpIpPacket(outer, inner_wire, attachment_.care_of, outer_dst);
+  node_.stack().SendPreformedPacket(outer, std::move(wire), /*forwarding=*/false);
 }
 
 // --- Attach pipeline --------------------------------------------------------------

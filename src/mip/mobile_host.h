@@ -234,7 +234,7 @@ class MobileHost {
   };
 
   [[nodiscard]] std::optional<RouteDecision> RouteOverride(const RouteQuery& query);
-  void EncapsulateOut(const Ipv4Datagram& inner);
+  void EncapsulateOut(const Ipv4Header& inner, const Packet& inner_wire);
 
   // Shared attach pipeline (steps time-stamped into timeline_).
   void BeginAttach(const Attachment& attachment, bool skip_interface_config,

@@ -13,12 +13,14 @@ bool VirtualInterface::Transmit(const EthernetFrame& frame) {
   if (frame.ethertype != EtherType::kIpv4 || !encap_handler_) {
     return false;
   }
-  auto dg = Ipv4Datagram::Parse(frame.payload);
-  if (!dg) {
+  ByteReader r(frame.payload.data(), frame.payload.size());
+  auto header = Ipv4Header::Parse(r);
+  if (!header || header->total_length < Ipv4Header::kSize ||
+      header->total_length > frame.payload.size()) {
     return false;
   }
   ++packets_encapsulated_;
-  encap_handler_(*dg);
+  encap_handler_(*header, frame.payload.Slice(0, header->total_length));
   return true;
 }
 

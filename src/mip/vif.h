@@ -18,15 +18,17 @@ namespace msn {
 
 class VirtualInterface : public NetDevice {
  public:
-  using EncapHandler = std::function<void(const Ipv4Datagram& inner)>;
+  // Receives the parsed inner header plus the complete inner wire image as a
+  // zero-copy slice of the transmitted frame.
+  using EncapHandler = std::function<void(const Ipv4Header& inner, const Packet& inner_wire)>;
 
   VirtualInterface(Simulator& sim, std::string name = "vif");
 
   void SetEncapHandler(EncapHandler handler) { encap_handler_ = std::move(handler); }
 
-  // The IP layer transmits an already-serialized datagram; re-parse it and
-  // hand it to the encapsulation handler. No queueing, no serialization
-  // delay: the VIF is pure software.
+  // The IP layer transmits an already-serialized datagram; re-parse its
+  // header and hand the wire image to the encapsulation handler. No
+  // queueing, no serialization delay: the VIF is pure software.
   bool Transmit(const EthernetFrame& frame) override;
 
   uint64_t bandwidth_bps() const override { return 0; }

@@ -1,13 +1,16 @@
 // Link-layer frame passed between devices and media. The payload is a fully
-// serialized network-layer packet (IPv4 datagram or ARP message).
+// serialized network-layer packet (IPv4 datagram or ARP message) held in a
+// ref-counted COW Packet, so copying a frame — into a device queue, into a
+// delivery callback, to every receiver on a broadcast medium — shares the
+// wire bytes instead of duplicating them.
 #ifndef MSN_SRC_NET_FRAME_H_
 #define MSN_SRC_NET_FRAME_H_
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
 #include "src/net/address.h"
+#include "src/net/packet.h"
 
 namespace msn {
 
@@ -23,7 +26,7 @@ struct EthernetFrame {
   MacAddress dst;
   MacAddress src;
   EtherType ethertype = EtherType::kIpv4;
-  std::vector<uint8_t> payload;
+  Packet payload;
 
   size_t WireSize() const { return kOverheadBytes + payload.size(); }
   std::string ToString() const;

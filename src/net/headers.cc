@@ -27,6 +27,41 @@ const char* IpProtoName(IpProto proto) {
   return "?";
 }
 
+void Ipv4Header::SerializeTo(uint8_t* out) const {
+  out[0] = 0x45;  // Version 4, IHL 5 (20 bytes, no options).
+  out[1] = tos;
+  out[2] = static_cast<uint8_t>(total_length >> 8);
+  out[3] = static_cast<uint8_t>(total_length);
+  out[4] = static_cast<uint8_t>(identification >> 8);
+  out[5] = static_cast<uint8_t>(identification);
+  uint16_t flags_frag = fragment_offset & 0x1fff;
+  if (dont_fragment) {
+    flags_frag |= 0x4000;
+  }
+  if (more_fragments) {
+    flags_frag |= 0x2000;
+  }
+  out[6] = static_cast<uint8_t>(flags_frag >> 8);
+  out[7] = static_cast<uint8_t>(flags_frag);
+  out[8] = ttl;
+  out[9] = static_cast<uint8_t>(protocol);
+  out[10] = 0;  // Checksum placeholder.
+  out[11] = 0;
+  const uint32_t s = src.value();
+  const uint32_t d = dst.value();
+  out[12] = static_cast<uint8_t>(s >> 24);
+  out[13] = static_cast<uint8_t>(s >> 16);
+  out[14] = static_cast<uint8_t>(s >> 8);
+  out[15] = static_cast<uint8_t>(s);
+  out[16] = static_cast<uint8_t>(d >> 24);
+  out[17] = static_cast<uint8_t>(d >> 16);
+  out[18] = static_cast<uint8_t>(d >> 8);
+  out[19] = static_cast<uint8_t>(d);
+  const uint16_t checksum = ComputeInternetChecksum(out, kSize);
+  out[10] = static_cast<uint8_t>(checksum >> 8);
+  out[11] = static_cast<uint8_t>(checksum);
+}
+
 void Ipv4Header::Serialize(ByteWriter& w) const {
   const size_t start = w.size();
   w.WriteU8(0x45);  // Version 4, IHL 5 (20 bytes, no options).
@@ -112,8 +147,21 @@ std::vector<uint8_t> BuildIpv4Datagram(const Ipv4Header& header,
   return w.Take();
 }
 
-std::optional<Ipv4Datagram> Ipv4Datagram::Parse(const std::vector<uint8_t>& bytes) {
-  ByteReader r(bytes);
+Packet BuildIpv4Packet(Ipv4Header& header, std::span<const uint8_t> payload) {
+  MSN_CHECK(payload.size() <= kMaxIpv4Payload)
+      << "IPv4 payload of " << payload.size() << " bytes would truncate total_length";
+  header.total_length = static_cast<uint16_t>(Ipv4Header::kSize + payload.size());
+  Packet wire = Packet::Allocate(header.total_length);
+  uint8_t* out = wire.MutableData();
+  header.SerializeTo(out);
+  if (!payload.empty()) {
+    std::copy(payload.begin(), payload.end(), out + Ipv4Header::kSize);
+  }
+  return wire;
+}
+
+std::optional<Ipv4Datagram> Ipv4Datagram::Parse(std::span<const uint8_t> bytes) {
+  ByteReader r(bytes.data(), bytes.size());
   auto header = Ipv4Header::Parse(r);
   if (!header) {
     return std::nullopt;
@@ -123,10 +171,11 @@ std::optional<Ipv4Datagram> Ipv4Datagram::Parse(const std::vector<uint8_t>& byte
   }
   Ipv4Datagram dg;
   dg.header = *header;
-  dg.payload = r.ReadBytes(header->total_length - Ipv4Header::kSize);
+  const auto payload = r.ReadSpan(header->total_length - Ipv4Header::kSize);
   if (!r.ok()) {
     return std::nullopt;
   }
+  dg.payload.assign(payload.begin(), payload.end());
   return dg;
 }
 
@@ -165,9 +214,9 @@ std::vector<uint8_t> UdpDatagram::Serialize(Ipv4Address src_ip, Ipv4Address dst_
   return w.Take();
 }
 
-std::optional<UdpDatagram> UdpDatagram::Parse(const std::vector<uint8_t>& bytes,
+std::optional<UdpDatagram> UdpDatagram::Parse(std::span<const uint8_t> bytes,
                                               Ipv4Address src_ip, Ipv4Address dst_ip) {
-  ByteReader r(bytes);
+  ByteReader r(bytes.data(), bytes.size());
   if (r.remaining() < kHeaderSize) {
     return std::nullopt;
   }
@@ -179,10 +228,11 @@ std::optional<UdpDatagram> UdpDatagram::Parse(const std::vector<uint8_t>& bytes,
   if (length < kHeaderSize || length > bytes.size()) {
     return std::nullopt;
   }
-  dg.payload = r.ReadBytes(length - kHeaderSize);
+  const auto payload = r.ReadSpan(length - kHeaderSize);
   if (!r.ok()) {
     return std::nullopt;
   }
+  dg.payload.assign(payload.begin(), payload.end());
   if (wire_checksum != 0) {
     InternetChecksum cs;
     AddUdpPseudoHeader(cs, src_ip, dst_ip, length);
@@ -205,20 +255,21 @@ std::vector<uint8_t> IcmpMessage::Serialize() const {
   return w.Take();
 }
 
-std::optional<IcmpMessage> IcmpMessage::Parse(const std::vector<uint8_t>& bytes) {
+std::optional<IcmpMessage> IcmpMessage::Parse(std::span<const uint8_t> bytes) {
   if (bytes.size() < kHeaderSize) {
     return std::nullopt;
   }
   if (!VerifyInternetChecksum(bytes.data(), bytes.size())) {
     return std::nullopt;
   }
-  ByteReader r(bytes);
+  ByteReader r(bytes.data(), bytes.size());
   IcmpMessage msg;
   msg.type = static_cast<IcmpType>(r.ReadU8());
   msg.code = r.ReadU8();
   r.Skip(2);  // Checksum (already verified).
   msg.rest = r.ReadU32();
-  msg.payload = r.ReadRemaining();
+  const auto payload = r.RemainingSpan();
+  msg.payload.assign(payload.begin(), payload.end());
   return msg;
 }
 
@@ -236,8 +287,8 @@ std::vector<uint8_t> ArpMessage::Serialize() const {
   return w.Take();
 }
 
-std::optional<ArpMessage> ArpMessage::Parse(const std::vector<uint8_t>& bytes) {
-  ByteReader r(bytes);
+std::optional<ArpMessage> ArpMessage::Parse(std::span<const uint8_t> bytes) {
+  ByteReader r(bytes.data(), bytes.size());
   if (r.remaining() < kSize) {
     return std::nullopt;
   }
@@ -250,9 +301,11 @@ std::optional<ArpMessage> ArpMessage::Parse(const std::vector<uint8_t>& bytes) {
     return std::nullopt;
   }
   msg.op = static_cast<ArpOp>(op);
-  auto smac = r.ReadBytes(6);
+  // Span views into the frame: the MAC bytes are copied into the fixed-size
+  // address, never through an intermediate heap vector.
+  const auto smac = r.ReadSpan(6);
   msg.sender_ip = Ipv4Address(r.ReadU32());
-  auto tmac = r.ReadBytes(6);
+  const auto tmac = r.ReadSpan(6);
   msg.target_ip = Ipv4Address(r.ReadU32());
   if (!r.ok()) {
     return std::nullopt;

@@ -7,10 +7,12 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "src/net/address.h"
+#include "src/net/packet.h"
 #include "src/util/byte_buffer.h"
 
 namespace msn {
@@ -44,6 +46,10 @@ struct Ipv4Header {
 
   // Serializes with a freshly computed header checksum.
   void Serialize(ByteWriter& w) const;
+  // Serializes straight into `out` (>= kSize bytes), checksum included. The
+  // allocation-free variant the zero-copy datapath uses to patch wire images
+  // in place.
+  void SerializeTo(uint8_t* out) const;
   // Parses and verifies the header checksum. Returns nullopt on truncation,
   // bad version, or checksum failure.
   [[nodiscard]] static std::optional<Ipv4Header> Parse(ByteReader& r);
@@ -57,12 +63,18 @@ struct Ipv4Header {
 [[nodiscard]] std::vector<uint8_t> BuildIpv4Datagram(const Ipv4Header& header,
                                        const std::vector<uint8_t>& payload);
 
-// A parsed IPv4 datagram: header plus payload slice.
+// Builds the wire image as a pool-backed Packet with headroom for later
+// encapsulation. `header.total_length` is filled in, as in BuildIpv4Datagram.
+[[nodiscard]] Packet BuildIpv4Packet(Ipv4Header& header, std::span<const uint8_t> payload);
+
+// A parsed IPv4 datagram: header plus an owned payload copy. The zero-copy
+// forwarding path never materializes one of these; they serve the endpoint
+// and test paths where owning the bytes is the point.
 struct Ipv4Datagram {
   Ipv4Header header;
   std::vector<uint8_t> payload;
 
-  [[nodiscard]] static std::optional<Ipv4Datagram> Parse(const std::vector<uint8_t>& bytes);
+  [[nodiscard]] static std::optional<Ipv4Datagram> Parse(std::span<const uint8_t> bytes);
   [[nodiscard]] std::vector<uint8_t> Serialize() const {
     return BuildIpv4Datagram(header, payload);
   }
@@ -79,7 +91,7 @@ struct UdpDatagram {
   // Serializes with the pseudo-header checksum for the given address pair.
   [[nodiscard]] std::vector<uint8_t> Serialize(Ipv4Address src_ip, Ipv4Address dst_ip) const;
   // Parses and verifies the checksum against the given address pair.
-  [[nodiscard]] static std::optional<UdpDatagram> Parse(const std::vector<uint8_t>& bytes,
+  [[nodiscard]] static std::optional<UdpDatagram> Parse(std::span<const uint8_t> bytes,
                                                         Ipv4Address src_ip, Ipv4Address dst_ip);
 };
 
@@ -123,7 +135,7 @@ struct IcmpMessage {
   }
 
   [[nodiscard]] std::vector<uint8_t> Serialize() const;
-  [[nodiscard]] static std::optional<IcmpMessage> Parse(const std::vector<uint8_t>& bytes);
+  [[nodiscard]] static std::optional<IcmpMessage> Parse(std::span<const uint8_t> bytes);
 };
 
 // ARP for IPv4-over-Ethernet (RFC 826).
@@ -142,7 +154,7 @@ struct ArpMessage {
   Ipv4Address target_ip;
 
   [[nodiscard]] std::vector<uint8_t> Serialize() const;
-  [[nodiscard]] static std::optional<ArpMessage> Parse(const std::vector<uint8_t>& bytes);
+  [[nodiscard]] static std::optional<ArpMessage> Parse(std::span<const uint8_t> bytes);
 
   std::string ToString() const;
 };

@@ -106,7 +106,7 @@ void ArpService::RetryOrFail(Ipv4Address ip) {
 }
 
 void ArpService::HandleFrame(NetDevice* device, const EthernetFrame& frame) {
-  auto msg = ArpMessage::Parse(frame.payload);
+  auto msg = ArpMessage::Parse(frame.payload.span());
   if (!msg) {
     return;
   }

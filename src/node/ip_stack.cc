@@ -4,7 +4,9 @@
 #include <utility>
 
 #include "src/link/net_device.h"
+#include "src/net/checksum.h"
 #include "src/node/udp.h"
+#include "src/util/assert.h"
 #include "src/util/byte_buffer.h"
 #include "src/util/logging.h"
 
@@ -71,8 +73,9 @@ void IpStack::AddInterface(NetDevice* device) {
     return;
   }
   interfaces_.push_back(InterfaceEntry{device, Ipv4Address::Any(), SubnetMask(0), false});
-  device->SetReceiveHandler(
-      [this](NetDevice& dev, const EthernetFrame& frame) { ReceiveFrame(dev, frame); });
+  device->SetReceiveHandler([this](NetDevice& dev, EthernetFrame&& frame) {
+    ReceiveFrame(dev, std::move(frame));
+  });
 }
 
 void IpStack::RemoveInterface(NetDevice* device) {
@@ -229,17 +232,19 @@ Time IpStack::PipelineDelay(Time& busy_until, Duration mean, Duration jitter) {
 
 void IpStack::SendDatagram(Ipv4Address src, Ipv4Address dst, IpProto proto,
                            std::vector<uint8_t> payload, SendOptions opts) {
-  Ipv4Datagram dg;
-  dg.header.src = src;
-  dg.header.dst = dst;
-  dg.header.protocol = proto;
-  dg.header.ttl = opts.ttl;
-  dg.header.identification = next_ip_id_++;
-  dg.payload = std::move(payload);
+  Ipv4Header header;
+  header.src = src;
+  header.dst = dst;
+  header.protocol = proto;
+  header.ttl = opts.ttl;
+  header.identification = next_ip_id_++;
+  // The wire image is built exactly once here; every later stage (routing,
+  // queueing, transmission, forwarding at each hop) shares or patches it.
+  Packet wire = BuildIpv4Packet(header, payload);
   ++counters_.datagrams_sent;
   const Time fire = PipelineDelay(send_pipe_busy_, delays_.send_mean, delays_.send_jitter);
-  sim_.ScheduleAt(fire, [this, dg = std::move(dg), opts = std::move(opts)]() mutable {
-    DoSend(std::move(dg), /*forwarding=*/false, std::move(opts));
+  sim_.ScheduleAt(fire, [this, header, wire = std::move(wire), opts]() mutable {
+    DoSend(header, std::move(wire), /*forwarding=*/false, opts);
   });
 }
 
@@ -249,14 +254,24 @@ void IpStack::SendDatagram(Ipv4Address src, Ipv4Address dst, IpProto proto,
 }
 
 void IpStack::SendPreformedDatagram(const Ipv4Datagram& dg, bool forwarding) {
-  DoSend(dg, forwarding, SendOptions{});
+  Ipv4Header header = dg.header;
+  Packet wire = BuildIpv4Packet(header, dg.payload);
+  DoSend(header, std::move(wire), forwarding, SendOptions{});
 }
 
-void IpStack::DoSend(Ipv4Datagram dg, bool forwarding, SendOptions opts) {
-  const Ipv4Address dst = dg.header.dst;
+// msn-lint: allow(perf/frame-by-value) — ownership sink; callers move.
+void IpStack::SendPreformedPacket(const Ipv4Header& header, Packet wire, bool forwarding) {
+  MSN_ASSERT(header.total_length == wire.size())
+      << "preformed packet wire/header length mismatch";
+  DoSend(header, std::move(wire), forwarding, SendOptions{});
+}
+
+// msn-lint: allow(perf/frame-by-value) — ownership sink; callers move.
+void IpStack::DoSend(Ipv4Header header, Packet wire, bool forwarding, SendOptions opts) {
+  const Ipv4Address dst = header.dst;
 
   if (opts.force_device != nullptr) {
-    TransmitViaDevice(opts.force_device, std::move(dg), dst, opts.force_dst_mac);
+    TransmitViaDevice(opts.force_device, header, std::move(wire), dst, opts.force_dst_mac);
     return;
   }
 
@@ -264,169 +279,265 @@ void IpStack::DoSend(Ipv4Datagram dg, bool forwarding, SendOptions opts) {
   if (IsLocalAddress(dst) || dst.IsLoopback()) {
     const Time fire =
         PipelineDelay(deliver_pipe_busy_, delays_.deliver_mean, delays_.deliver_jitter);
-    sim_.ScheduleAt(fire,
-                    [this, dg = std::move(dg)] { Deliver(dg, nullptr, MacAddress::Zero()); });
+    sim_.ScheduleAt(
+        fire, [this, header, payload = wire.Slice(Ipv4Header::kSize,
+                                                  wire.size() - Ipv4Header::kSize)] {
+          Deliver(header, payload, nullptr, MacAddress::Zero());
+        });
     return;
   }
 
-  RouteQuery query{dst, dg.header.src, forwarding};
+  RouteQuery query{dst, header.src, forwarding};
   auto decision = RouteLookup(query);
   if (!decision || decision->device == nullptr) {
     ++counters_.drop_no_route;
     MSN_DEBUG("ip", "%s: no route to %s", node_name_.c_str(), dst.ToString().c_str());
     return;
   }
-  if (!forwarding && dg.header.src.IsAny()) {
-    dg.header.src = decision->src;
-    if (dg.header.src.IsAny() && !opts.allow_unconfigured_source) {
+  if (!forwarding && header.src.IsAny()) {
+    header.src = decision->src;
+    if (header.src.IsAny() && !opts.allow_unconfigured_source) {
       ++counters_.drop_no_route;
       return;
     }
+    // Source selection changed the header: rewrite the wire image in place
+    // (the buffer is unshared this early, so no copy happens).
+    header.SerializeTo(wire.MutableData());
   }
-  TransmitViaDevice(decision->device, std::move(dg), decision->EffectiveNextHop(dst),
-                    opts.force_dst_mac);
+  TransmitViaDevice(decision->device, header, std::move(wire),
+                    decision->EffectiveNextHop(dst), opts.force_dst_mac);
 }
 
-void IpStack::TransmitViaDevice(NetDevice* device, Ipv4Datagram dg, Ipv4Address next_hop,
+// msn-lint: allow(perf/frame-by-value) — ownership sink; callers move.
+void IpStack::TransmitViaDevice(NetDevice* device, const Ipv4Header& header, Packet wire,
+                                Ipv4Address next_hop,
                                 std::optional<MacAddress> force_dst_mac) {
   if (device == nullptr) {
     ++counters_.drop_device;
     return;
   }
 
+  // The MAC is usually known synchronously (forced, broadcast, loopback, or
+  // an ARP cache hit); resolving it first keeps the common single-packet
+  // path free of both the pieces vector and the std::function callback that
+  // ArpService::Resolve would otherwise materialize on every forwarded
+  // packet.
+  const std::optional<MacAddress> fast_mac =
+      ResolveDstMacFast(device, next_hop, force_dst_mac);
+
   // Fragment datagrams exceeding the egress MTU; with DF set, drop and
-  // signal path-MTU discovery instead.
-  std::vector<Ipv4Datagram> pieces;
-  if (Ipv4Header::kSize + dg.payload.size() > device->mtu()) {
-    if (dg.header.dont_fragment) {
+  // signal path-MTU discovery instead. Fragmentation is the one egress path
+  // that still materializes owned copies; it is rare and off the fast path.
+  if (wire.size() > device->mtu()) {
+    if (header.dont_fragment) {
       ++counters_.drop_fragmentation_needed;
-      SendIcmpError(dg, IcmpUnreachableCode::kFragmentationNeeded);
+      SendIcmpError(header, wire.span().subspan(Ipv4Header::kSize),
+                    IcmpUnreachableCode::kFragmentationNeeded);
       return;
     }
-    pieces = FragmentDatagram(dg, device->mtu());
-    counters_.fragments_sent += pieces.size();
-  } else {
-    pieces.push_back(std::move(dg));
-  }
-
-  auto transmit = [this, device, pieces = std::move(pieces)](MacAddress dst_mac) {
-    for (const Ipv4Datagram& piece : pieces) {
-      EthernetFrame frame;
-      frame.dst = dst_mac;
-      frame.src = device->mac();
-      frame.ethertype = EtherType::kIpv4;
-      frame.payload = piece.Serialize();
-      if (!device->Transmit(frame)) {
-        ++counters_.drop_device;
-      }
+    Ipv4Datagram dg;
+    dg.header = header;
+    dg.payload.assign(wire.begin() + Ipv4Header::kSize, wire.end());
+    std::vector<Packet> pieces;
+    for (const Ipv4Datagram& piece : FragmentDatagram(dg, device->mtu())) {
+      Ipv4Header piece_header = piece.header;
+      pieces.push_back(BuildIpv4Packet(piece_header, piece.payload));
     }
-  };
+    counters_.fragments_sent += pieces.size();
+    if (fast_mac.has_value()) {
+      for (Packet& piece : pieces) {
+        TransmitFrame(device, std::move(piece), *fast_mac);
+      }
+      return;
+    }
+    arp_->Resolve(device, next_hop,
+                  [this, device, pieces = std::move(pieces)](
+                      std::optional<MacAddress> mac) mutable {
+                    if (!mac) {
+                      ++counters_.drop_arp_failure;
+                      return;
+                    }
+                    for (Packet& piece : pieces) {
+                      TransmitFrame(device, std::move(piece), *mac);
+                    }
+                  });
+    return;
+  }
 
-  if (force_dst_mac.has_value()) {
-    transmit(*force_dst_mac);
-    return;
-  }
-  if (next_hop.IsBroadcast() || IsBroadcastFor(next_hop)) {
-    transmit(MacAddress::Broadcast());
-    return;
-  }
-  if (device->bandwidth_bps() == 0 && device->mac().IsZero()) {
-    // Loopback-style device: no link addressing.
-    transmit(MacAddress::Zero());
+  if (fast_mac.has_value()) {
+    TransmitFrame(device, std::move(wire), *fast_mac);
     return;
   }
   arp_->Resolve(device, next_hop,
-                [this, transmit = std::move(transmit)](std::optional<MacAddress> mac) {
+                [this, device, wire = std::move(wire)](std::optional<MacAddress> mac) mutable {
                   if (!mac) {
                     ++counters_.drop_arp_failure;
                     return;
                   }
-                  transmit(*mac);
+                  TransmitFrame(device, std::move(wire), *mac);
                 });
+}
+
+std::optional<MacAddress> IpStack::ResolveDstMacFast(NetDevice* device, Ipv4Address next_hop,
+                                                     std::optional<MacAddress> force_dst_mac) {
+  if (force_dst_mac.has_value()) {
+    return force_dst_mac;
+  }
+  if (next_hop.IsBroadcast() || IsBroadcastFor(next_hop)) {
+    return MacAddress::Broadcast();
+  }
+  if (device->bandwidth_bps() == 0 && device->mac().IsZero()) {
+    // Loopback-style device: no link addressing.
+    return MacAddress::Zero();
+  }
+  return arp_->CachedLookup(next_hop);
+}
+
+// msn-lint: allow(perf/frame-by-value) — ownership sink; callers move.
+void IpStack::TransmitFrame(NetDevice* device, Packet wire, MacAddress dst_mac) {
+  EthernetFrame frame;
+  frame.dst = dst_mac;
+  frame.src = device->mac();
+  frame.ethertype = EtherType::kIpv4;
+  frame.payload = std::move(wire);
+  if (!device->Transmit(frame)) {
+    ++counters_.drop_device;
+  }
 }
 
 // --- Receive path ---------------------------------------------------------------
 
-void IpStack::ReceiveFrame(NetDevice& device, const EthernetFrame& frame) {
+void IpStack::ReceiveFrame(NetDevice& device, EthernetFrame&& frame) {
   switch (frame.ethertype) {
     case EtherType::kArp:
       arp_->HandleFrame(&device, frame);
       return;
     case EtherType::kIpv4:
-      HandleIpv4Frame(device, frame);
+      HandleIpv4Frame(device, std::move(frame));
       return;
   }
 }
 
-void IpStack::HandleIpv4Frame(NetDevice& device, const EthernetFrame& frame) {
-  auto dg = Ipv4Datagram::Parse(frame.payload);
-  if (!dg) {
+void IpStack::HandleIpv4Frame(NetDevice& device, EthernetFrame&& frame) {
+  // Parse (and checksum-verify) the header only; the frame's buffer itself
+  // flows onward. Taking the payload by move matters: when nothing else
+  // holds the frame (plain unicast, no tap), the wire image reaches Forward
+  // uniquely owned and the TTL patch needs no copy at all.
+  ByteReader r(frame.payload.data(), frame.payload.size());
+  auto header = Ipv4Header::Parse(r);
+  if (!header || header->total_length < Ipv4Header::kSize ||
+      header->total_length > frame.payload.size()) {
     ++counters_.drop_bad_packet;
     return;
   }
-  InjectReceivedDatagram(*dg, &device, frame.src);
+  Packet wire = std::move(frame.payload);
+  wire.TrimTo(header->total_length);
+  InjectReceivedPacket(*header, std::move(wire), &device, frame.src);
 }
 
 void IpStack::InjectReceivedDatagram(const Ipv4Datagram& dg, NetDevice* ingress,
                                      MacAddress link_src) {
-  const Ipv4Address dst = dg.header.dst;
+  Ipv4Header header = dg.header;
+  Packet wire = BuildIpv4Packet(header, dg.payload);
+  InjectReceivedPacket(header, std::move(wire), ingress, link_src);
+}
+
+// msn-lint: allow(perf/frame-by-value) — ownership sink; callers move.
+void IpStack::InjectReceivedPacket(const Ipv4Header& header, Packet wire, NetDevice* ingress,
+                                   MacAddress link_src) {
+  const Ipv4Address dst = header.dst;
   if (IsLocalAddress(dst) || dst.IsBroadcast() || IsBroadcastFor(dst) || dst.IsLoopback()) {
-    // Reassemble fragments destined to us; forwarded fragments pass through
-    // untouched (routers do not reassemble).
-    std::optional<Ipv4Datagram> whole = reassembly_->Add(dg);
-    if (!whole.has_value()) {
-      return;  // Waiting for more fragments.
+    if (header.IsFragment()) {
+      // Reassemble fragments destined to us; forwarded fragments pass
+      // through untouched (routers do not reassemble). Reassembly owns its
+      // bytes, so fragments drop out of the zero-copy path here.
+      Ipv4Datagram fragment;
+      fragment.header = header;
+      fragment.payload.assign(wire.begin() + Ipv4Header::kSize, wire.end());
+      std::optional<Ipv4Datagram> whole = reassembly_->Add(fragment);
+      if (!whole.has_value()) {
+        return;  // Waiting for more fragments.
+      }
+      const Time fire =
+          PipelineDelay(deliver_pipe_busy_, delays_.deliver_mean, delays_.deliver_jitter);
+      sim_.ScheduleAt(fire, [this, whole_header = whole->header,
+                             payload = Packet(std::move(whole->payload)), ingress, link_src] {
+        Deliver(whole_header, payload, ingress, link_src);
+      });
+      return;
     }
+    // Non-fragments skip reassembly entirely (Add returns them unchanged)
+    // and deliver a zero-copy view of the payload bytes.
     const Time fire =
         PipelineDelay(deliver_pipe_busy_, delays_.deliver_mean, delays_.deliver_jitter);
-    sim_.ScheduleAt(fire, [this, dg = std::move(*whole), ingress, link_src] {
-      Deliver(dg, ingress, link_src);
-    });
+    sim_.ScheduleAt(
+        fire, [this, header, payload = wire.Slice(Ipv4Header::kSize,
+                                                  wire.size() - Ipv4Header::kSize),
+               ingress, link_src] { Deliver(header, payload, ingress, link_src); });
     return;
   }
   if (forwarding_enabled_) {
-    Forward(dg, ingress);
+    Forward(header, std::move(wire), ingress);
     return;
   }
   ++counters_.drop_not_for_us;
 }
 
-void IpStack::Forward(Ipv4Datagram dg, NetDevice* ingress) {
-  if (dg.header.ttl <= 1) {
+// msn-lint: allow(perf/frame-by-value) — ownership sink; callers move.
+void IpStack::Forward(Ipv4Header header, Packet wire, NetDevice* ingress) {
+  if (header.ttl <= 1) {
     ++counters_.drop_ttl;
     return;
   }
-  dg.header.ttl -= 1;
-  if (forward_filter_ && !forward_filter_(dg.header, ingress)) {
+  header.ttl -= 1;
+  {
+    // Patch TTL and checksum in the wire image via the RFC 1624 incremental
+    // update: the per-hop cost is four byte writes, not a reserialization.
+    // MutableData copies first iff the buffer is shared (duplicate in
+    // flight, pcap tap holding the frame) — exactly when a private copy is
+    // semantically required.
+    uint8_t* b = wire.MutableData();
+    const uint16_t old_word = static_cast<uint16_t>((static_cast<uint16_t>(b[8]) << 8) | b[9]);
+    b[8] = header.ttl;
+    const uint16_t new_word = static_cast<uint16_t>((static_cast<uint16_t>(b[8]) << 8) | b[9]);
+    const uint16_t old_sum =
+        static_cast<uint16_t>((static_cast<uint16_t>(b[10]) << 8) | b[11]);
+    const uint16_t new_sum = IncrementalChecksumUpdate(old_sum, old_word, new_word);
+    b[10] = static_cast<uint8_t>(new_sum >> 8);
+    b[11] = static_cast<uint8_t>(new_sum & 0xff);
+  }
+  if (forward_filter_ && !forward_filter_(header, ingress)) {
     // Transit-traffic filtering: the security-conscious-router behaviour that
     // breaks the triangle-route optimization (paper §3.2).
     ++counters_.drop_filtered;
     MSN_DEBUG("ip", "%s: filtered transit packet %s", node_name_.c_str(),
-              dg.header.ToString().c_str());
-    SendIcmpError(dg, IcmpUnreachableCode::kAdminProhibited);
+              header.ToString().c_str());
+    SendIcmpError(header, wire.span().subspan(Ipv4Header::kSize),
+                  IcmpUnreachableCode::kAdminProhibited);
     return;
   }
   // RFC 792 redirect: if we would forward this packet back out its arrival
   // interface toward a gateway on the sender's own subnet, tell the sender
   // about the shorter path (and still forward the packet).
   if (send_redirects_ && ingress != nullptr) {
-    RouteQuery query{dg.header.dst, dg.header.src, /*forwarding=*/true, /*advisory=*/true};
+    RouteQuery query{header.dst, header.src, /*forwarding=*/true, /*advisory=*/true};
     if (auto decision = RouteLookup(query)) {
       const auto ingress_subnet = GetInterfaceSubnet(ingress);
       if (decision->device == ingress && ingress_subnet &&
-          ingress_subnet->Contains(dg.header.src)) {
-        const Ipv4Address better_hop = decision->EffectiveNextHop(dg.header.dst);
+          ingress_subnet->Contains(header.src)) {
+        const Ipv4Address better_hop = decision->EffectiveNextHop(header.dst);
         IcmpMessage redirect;
         redirect.type = IcmpType::kRedirect;
         redirect.code = 1;  // Redirect for host.
         redirect.rest = better_hop.value();
         ByteWriter w;
-        dg.header.Serialize(w);
-        const size_t copy = std::min<size_t>(8, dg.payload.size());
-        w.WriteBytes(dg.payload.data(), copy);
+        header.Serialize(w);
+        const std::span<const uint8_t> payload = wire.span().subspan(Ipv4Header::kSize);
+        const size_t copy = std::min<size_t>(8, payload.size());
+        w.WriteBytes(payload.data(), copy);
         redirect.payload = w.Take();
         ++counters_.icmp_redirects_sent;
-        SendIcmp(dg.header.src, redirect,
+        SendIcmp(header.src, redirect,
                  GetInterfaceAddress(ingress).value_or(Ipv4Address::Any()));
       }
     }
@@ -435,26 +546,27 @@ void IpStack::Forward(Ipv4Datagram dg, NetDevice* ingress) {
   ++counters_.datagrams_forwarded;
   const Time fire =
       PipelineDelay(forward_pipe_busy_, delays_.forward_mean, delays_.forward_jitter);
-  sim_.ScheduleAt(fire, [this, dg = std::move(dg)]() mutable {
-    DoSend(std::move(dg), /*forwarding=*/true, SendOptions{});
+  sim_.ScheduleAt(fire, [this, header, wire = std::move(wire)]() mutable {
+    DoSend(header, std::move(wire), /*forwarding=*/true, SendOptions{});
   });
 }
 
-void IpStack::Deliver(const Ipv4Datagram& dg, NetDevice* ingress, MacAddress link_src) {
+void IpStack::Deliver(const Ipv4Header& header, const Packet& payload, NetDevice* ingress,
+                      MacAddress link_src) {
   ++counters_.datagrams_delivered;
-  switch (dg.header.protocol) {
+  switch (header.protocol) {
     case IpProto::kIcmp:
-      HandleIcmp(dg.header, dg.payload, ingress);
+      HandleIcmp(header, payload, ingress);
       return;
     case IpProto::kUdp:
-      HandleUdp(dg.header, dg.payload, ingress, link_src);
+      HandleUdp(header, payload, ingress, link_src);
       return;
     default:
       break;
   }
-  auto it = protocol_handlers_.find(dg.header.protocol);
+  auto it = protocol_handlers_.find(header.protocol);
   if (it != protocol_handlers_.end()) {
-    it->second(dg.header, dg.payload, ingress);
+    it->second(header, payload, ingress);
     return;
   }
   ++counters_.drop_no_handler;
@@ -468,10 +580,10 @@ void IpStack::UnregisterProtocolHandler(IpProto proto) { protocol_handlers_.eras
 
 // --- ICMP -----------------------------------------------------------------------
 
-void IpStack::HandleIcmp(const Ipv4Header& header, const std::vector<uint8_t>& payload,
+void IpStack::HandleIcmp(const Ipv4Header& header, const Packet& payload,
                          NetDevice* ingress) {
   (void)ingress;
-  auto msg = IcmpMessage::Parse(payload);
+  auto msg = IcmpMessage::Parse(payload.span());
   if (!msg) {
     ++counters_.drop_bad_packet;
     return;
@@ -554,11 +666,12 @@ void IpStack::SendIcmp(Ipv4Address dst, const IcmpMessage& msg, Ipv4Address src)
   SendDatagram(src, dst, IpProto::kIcmp, msg.Serialize());
 }
 
-void IpStack::SendIcmpError(const Ipv4Datagram& offending, IcmpUnreachableCode code) {
-  if (offending.header.protocol == IpProto::kIcmp) {
+void IpStack::SendIcmpError(const Ipv4Header& offending, std::span<const uint8_t> payload,
+                            IcmpUnreachableCode code) {
+  if (offending.protocol == IpProto::kIcmp) {
     // Avoid error storms: only report errors for echo requests, never for
     // other ICMP messages.
-    auto inner = IcmpMessage::Parse(offending.payload);
+    auto inner = IcmpMessage::Parse(payload);
     if (!inner || inner->type != IcmpType::kEchoRequest) {
       return;
     }
@@ -569,13 +682,14 @@ void IpStack::SendIcmpError(const Ipv4Datagram& offending, IcmpUnreachableCode c
   err.rest = 0;
   // RFC 792: the offending IP header plus the first 8 payload bytes.
   ByteWriter w;
-  offending.header.Serialize(w);
-  // Serialize() writes total_length as stored; re-patch to the true value.
-  const size_t copy = std::min<size_t>(8, offending.payload.size());
-  w.WriteBytes(offending.payload.data(), copy);
+  offending.Serialize(w);
+  const size_t copy = std::min<size_t>(8, payload.size());
+  if (copy > 0) {
+    w.WriteBytes(payload.data(), copy);
+  }
   err.payload = w.Take();
   ++counters_.icmp_errors_sent;
-  SendIcmp(offending.header.src, err);
+  SendIcmp(offending.src, err);
 }
 
 void IpStack::RegisterEchoListener(
@@ -587,9 +701,9 @@ void IpStack::UnregisterEchoListener(uint16_t id) { echo_listeners_.erase(id); }
 
 // --- UDP ------------------------------------------------------------------------
 
-void IpStack::HandleUdp(const Ipv4Header& header, const std::vector<uint8_t>& payload,
-                        NetDevice* ingress, MacAddress link_src) {
-  auto dg = UdpDatagram::Parse(payload, header.src, header.dst);
+void IpStack::HandleUdp(const Ipv4Header& header, const Packet& payload, NetDevice* ingress,
+                        MacAddress link_src) {
+  auto dg = UdpDatagram::Parse(payload.span(), header.src, header.dst);
   if (!dg) {
     ++counters_.drop_bad_packet;
     return;
@@ -597,10 +711,7 @@ void IpStack::HandleUdp(const Ipv4Header& header, const std::vector<uint8_t>& pa
   auto it = udp_sockets_.find(dg->dst_port);
   if (it == udp_sockets_.end() || it->second.empty()) {
     if (!header.dst.IsBroadcast() && !IsBroadcastFor(header.dst)) {
-      Ipv4Datagram full;
-      full.header = header;
-      full.payload = payload;
-      SendIcmpError(full, IcmpUnreachableCode::kPortUnreachable);
+      SendIcmpError(header, payload.span(), IcmpUnreachableCode::kPortUnreachable);
     }
     return;
   }

@@ -15,6 +15,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -64,8 +65,10 @@ struct RouteDecision {
 
 class IpStack {
  public:
-  using ProtocolHandler = std::function<void(const Ipv4Header& header,
-                                             const std::vector<uint8_t>& payload,
+  // `payload` is a zero-copy view into the received wire image; handlers that
+  // need the bytes past the callback must copy (Packet copies are refcounted
+  // and cheap, but mutation COWs).
+  using ProtocolHandler = std::function<void(const Ipv4Header& header, const Packet& payload,
                                              NetDevice* ingress)>;
   using RouteLookupOverride =
       std::function<std::optional<RouteDecision>(const RouteQuery& query)>;
@@ -172,19 +175,36 @@ class IpStack {
                     std::vector<uint8_t> payload);
 
   // Re-injects a fully formed datagram into the send path, preserving its
-  // header fields (used when forwarding and by tunnel endpoints).
+  // header fields (used when forwarding and by tunnel endpoints). Serializes
+  // once; prefer SendPreformedPacket when the wire image already exists.
   void SendPreformedDatagram(const Ipv4Datagram& dg, bool forwarding);
+
+  // Zero-copy variant: `wire` is the complete serialized datagram and
+  // `header` its parsed form (header.total_length == wire.size()). The wire
+  // bytes are forwarded/transmitted without reserialization.
+  // msn-lint: allow(perf/frame-by-value) — ownership sink; callers move.
+  void SendPreformedPacket(const Ipv4Header& header, Packet wire, bool forwarding);
 
   // --- Receive path -----------------------------------------------------------
 
-  // Entry point wired to each device's receive handler.
-  void ReceiveFrame(NetDevice& device, const EthernetFrame& frame);
+  // Entry point wired to each device's receive handler. Consumes the frame:
+  // for IPv4 the payload buffer flows onward into the receive/forward
+  // pipeline without copying.
+  void ReceiveFrame(NetDevice& device, EthernetFrame&& frame);
 
   // Injects a datagram into the receive path as if it had just arrived on
   // `ingress` (used by decapsulation: the inner packet "arrives" again and is
   // either delivered locally or forwarded, per the normal rules).
   void InjectReceivedDatagram(const Ipv4Datagram& dg, NetDevice* ingress,
                               MacAddress link_src = MacAddress::Zero());
+
+  // Zero-copy variant of InjectReceivedDatagram: `wire` is the complete wire
+  // image matching `header`. The receive/forward pipeline keeps the bytes
+  // shared; only the per-hop TTL patch makes a copy, and only when the
+  // buffer is still referenced elsewhere (e.g. a pcap tap holds the frame).
+  // msn-lint: allow(perf/frame-by-value) — ownership sink; callers move.
+  void InjectReceivedPacket(const Ipv4Header& header, Packet wire, NetDevice* ingress,
+                            MacAddress link_src = MacAddress::Zero());
 
   void RegisterProtocolHandler(IpProto proto, ProtocolHandler handler);
   void UnregisterProtocolHandler(IpProto proto);
@@ -262,20 +282,35 @@ class IpStack {
   // completion time and advances the stage clock.
   Time PipelineDelay(Time& busy_until, Duration mean, Duration jitter);
 
-  // Second half of the send path, after the kernel processing delay.
-  void DoSend(Ipv4Datagram dg, bool forwarding, SendOptions opts);
-  void TransmitViaDevice(NetDevice* device, Ipv4Datagram dg, Ipv4Address next_hop,
-                         std::optional<MacAddress> force_dst_mac);
-  void HandleIpv4Frame(NetDevice& device, const EthernetFrame& frame);
-  void Forward(Ipv4Datagram dg, NetDevice* ingress);
-  void Deliver(const Ipv4Datagram& dg, NetDevice* ingress, MacAddress link_src);
-  void HandleIcmp(const Ipv4Header& header, const std::vector<uint8_t>& payload,
-                  NetDevice* ingress);
-  void HandleUdp(const Ipv4Header& header, const std::vector<uint8_t>& payload,
-                 NetDevice* ingress, MacAddress link_src);
+  // Second half of the send path, after the kernel processing delay. The
+  // internal pipeline carries (parsed header, wire image) pairs; the
+  // invariant throughout is header.total_length == wire.size() and the wire
+  // bytes agree with the header fields.
+  // msn-lint: allow(perf/frame-by-value) — ownership sink; callers move.
+  void DoSend(Ipv4Header header, Packet wire, bool forwarding, SendOptions opts);
+  // msn-lint: allow(perf/frame-by-value) — ownership sink; callers move.
+  void TransmitViaDevice(NetDevice* device, const Ipv4Header& header, Packet wire,
+                         Ipv4Address next_hop, std::optional<MacAddress> force_dst_mac);
+  // Destination MAC when it is known without link traffic (forced, broadcast,
+  // loopback, ARP cache hit); nullopt means the caller must go through
+  // ArpService::Resolve.
+  std::optional<MacAddress> ResolveDstMacFast(NetDevice* device, Ipv4Address next_hop,
+                                              std::optional<MacAddress> force_dst_mac);
+  // Wraps one wire image in a link frame and hands it to the device.
+  // msn-lint: allow(perf/frame-by-value) — ownership sink; callers move.
+  void TransmitFrame(NetDevice* device, Packet wire, MacAddress dst_mac);
+  void HandleIpv4Frame(NetDevice& device, EthernetFrame&& frame);
+  // msn-lint: allow(perf/frame-by-value) — ownership sink; callers move.
+  void Forward(Ipv4Header header, Packet wire, NetDevice* ingress);
+  void Deliver(const Ipv4Header& header, const Packet& payload, NetDevice* ingress,
+               MacAddress link_src);
+  void HandleIcmp(const Ipv4Header& header, const Packet& payload, NetDevice* ingress);
+  void HandleUdp(const Ipv4Header& header, const Packet& payload, NetDevice* ingress,
+                 MacAddress link_src);
   void DispatchUdp(const std::vector<UdpSocket*>& sockets, const Ipv4Header& header,
                    const UdpDatagram& dg, NetDevice* ingress, MacAddress link_src);
-  void SendIcmpError(const Ipv4Datagram& offending, IcmpUnreachableCode code);
+  void SendIcmpError(const Ipv4Header& offending, std::span<const uint8_t> payload,
+                     IcmpUnreachableCode code);
   bool IsBroadcastFor(Ipv4Address addr) const;
 
   Simulator& sim_;

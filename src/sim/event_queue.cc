@@ -1,52 +1,76 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
+
+#include "src/util/assert.h"
 
 namespace msn {
 
 EventId EventQueue::Schedule(Time when, Callback cb) {
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  const uint32_t gen = slots_[slot].gen;
+  slots_[slot].cb = std::move(cb);
   const uint64_t seq = next_seq_++;
-  heap_.push(HeapItem{when, seq});
-  callbacks_.emplace(seq, std::move(cb));
+  heap_.push_back(Item{when, seq, slot, gen});
+  std::push_heap(heap_.begin(), heap_.end(), After);
   ++live_count_;
-  return EventId(seq);
+  return EventId((static_cast<uint64_t>(gen) << 32) | (slot + 1));
 }
 
 bool EventQueue::Cancel(EventId id) {
   if (!id.valid()) {
     return false;
   }
-  auto it = callbacks_.find(id.seq_);
-  if (it == callbacks_.end()) {
-    return false;
+  const uint32_t slot = static_cast<uint32_t>(id.handle_ & 0xffffffff) - 1;
+  const uint32_t gen = static_cast<uint32_t>(id.handle_ >> 32);
+  if (slot >= slots_.size() || slots_[slot].gen != gen) {
+    return false;  // Already fired, already cancelled, or never existed.
   }
-  // The heap entry stays behind as a tombstone and is skipped lazily.
-  callbacks_.erase(it);
+  ++slots_[slot].gen;
+  slots_[slot].cb.Reset();
+  free_slots_.push_back(slot);
   --live_count_;
   return true;
 }
 
-void EventQueue::DropCancelledHead() const {
-  while (!heap_.empty() && callbacks_.find(heap_.top().seq) == callbacks_.end()) {
-    heap_.pop();
+void EventQueue::PopHeapItem() {
+  std::pop_heap(heap_.begin(), heap_.end(), After);
+  heap_.pop_back();
+}
+
+void EventQueue::DropCancelledHead() {
+  while (!heap_.empty() && TopIsTombstone()) {
+    PopHeapItem();
   }
 }
 
 Time EventQueue::NextTime() const {
-  DropCancelledHead();
+  // Tombstone at the top can hide a later live event; peel lazily. Logically
+  // const: live events and their order are unchanged.
+  auto* self = const_cast<EventQueue*>(this);
+  self->DropCancelledHead();
   if (heap_.empty()) {
     return Time::Max();
   }
-  return heap_.top().when;
+  return heap_.front().when;
 }
 
 EventQueue::Entry EventQueue::PopNext() {
   DropCancelledHead();
-  const HeapItem item = heap_.top();
-  heap_.pop();
-  auto it = callbacks_.find(item.seq);
-  Entry entry{item.when, std::move(it->second)};
-  callbacks_.erase(it);
+  MSN_ASSERT(!heap_.empty()) << "PopNext on an empty event queue";
+  const uint32_t slot = heap_.front().slot;
+  Entry entry{heap_.front().when, std::move(slots_[slot].cb)};
+  PopHeapItem();
+  ++slots_[slot].gen;
+  free_slots_.push_back(slot);
   --live_count_;
   return entry;
 }

@@ -36,7 +36,7 @@ std::vector<uint8_t> TcpLiteSegment::Serialize(Ipv4Address src_ip, Ipv4Address d
   return w.Take();
 }
 
-std::optional<TcpLiteSegment> TcpLiteSegment::Parse(const std::vector<uint8_t>& bytes,
+std::optional<TcpLiteSegment> TcpLiteSegment::Parse(std::span<const uint8_t> bytes,
                                                     Ipv4Address src_ip, Ipv4Address dst_ip) {
   if (bytes.size() < kHeaderSize) {
     return std::nullopt;
@@ -46,7 +46,7 @@ std::optional<TcpLiteSegment> TcpLiteSegment::Parse(const std::vector<uint8_t>& 
   cs.AddU32(dst_ip.value());
   cs.AddU16(static_cast<uint16_t>(IpProto::kTcp));
   cs.AddU16(static_cast<uint16_t>(bytes.size()));
-  cs.Add(bytes);
+  cs.Add(bytes.data(), bytes.size());
   if (cs.Fold() != 0) {
     return std::nullopt;
   }
@@ -59,7 +59,8 @@ std::optional<TcpLiteSegment> TcpLiteSegment::Parse(const std::vector<uint8_t>& 
   seg.flags = r.ReadU8();
   seg.window_segments = r.ReadU8();
   r.Skip(2);  // Checksum (verified above via the pseudo-header fold).
-  seg.payload = r.ReadRemaining();
+  const auto payload = r.RemainingSpan();
+  seg.payload.assign(payload.begin(), payload.end());
   return seg;
 }
 
@@ -328,10 +329,10 @@ void TcpLiteConnection::HandleSegment(const TcpLiteSegment& segment) {
 
 TcpLite::TcpLite(IpStack& stack) : stack_(stack) {
   stack_.RegisterProtocolHandler(
-      IpProto::kTcp, [this](const Ipv4Header& header, const std::vector<uint8_t>& payload,
-                            NetDevice* ingress) {
+      IpProto::kTcp,
+      [this](const Ipv4Header& header, const Packet& payload, NetDevice* ingress) {
         (void)ingress;
-        OnDatagram(header, payload);
+        OnDatagram(header, payload.span());
       });
 }
 
@@ -377,7 +378,7 @@ TcpLiteConnection* TcpLite::Connect(Ipv4Address dst, uint16_t dst_port,
   return raw;
 }
 
-void TcpLite::OnDatagram(const Ipv4Header& header, const std::vector<uint8_t>& payload) {
+void TcpLite::OnDatagram(const Ipv4Header& header, std::span<const uint8_t> payload) {
   auto segment = TcpLiteSegment::Parse(payload, header.src, header.dst);
   if (!segment) {
     ++counters_.bad_segments;

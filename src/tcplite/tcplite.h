@@ -16,6 +16,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "src/net/address.h"
@@ -48,7 +49,7 @@ struct TcpLiteSegment {
   bool rst() const { return (flags & kFlagRst) != 0; }
 
   [[nodiscard]] std::vector<uint8_t> Serialize(Ipv4Address src_ip, Ipv4Address dst_ip) const;
-  [[nodiscard]] static std::optional<TcpLiteSegment> Parse(const std::vector<uint8_t>& bytes,
+  [[nodiscard]] static std::optional<TcpLiteSegment> Parse(std::span<const uint8_t> bytes,
                                              Ipv4Address src_ip, Ipv4Address dst_ip);
 };
 
@@ -192,7 +193,7 @@ class TcpLite {
     auto operator<=>(const ConnKey&) const = default;
   };
 
-  void OnDatagram(const Ipv4Header& header, const std::vector<uint8_t>& payload);
+  void OnDatagram(const Ipv4Header& header, std::span<const uint8_t> payload);
   void Transmit(TcpLiteConnection& conn, const TcpLiteSegment& segment);
   void SendReset(const Ipv4Header& header, const TcpLiteSegment& segment);
   void RemoveConnection(TcpLiteConnection* conn);

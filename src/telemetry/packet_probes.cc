@@ -1,0 +1,41 @@
+#include "src/telemetry/packet_probes.h"
+
+#include "src/net/packet.h"
+#include "src/util/buffer_pool.h"
+
+namespace msn {
+
+void RegisterPacketPathProbes(MetricsRegistry& registry) {
+  registry.GetProbeGauge("packet.copies", [] {
+    return static_cast<double>(Packet::stats().copies);
+  });
+  registry.GetProbeGauge("packet.cow_breaks", [] {
+    return static_cast<double>(Packet::stats().cow_breaks);
+  });
+  registry.GetProbeGauge("packet.allocations", [] {
+    return static_cast<double>(Packet::stats().allocations);
+  });
+  registry.GetProbeGauge("pool.hits", [] {
+    return static_cast<double>(DefaultBufferPool().stats().hits);
+  });
+  registry.GetProbeGauge("pool.misses", [] {
+    return static_cast<double>(DefaultBufferPool().stats().misses);
+  });
+  registry.GetProbeGauge("pool.oversize", [] {
+    return static_cast<double>(DefaultBufferPool().stats().oversize);
+  });
+  registry.GetProbeGauge("pool.released", [] {
+    return static_cast<double>(DefaultBufferPool().stats().released);
+  });
+  registry.GetProbeGauge("pool.discarded", [] {
+    return static_cast<double>(DefaultBufferPool().stats().discarded);
+  });
+  registry.GetProbeGauge("pool.outstanding", [] {
+    return static_cast<double>(DefaultBufferPool().stats().outstanding);
+  });
+  registry.GetProbeGauge("pool.free_blocks", [] {
+    return static_cast<double>(DefaultBufferPool().stats().free_blocks);
+  });
+}
+
+}  // namespace msn

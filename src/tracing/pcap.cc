@@ -41,9 +41,9 @@ std::string CapturedFrame::Summary() const {
                 direction == NetDevice::TapDirection::kTransmit ? "Tx" : "Rx");
   std::string out = prefix;
   if (frame.ethertype == EtherType::kArp) {
-    auto arp = ArpMessage::Parse(frame.payload);
+    auto arp = ArpMessage::Parse(frame.payload.span());
     out += arp ? arp->ToString() : "ARP (malformed)";
-  } else if (auto dg = Ipv4Datagram::Parse(frame.payload)) {
+  } else if (auto dg = Ipv4Datagram::Parse(frame.payload.span())) {
     out += "IP ";
     out += dg->header.ToString();
     if (dg->header.protocol == IpProto::kIpIp) {

@@ -1,0 +1,77 @@
+// Free-list pool of byte buffers for packet storage.
+//
+// Every frame that crosses a link needs one contiguous wire-image buffer.
+// Allocating and freeing those per hop is the dominant allocator traffic in a
+// forwarding simulation, so the pool keeps returned buffers on a free list
+// and hands them back with their capacity intact. The simulation core is
+// single-threaded by design (see DESIGN.md), so there is no locking.
+//
+// Layering: util must not depend on telemetry, so the pool exposes a raw
+// stats snapshot; src/net/packet.cc registers registry-backed probe gauges
+// over it.
+#ifndef MSN_SRC_UTIL_BUFFER_POOL_H_
+#define MSN_SRC_UTIL_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace msn {
+
+class BufferPool {
+ public:
+  // Default block covers an Ethernet MTU frame (1500 B payload + link and
+  // tunnel headers) with headroom to spare; larger requests bypass the pool.
+  static constexpr size_t kDefaultBlockBytes = 2048;
+  // Free-list cap: the pool retains at most this many idle blocks (32 MiB at
+  // the default block size). Sized so a burst of ~10k in-flight packets —
+  // the scale of the datapath benches — recycles entirely from the free
+  // list; memory is only ever held after such a burst actually happened.
+  static constexpr size_t kDefaultMaxFree = 16384;
+
+  struct Stats {
+    uint64_t hits = 0;       // Acquire served from the free list.
+    uint64_t misses = 0;     // Acquire that had to allocate a new block.
+    uint64_t oversize = 0;   // Acquire larger than a block (never pooled).
+    uint64_t released = 0;   // Buffers handed back via Release.
+    uint64_t discarded = 0;  // Released buffers dropped (free list full or
+                             // foreign capacity).
+    uint64_t outstanding = 0;  // Acquired buffers not yet released.
+    size_t free_blocks = 0;    // Blocks sitting on the free list now.
+  };
+
+  explicit BufferPool(size_t block_bytes = kDefaultBlockBytes,
+                      size_t max_free = kDefaultMaxFree);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Returns a buffer of exactly `size` bytes (value-initialized only when
+  // freshly allocated; pooled blocks carry stale bytes — callers overwrite).
+  // Requests at most block_bytes() come from the free list when possible.
+  [[nodiscard]] std::vector<uint8_t> Acquire(size_t size);
+
+  // Hands a buffer back. Only buffers whose capacity matches a pool block are
+  // kept; anything else (oversize or externally built) is freed here.
+  void Release(std::vector<uint8_t>&& buf);
+
+  size_t block_bytes() const { return block_bytes_; }
+  const Stats& stats() const { return stats_; }
+
+  // Drops all pooled blocks (tests; bounding peak memory between phases).
+  void Trim();
+
+ private:
+  const size_t block_bytes_;
+  const size_t max_free_;
+  std::vector<std::vector<uint8_t>> free_list_;
+  Stats stats_;
+};
+
+// The process-wide pool packet storage draws from. A function-local static so
+// any static-lifetime Packet is safe regardless of construction order.
+BufferPool& DefaultBufferPool();
+
+}  // namespace msn
+
+#endif  // MSN_SRC_UTIL_BUFFER_POOL_H_

@@ -102,6 +102,21 @@ std::vector<uint8_t> ByteReader::ReadRemaining() {
   return out;
 }
 
+std::span<const uint8_t> ByteReader::ReadSpan(size_t len) {
+  if (!Ensure(len)) {
+    return {};
+  }
+  std::span<const uint8_t> out(data_ + pos_, len);
+  pos_ += len;
+  return out;
+}
+
+std::span<const uint8_t> ByteReader::RemainingSpan() {
+  std::span<const uint8_t> out(data_ + pos_, len_ - pos_);
+  pos_ = len_;
+  return out;
+}
+
 void ByteReader::Skip(size_t len) {
   if (Ensure(len)) {
     pos_ += len;

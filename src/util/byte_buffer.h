@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,8 @@ class ByteReader {
   ByteReader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
   explicit ByteReader(const std::vector<uint8_t>& data)
       : data_(data.data()), len_(data.size()) {}
+  explicit ByteReader(std::span<const uint8_t> data)
+      : data_(data.data()), len_(data.size()) {}
 
   [[nodiscard]] uint8_t ReadU8();
   [[nodiscard]] uint16_t ReadU16();
@@ -58,6 +61,11 @@ class ByteReader {
   [[nodiscard]] std::vector<uint8_t> ReadBytes(size_t len);
   // Reads all remaining bytes (possibly zero). Never fails.
   [[nodiscard]] std::vector<uint8_t> ReadRemaining();
+  // Non-owning variants of ReadBytes/ReadRemaining: a view into the source
+  // buffer, valid only while it outlives the reader. The payload-sized reads
+  // on the datapath use these so parsing never copies the bytes it frames.
+  [[nodiscard]] std::span<const uint8_t> ReadSpan(size_t len);
+  [[nodiscard]] std::span<const uint8_t> RemainingSpan();
   void Skip(size_t len);
 
   [[nodiscard]] bool ok() const { return ok_; }

@@ -56,9 +56,9 @@ TEST_F(StackFixture, OnLinkDeliveryWithArp) {
 
   std::vector<uint8_t> got;
   c.stack().RegisterProtocolHandler(
-      IpProto::kTcp, [&](const Ipv4Header& h, const std::vector<uint8_t>& payload, NetDevice*) {
+      IpProto::kTcp, [&](const Ipv4Header& h, const Packet& payload, NetDevice*) {
         EXPECT_EQ(h.src, Ipv4Address(10, 0, 0, 2));
-        got = payload;
+        got = payload.ToVector();
       });
   a_.stack().SendDatagram(Ipv4Address::Any(), Ipv4Address(10, 0, 0, 3), IpProto::kTcp,
                           {1, 2, 3});
@@ -72,7 +72,7 @@ TEST_F(StackFixture, OnLinkDeliveryWithArp) {
 TEST_F(StackFixture, ForwardingAcrossRouter) {
   int delivered = 0;
   b_.stack().RegisterProtocolHandler(
-      IpProto::kTcp, [&](const Ipv4Header& h, const std::vector<uint8_t>&, NetDevice*) {
+      IpProto::kTcp, [&](const Ipv4Header& h, const Packet&, NetDevice*) {
         ++delivered;
         EXPECT_EQ(h.ttl, Ipv4Header::kDefaultTtl - 1);  // One hop.
       });
@@ -120,7 +120,7 @@ TEST_F(StackFixture, SelfAddressedDeliversLocally) {
   int delivered = 0;
   a_.stack().RegisterProtocolHandler(
       IpProto::kTcp,
-      [&](const Ipv4Header&, const std::vector<uint8_t>&, NetDevice*) { ++delivered; });
+      [&](const Ipv4Header&, const Packet&, NetDevice*) { ++delivered; });
   a_.stack().SendDatagram(Ipv4Address::Any(), Ipv4Address(10, 0, 0, 2), IpProto::kTcp, {1});
   sim_.Run();
   EXPECT_EQ(delivered, 1);
@@ -175,7 +175,7 @@ TEST_F(StackFixture, RouteOverrideRedirectsAndRewritesSource) {
       });
   int delivered = 0;
   b_.stack().RegisterProtocolHandler(
-      IpProto::kTcp, [&](const Ipv4Header& h, const std::vector<uint8_t>&, NetDevice*) {
+      IpProto::kTcp, [&](const Ipv4Header& h, const Packet&, NetDevice*) {
         EXPECT_EQ(h.src, Ipv4Address(10, 0, 0, 2));
         ++delivered;
       });

@@ -12,7 +12,7 @@ EthernetFrame MakeFrame(MacAddress src, MacAddress dst, size_t payload_size = 50
   EthernetFrame frame;
   frame.src = src;
   frame.dst = dst;
-  frame.payload.assign(payload_size, 0xaa);
+  frame.payload = std::vector<uint8_t>(payload_size, 0xaa);
   return frame;
 }
 

@@ -43,7 +43,8 @@ TEST(IpIpTest, DecapsulateRecoversInnerExactly) {
 }
 
 TEST(IpIpTest, DecapsulateRejectsGarbage) {
-  EXPECT_FALSE(DecapsulateIpIp({1, 2, 3}).has_value());
+  const std::vector<uint8_t> garbage = {1, 2, 3};
+  EXPECT_FALSE(DecapsulateIpIp(garbage).has_value());
 }
 
 TEST(IpIpTest, NestedEncapsulationUnwrapsOneLayerAtATime) {
@@ -80,7 +81,7 @@ TEST_F(TunnelEndpointTest, DecapsulatesAndDeliversInner) {
   int delivered = 0;
   node_.stack().RegisterProtocolHandler(
       IpProto::kTcp,
-      [&](const Ipv4Header& h, const std::vector<uint8_t>&, NetDevice*) {
+      [&](const Ipv4Header& h, const Packet&, NetDevice*) {
         EXPECT_EQ(h.dst, Ipv4Address(10, 0, 0, 1));
         ++delivered;
       });
@@ -104,7 +105,7 @@ TEST_F(TunnelEndpointTest, InspectorCanVeto) {
   int delivered = 0;
   node_.stack().RegisterProtocolHandler(
       IpProto::kTcp,
-      [&](const Ipv4Header&, const std::vector<uint8_t>&, NetDevice*) { ++delivered; });
+      [&](const Ipv4Header&, const Packet&, NetDevice*) { ++delivered; });
 
   Ipv4Datagram inner;
   inner.header.protocol = IpProto::kTcp;
@@ -132,7 +133,12 @@ TEST_F(TunnelEndpointTest, VifHandsDatagramToEncapHandler) {
   auto vif_owned = std::make_unique<VirtualInterface>(sim_, "vif");
   VirtualInterface* vif = vif_owned.get();
   std::optional<Ipv4Datagram> seen;
-  vif->SetEncapHandler([&](const Ipv4Datagram& dg) { seen = dg; });
+  vif->SetEncapHandler([&](const Ipv4Header& header, const Packet& wire) {
+    Ipv4Datagram dg;
+    dg.header = header;
+    dg.payload.assign(wire.begin() + Ipv4Header::kSize, wire.end());
+    seen = std::move(dg);
+  });
   node_.AdoptDevice(std::move(vif_owned));
 
   // Route everything to 42.0.0.0/8 through the VIF.

@@ -216,10 +216,10 @@ TEST_F(PolicyRoutingFixture, EncapDirectWrapsToCorrespondent) {
   Ipv4Address outer_src, inner_src;
   tb_->ch->stack().RegisterProtocolHandler(
       IpProto::kIpIp,
-      [&](const Ipv4Header& h, const std::vector<uint8_t>& payload, NetDevice*) {
+      [&](const Ipv4Header& h, const Packet& payload, NetDevice*) {
         ++ipip_at_ch;
         outer_src = h.src;
-        auto inner = Ipv4Datagram::Parse(payload);
+        auto inner = Ipv4Datagram::Parse(payload.span());
         ASSERT_TRUE(inner.has_value());
         inner_src = inner->header.src;
       });

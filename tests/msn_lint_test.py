@@ -184,6 +184,63 @@ class MsnLintTest(unittest.TestCase):
         self.tree.write("src/mip/bad.cc", 'auto& a = reg.GetCounter("IP." + name);\n')
         self.assertEqual(rules_of(run_lint(self.tree.root)), ["telemetry/metric-name"])
 
+    # --- perf/frame-by-value ------------------------------------------------
+
+    def test_frame_by_value_flagged(self):
+        self.tree.write("src/node/bad.cc",
+                        "void Handle(EthernetFrame frame) {}\n"
+                        "void Send(NetDevice* dev, Packet wire, int x) {}\n")
+        self.assertEqual(rules_of(run_lint(self.tree.root)),
+                         ["perf/frame-by-value"] * 2)
+
+    def test_frame_by_const_value_flagged(self):
+        self.tree.write("src/node/bad.cc", "void f(const Packet wire) {}\n")
+        self.assertEqual(rules_of(run_lint(self.tree.root)), ["perf/frame-by-value"])
+
+    def test_frame_references_and_pointers_ok(self):
+        self.tree.write("src/node/ok.cc",
+                        "void a(const EthernetFrame& frame) {}\n"
+                        "void b(EthernetFrame&& frame) {}\n"
+                        "void c(Packet* wire) {}\n"
+                        "void d(const Packet& payload, NetDevice* dev) {}\n")
+        self.assertEqual(run_lint(self.tree.root), [])
+
+    def test_frame_by_value_wrapped_signature_flagged(self):
+        # The parameter list is split across lines; the finding lands on the
+        # line holding the parameter itself.
+        path = self.tree.write("src/node/bad.cc",
+                               "void Transmit(NetDevice* device,\n"
+                               "              Packet wire,\n"
+                               "              MacAddress dst) {}\n")
+        violations = run_lint(self.tree.root)
+        self.assertEqual(rules_of(violations), ["perf/frame-by-value"])
+        self.assertEqual(violations[0].line, 2)
+        self.assertEqual(violations[0].path, path)
+
+    def test_frame_local_variable_not_flagged(self):
+        self.tree.write("src/node/ok.cc",
+                        "void f() {\n"
+                        "  EthernetFrame frame;\n"
+                        "  Packet wire = Packet::Allocate(64);\n"
+                        "  (void)frame; (void)wire;\n"
+                        "}\n")
+        self.assertEqual(run_lint(self.tree.root), [])
+
+    def test_frame_by_value_lambda_param_flagged(self):
+        self.tree.write("src/node/bad.cc",
+                        "auto cb = [](EthernetFrame frame) { (void)frame; };\n")
+        self.assertEqual(rules_of(run_lint(self.tree.root)), ["perf/frame-by-value"])
+
+    def test_frame_by_value_allow_comment(self):
+        self.tree.write("src/node/ok.cc",
+                        "// msn-lint: allow(perf/frame-by-value) — ownership sink.\n"
+                        "void Sink(Packet wire) {}\n")
+        self.assertEqual(run_lint(self.tree.root), [])
+
+    def test_frame_outside_src_not_flagged(self):
+        self.tree.write("tests/whatever.cc", "void f(Packet wire) {}\n")
+        self.assertEqual(run_lint(self.tree.root, ["tests"]), [])
+
     # --- CLI ----------------------------------------------------------------
 
     def test_cli_exit_codes_and_output(self):

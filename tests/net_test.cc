@@ -384,7 +384,8 @@ TEST(IcmpTest, CorruptionRejected) {
 }
 
 TEST(IcmpTest, TruncationRejected) {
-  EXPECT_FALSE(IcmpMessage::Parse({1, 2, 3}).has_value());
+  const std::vector<uint8_t> bytes = {1, 2, 3};
+  EXPECT_FALSE(IcmpMessage::Parse(bytes).has_value());
 }
 
 // --- ARP ----------------------------------------------------------------------------------------
@@ -425,7 +426,7 @@ TEST(ArpTest, RejectsBadOp) {
 
 TEST(FrameTest, WireSizeIncludesOverhead) {
   EthernetFrame frame;
-  frame.payload.resize(100);
+  frame.payload = std::vector<uint8_t>(100, 0);
   EXPECT_EQ(frame.WireSize(), 118u);
 }
 

@@ -22,6 +22,12 @@ see:
   telemetry/metric-name     Metric names handed to MetricsRegistry::Get* are
                             lowercase dot-paths: "<subsystem>.<noun>" (e.g.
                             "ha.bindings", "ip.mh.drop_no_route").
+  perf/frame-by-value       No EthernetFrame or Packet parameters taken by
+                            value in src/ signatures — pass `const&` to read,
+                            `&&` to consume. A by-value parameter silently
+                            refcounts (and can later COW-copy) the packet
+                            buffer; intentional ownership sinks carry an
+                            inline allow stating so.
 
 Suppressing a finding
   Inline: append `// msn-lint: allow(<rule-id>)` to the offending line (or
@@ -52,6 +58,7 @@ RULES = {
     "header/guard": "missing or misnamed include guard",
     "header/using-namespace": "`using namespace` in a header",
     "telemetry/metric-name": "metric name is not a lowercase <subsystem>.<noun> dot-path",
+    "perf/frame-by-value": "EthernetFrame/Packet parameter taken by value",
 }
 
 # Layer ranks; a file may include only from strictly lower ranks or its own
@@ -108,6 +115,16 @@ METRIC_CALL_RE = re.compile(
 )
 METRIC_FULL_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
 METRIC_PIECE_RE = re.compile(r"^[a-z0-9_.]*$")
+
+# A parameter position: `(` or `,` then an (optionally const) bare
+# EthernetFrame/Packet followed directly by a parameter name. References,
+# rvalue references, and pointers break the match by construction, so
+# `const Packet&`, `Packet&&`, and `Packet*` all pass. Whitespace may span
+# lines (wrapped signatures).
+FRAME_BY_VALUE_RE = re.compile(
+    r"[(,]\s*(?:const\s+)?(EthernetFrame|Packet)\s+([A-Za-z_]\w*)\s*(?=[,)])",
+    re.DOTALL,
+)
 
 
 class Violation:
@@ -232,6 +249,7 @@ class Linter:
 
         if in_src:
             self._check_determinism(path, rel, code, allows)
+            self._check_frame_by_value(path, rel, code, allows)
         if layer is not None:
             # Raw text: include paths live inside string literals, which the
             # stripper blanks out.
@@ -253,6 +271,16 @@ class Linter:
                              f"'{m.group(0).strip()}' is not seed-reproducible; "
                              "draw from the owning component's msn::Rng",
                              allows)
+
+    def _check_frame_by_value(self, path, rel, code, allows):
+        for m in FRAME_BY_VALUE_RE.finditer(code):
+            type_name, param = m.group(1), m.group(2)
+            lineno = code.count("\n", 0, m.start(1)) + 1
+            self._report(path, rel, lineno, "perf/frame-by-value",
+                         f"parameter '{type_name} {param}' is taken by value — "
+                         "pass `const&` to read or `&&` to consume; if this is "
+                         "an intentional ownership sink, say so with an inline "
+                         "allow", allows)
 
     def _check_layering(self, path, rel, layer, text, allows):
         my_rank = LAYER_RANK.get(layer)
