@@ -1,0 +1,50 @@
+// One fuzz iteration: build the Figure 5 testbed from a ScenarioSpec, run the
+// scripted movement, traffic, and fault timelines against it with the
+// invariant oracles watching, and report what they found. Everything is
+// derived from the spec's seed, so a run is exactly reproducible from its
+// serialized scenario (or just the seed, for generated scenarios).
+#ifndef MSN_SRC_CHECK_FUZZER_H_
+#define MSN_SRC_CHECK_FUZZER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/check/oracles.h"
+#include "src/check/scenario_gen.h"
+
+namespace msn {
+
+struct RunOptions {
+  // Invoked after the testbed boots and traffic starts, just before the
+  // movement script runs. Tests use this to sabotage the system under test
+  // (inject a bug) and prove the oracles catch it; the hook is deliberately
+  // not part of the scenario, so shrinking preserves it across candidates.
+  std::function<void(Testbed&)> instrument;
+};
+
+struct RunResult {
+  ScenarioSpec spec;
+  OracleReport report;
+  // Deterministic context for failure reports.
+  std::string movement_summary;  // One line per movement step outcome.
+  std::string fault_trace;       // FaultSchedule::Trace().
+  uint64_t probes_sent = 0;
+  uint64_t probes_lost = 0;
+
+  [[nodiscard]] bool failed() const { return report.failed(); }
+  // Byte-deterministic failure report: verdicts, scenario text, timelines.
+  // Two runs of the same spec produce identical bytes.
+  [[nodiscard]] std::string FailureReport() const;
+};
+
+// Executes `spec` against a fresh testbed. The spec is taken as-is (callers
+// that edit event lists should NormalizeSpec first).
+RunResult RunScenario(const ScenarioSpec& spec, const RunOptions& options = {});
+
+// GenerateScenario + RunScenario.
+RunResult FuzzOne(uint64_t seed, const RunOptions& options = {});
+
+}  // namespace msn
+
+#endif  // MSN_SRC_CHECK_FUZZER_H_

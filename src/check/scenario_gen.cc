@@ -1,0 +1,618 @@
+#include "src/check/scenario_gen.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace msn {
+namespace {
+
+// Generated timelines keep this shape: movement and faults play out in an
+// active window, every fault clears, and then a final settling move lands in
+// quiet network conditions, leaving a long tail for renewals and recovery
+// paths to converge. The oracles' terminal checks rely on that ordering (see
+// ScenarioSpec::SettlesCleanly logic in oracles.cc).
+constexpr Duration kFirstMoveAt = Seconds(2);
+constexpr Duration kLastRandomMoveAt = Seconds(26);
+constexpr Duration kFaultStartMin = Seconds(3);
+constexpr Duration kFaultStartMax = Seconds(22);
+constexpr Duration kFaultEndCap = Seconds(29);
+constexpr Duration kSettleMoveAt = Seconds(32);
+constexpr Duration kTailSlack = Seconds(12);
+
+// Tracks which attach operations are executable, mirroring what
+// MobileHost/MovementScript actually do: cold switches bring their own device
+// up (and tear the previous one down), hot switches require the target device
+// to already be up, and address switches re-register the current attachment.
+struct MoveValidity {
+  bool away = false;      // Attached to a foreign network.
+  bool eth_up = true;     // Boots at home on the Ethernet.
+  bool radio_up = false;  // STRIP radio starts down.
+  // Device of the most recent foreign attachment (what a cold switch tears
+  // down); 0 = none yet, 1 = ethernet, 2 = radio.
+  int last_attach_device = 0;
+
+  [[nodiscard]] bool Allows(MovementScript::Kind kind) const {
+    switch (kind) {
+      case MovementScript::Kind::kGoHome:
+        return true;  // AttachHome brings the home device back up itself.
+      case MovementScript::Kind::kWiredCold:
+      case MovementScript::Kind::kWirelessCold:
+        return true;  // ColdSwitchTo pays the bring-up cost itself.
+      case MovementScript::Kind::kWiredHot:
+        return away && eth_up;
+      case MovementScript::Kind::kWirelessHot:
+        return away && radio_up;
+      case MovementScript::Kind::kAddressSwitch:
+        return away;  // Needs a live foreign attachment to derive the subnet.
+    }
+    return false;
+  }
+
+  void Apply(MovementScript::Kind kind) {
+    const int target = (kind == MovementScript::Kind::kWirelessCold ||
+                        kind == MovementScript::Kind::kWirelessHot)
+                           ? 2
+                           : 1;
+    switch (kind) {
+      case MovementScript::Kind::kGoHome:
+        away = false;
+        eth_up = true;
+        return;
+      case MovementScript::Kind::kWiredCold:
+      case MovementScript::Kind::kWirelessCold: {
+        // The cold path tears down the previous attachment's device (or the
+        // home device on first departure) unless it is the same device.
+        const int old_device = last_attach_device == 0 ? 1 : last_attach_device;
+        if (old_device != target) {
+          if (old_device == 1) {
+            eth_up = false;
+          } else {
+            radio_up = false;
+          }
+        }
+        (target == 1 ? eth_up : radio_up) = true;
+        last_attach_device = target;
+        away = true;
+        return;
+      }
+      case MovementScript::Kind::kWiredHot:
+      case MovementScript::Kind::kWirelessHot:
+        last_attach_device = target;
+        away = true;
+        return;
+      case MovementScript::Kind::kAddressSwitch:
+        return;
+    }
+  }
+};
+
+void AppendKv(std::string& out, const char* key, uint64_t value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " %s=%" PRIu64, key, value);
+  out += buf;
+}
+
+void AppendKvF(std::string& out, const char* key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " %s=%.6g", key, value);
+  out += buf;
+}
+
+// Splits "key=value" and parses the value as double; returns false (and sets
+// `error`) on malformed input or unknown keys (strictness keeps replay files
+// honest about typos).
+bool ParseKv(const std::string& token, std::map<std::string, double>& kv, std::string* error) {
+  const size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size()) {
+    if (error != nullptr) {
+      *error = "malformed key=value token: " + token;
+    }
+    return false;
+  }
+  const std::string key = token.substr(0, eq);
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str() + eq + 1, &end);
+  if (end == nullptr || *end != '\0') {
+    if (error != nullptr) {
+      *error = "bad numeric value in token: " + token;
+    }
+    return false;
+  }
+  kv[key] = value;
+  return true;
+}
+
+double TakeKv(std::map<std::string, double>& kv, const std::string& key, double fallback) {
+  auto it = kv.find(key);
+  if (it == kv.end()) {
+    return fallback;
+  }
+  const double v = it->second;
+  kv.erase(it);
+  return v;
+}
+
+std::optional<MovementScript::Kind> MoveKindFromName(const std::string& name) {
+  for (MovementScript::Kind kind :
+       {MovementScript::Kind::kGoHome, MovementScript::Kind::kWiredCold,
+        MovementScript::Kind::kWiredHot, MovementScript::Kind::kWirelessCold,
+        MovementScript::Kind::kWirelessHot, MovementScript::Kind::kAddressSwitch}) {
+    if (name == MovementScript::KindName(kind)) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<FaultMedium> FaultMediumFromName(const std::string& name) {
+  for (FaultMedium medium : {FaultMedium::kHome, FaultMedium::kWired, FaultMedium::kRadio}) {
+    if (name == FaultMediumName(medium)) {
+      return medium;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+const char* FaultMediumName(FaultMedium medium) {
+  switch (medium) {
+    case FaultMedium::kHome:
+      return "home";
+    case FaultMedium::kWired:
+      return "wired";
+    case FaultMedium::kRadio:
+      return "radio";
+  }
+  return "?";
+}
+
+const char* FaultEventSpec::KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kBlackout:
+      return "blackout";
+    case Kind::kProfile:
+      return "profile";
+    case Kind::kClearProfile:
+      return "clear";
+    case Kind::kHaOutage:
+      return "ha-outage";
+  }
+  return "?";
+}
+
+bool ScenarioSpec::ExpectsAtHomeTerminal() const {
+  if (moves.empty()) {
+    return true;  // Runs boot at home and nothing moved the host.
+  }
+  return moves.back().kind == MovementScript::Kind::kGoHome;
+}
+
+std::string ScenarioSpec::ToString() const {
+  std::string out = "msn-fuzz-scenario-v1\n";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "seed %" PRIu64 "\n", seed);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "topo transit_filter=%d ha_on_router=%d external_ch=%d lifetime_sec=%u\n",
+                transit_filter ? 1 : 0, ha_on_router ? 1 : 0, external_ch ? 1 : 0,
+                static_cast<unsigned>(lifetime_sec));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "traffic probes=%d probe_interval_ms=%" PRId64 " tcp=%d tcp_bytes=%u pings=%d "
+                "ping_interval_ms=%" PRId64 " probe_triangle=%d triangle_at_ms=%" PRId64 "\n",
+                traffic.probes ? 1 : 0, traffic.probe_interval.millis(), traffic.tcp ? 1 : 0,
+                traffic.tcp_bytes, traffic.pings ? 1 : 0, traffic.ping_interval.millis(),
+                traffic.probe_triangle ? 1 : 0, traffic.triangle_at.millis());
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "duration_ms %" PRId64 "\n", duration.millis());
+  out += buf;
+  for (const MoveEventSpec& m : moves) {
+    std::snprintf(buf, sizeof(buf), "move %" PRId64 " %s %u\n", m.at.millis(),
+                  MovementScript::KindName(m.kind), m.host_index);
+    out += buf;
+  }
+  for (const FaultEventSpec& f : faults) {
+    std::snprintf(buf, sizeof(buf), "fault %" PRId64 " %s", f.at.millis(),
+                  FaultEventSpec::KindName(f.kind));
+    out += buf;
+    if (f.kind != FaultEventSpec::Kind::kHaOutage) {
+      out += ' ';
+      out += FaultMediumName(f.medium);
+    }
+    switch (f.kind) {
+      case FaultEventSpec::Kind::kBlackout:
+        AppendKv(out, "len_ms", static_cast<uint64_t>(f.length.millis()));
+        break;
+      case FaultEventSpec::Kind::kProfile:
+        AppendKvF(out, "p_enter", f.p_enter_burst);
+        AppendKvF(out, "p_exit", f.p_exit_burst);
+        AppendKvF(out, "dup", f.duplicate_probability);
+        AppendKvF(out, "reorder", f.reorder_probability);
+        AppendKvF(out, "corrupt", f.corrupt_probability);
+        break;
+      case FaultEventSpec::Kind::kClearProfile:
+        break;
+      case FaultEventSpec::Kind::kHaOutage:
+        AppendKv(out, "len_ms", static_cast<uint64_t>(f.length.millis()));
+        AppendKv(out, "restart", f.restart ? 1 : 0);
+        break;
+    }
+    out += '\n';
+  }
+  out += "end\n";
+  return out;
+}
+
+std::optional<ScenarioSpec> ScenarioSpec::Parse(const std::string& text, std::string* error) {
+  auto fail = [error](const std::string& msg) -> std::optional<ScenarioSpec> {
+    if (error != nullptr) {
+      *error = msg;
+    }
+    return std::nullopt;
+  };
+
+  ScenarioSpec spec;
+  bool saw_header = false;
+  bool saw_seed = false;
+  bool saw_body = false;  // Any section beyond the seed line.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    // Strip comments and surrounding whitespace.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word)) {
+      continue;  // Blank/comment line.
+    }
+    if (!saw_header) {
+      if (word != "msn-fuzz-scenario-v1") {
+        return fail("missing msn-fuzz-scenario-v1 header");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (word == "end") {
+      break;
+    }
+    if (word == "seed") {
+      uint64_t s = 0;
+      if (!(ls >> s)) {
+        return fail("bad seed line");
+      }
+      spec.seed = s;
+      saw_seed = true;
+      continue;
+    }
+
+    saw_body = true;
+    std::map<std::string, double> kv;
+    if (word == "topo" || word == "traffic") {
+      std::string token;
+      while (ls >> token) {
+        if (!ParseKv(token, kv, error)) {
+          return std::nullopt;
+        }
+      }
+      if (word == "topo") {
+        spec.transit_filter = TakeKv(kv, "transit_filter", 0) != 0;
+        spec.ha_on_router = TakeKv(kv, "ha_on_router", 1) != 0;
+        spec.external_ch = TakeKv(kv, "external_ch", 0) != 0;
+        spec.lifetime_sec = static_cast<uint16_t>(TakeKv(kv, "lifetime_sec", 10));
+      } else {
+        spec.traffic.probes = TakeKv(kv, "probes", 1) != 0;
+        spec.traffic.probe_interval =
+            Milliseconds(static_cast<int64_t>(TakeKv(kv, "probe_interval_ms", 100)));
+        spec.traffic.tcp = TakeKv(kv, "tcp", 0) != 0;
+        spec.traffic.tcp_bytes = static_cast<uint32_t>(TakeKv(kv, "tcp_bytes", 4096));
+        spec.traffic.pings = TakeKv(kv, "pings", 0) != 0;
+        spec.traffic.ping_interval =
+            Milliseconds(static_cast<int64_t>(TakeKv(kv, "ping_interval_ms", 700)));
+        spec.traffic.probe_triangle = TakeKv(kv, "probe_triangle", 0) != 0;
+        spec.traffic.triangle_at =
+            Milliseconds(static_cast<int64_t>(TakeKv(kv, "triangle_at_ms", 10000)));
+      }
+      if (!kv.empty()) {
+        return fail("unknown " + word + " key: " + kv.begin()->first);
+      }
+      continue;
+    }
+    if (word == "duration_ms") {
+      int64_t ms = 0;
+      if (!(ls >> ms) || ms <= 0) {
+        return fail("bad duration_ms line");
+      }
+      spec.duration = Milliseconds(ms);
+      continue;
+    }
+    if (word == "move") {
+      int64_t at_ms = 0;
+      std::string kind_name;
+      uint32_t idx = 0;
+      if (!(ls >> at_ms >> kind_name >> idx)) {
+        return fail("bad move line: " + line);
+      }
+      const auto kind = MoveKindFromName(kind_name);
+      if (!kind.has_value()) {
+        return fail("unknown move kind: " + kind_name);
+      }
+      spec.moves.push_back(MoveEventSpec{Milliseconds(at_ms), *kind, idx});
+      continue;
+    }
+    if (word == "fault") {
+      int64_t at_ms = 0;
+      std::string kind_name;
+      if (!(ls >> at_ms >> kind_name)) {
+        return fail("bad fault line: " + line);
+      }
+      FaultEventSpec f;
+      f.at = Milliseconds(at_ms);
+      if (kind_name == "blackout") {
+        f.kind = FaultEventSpec::Kind::kBlackout;
+      } else if (kind_name == "profile") {
+        f.kind = FaultEventSpec::Kind::kProfile;
+      } else if (kind_name == "clear") {
+        f.kind = FaultEventSpec::Kind::kClearProfile;
+      } else if (kind_name == "ha-outage") {
+        f.kind = FaultEventSpec::Kind::kHaOutage;
+      } else {
+        return fail("unknown fault kind: " + kind_name);
+      }
+      if (f.kind != FaultEventSpec::Kind::kHaOutage) {
+        std::string medium_name;
+        if (!(ls >> medium_name)) {
+          return fail("fault line missing medium: " + line);
+        }
+        const auto medium = FaultMediumFromName(medium_name);
+        if (!medium.has_value()) {
+          return fail("unknown fault medium: " + medium_name);
+        }
+        f.medium = *medium;
+      }
+      std::string token;
+      while (ls >> token) {
+        if (!ParseKv(token, kv, error)) {
+          return std::nullopt;
+        }
+      }
+      f.length = Milliseconds(static_cast<int64_t>(TakeKv(kv, "len_ms", 1000)));
+      f.restart = TakeKv(kv, "restart", 0) != 0;
+      f.p_enter_burst = TakeKv(kv, "p_enter", 0);
+      f.p_exit_burst = TakeKv(kv, "p_exit", 1);
+      f.duplicate_probability = TakeKv(kv, "dup", 0);
+      f.reorder_probability = TakeKv(kv, "reorder", 0);
+      f.corrupt_probability = TakeKv(kv, "corrupt", 0);
+      if (!kv.empty()) {
+        return fail("unknown fault key: " + kv.begin()->first);
+      }
+      spec.faults.push_back(f);
+      continue;
+    }
+    return fail("unknown directive: " + word);
+  }
+
+  if (!saw_header) {
+    return fail("empty scenario file");
+  }
+  if (!saw_seed) {
+    return fail("scenario file has no seed line");
+  }
+  if (!saw_body) {
+    // Seed-only file: the scenario is whatever the generator derives.
+    return GenerateScenario(spec.seed);
+  }
+  return NormalizeSpec(spec);
+}
+
+ScenarioSpec GenerateScenario(uint64_t seed) {
+  Rng root(seed);
+  // Labeled substreams: each aspect draws from its own generator, so e.g.
+  // enriching the fault model never reshuffles the movement timeline.
+  Rng topo_rng = root.Fork("topo");
+  Rng move_rng = root.Fork("moves");
+  Rng traffic_rng = root.Fork("traffic");
+  Rng fault_rng = root.Fork("faults");
+
+  ScenarioSpec spec;
+  spec.seed = seed;
+  spec.transit_filter = topo_rng.Bernoulli(0.25);
+  spec.ha_on_router = !topo_rng.Bernoulli(0.25);
+  spec.external_ch = topo_rng.Bernoulli(0.25);
+  spec.lifetime_sec = static_cast<uint16_t>(topo_rng.UniformInt(uint64_t{5}, uint64_t{20}));
+
+  // --- Traffic mix ---------------------------------------------------------
+  spec.traffic.probes = true;
+  spec.traffic.probe_interval =
+      Milliseconds(static_cast<int64_t>(traffic_rng.UniformInt(uint64_t{40}, uint64_t{250})));
+  spec.traffic.tcp = traffic_rng.Bernoulli(0.6);
+  spec.traffic.tcp_bytes =
+      static_cast<uint32_t>(traffic_rng.UniformInt(uint64_t{2048}, uint64_t{16384}));
+  spec.traffic.pings = traffic_rng.Bernoulli(0.4);
+  spec.traffic.ping_interval =
+      Milliseconds(static_cast<int64_t>(traffic_rng.UniformInt(uint64_t{500}, uint64_t{1500})));
+  spec.traffic.probe_triangle = traffic_rng.Bernoulli(0.4);
+  spec.traffic.triangle_at =
+      Milliseconds(static_cast<int64_t>(traffic_rng.UniformInt(uint64_t{6000}, uint64_t{24000})));
+
+  // --- Movement timeline ---------------------------------------------------
+  MoveValidity state;
+  uint32_t current_index = 50;
+  auto draw_index = [&move_rng, &current_index] {
+    uint32_t idx = static_cast<uint32_t>(move_rng.UniformInt(uint64_t{40}, uint64_t{90}));
+    if (idx == current_index) {
+      idx = 40 + (idx - 39) % 51;  // Nudge off the current address.
+    }
+    current_index = idx;
+    return idx;
+  };
+
+  const int target_moves = static_cast<int>(move_rng.UniformInt(uint64_t{2}, uint64_t{7}));
+  Duration t = kFirstMoveAt;
+  for (int i = 0; i < target_moves && t <= kLastRandomMoveAt; ++i) {
+    // Candidate kinds currently valid; weights favor the interesting ones.
+    std::vector<MovementScript::Kind> candidates;
+    auto offer = [&candidates, &state](MovementScript::Kind kind, int weight) {
+      if (state.Allows(kind)) {
+        candidates.insert(candidates.end(), static_cast<size_t>(weight), kind);
+      }
+    };
+    offer(MovementScript::Kind::kWiredCold, 3);
+    offer(MovementScript::Kind::kWirelessCold, 2);
+    offer(MovementScript::Kind::kAddressSwitch, 3);
+    offer(MovementScript::Kind::kWiredHot, 2);
+    offer(MovementScript::Kind::kWirelessHot, 2);
+    if (i > 0) {
+      offer(MovementScript::Kind::kGoHome, 1);
+    }
+    const MovementScript::Kind kind =
+        candidates[move_rng.UniformInt(uint64_t{0}, uint64_t{candidates.size() - 1})];
+    spec.moves.push_back(MoveEventSpec{t, kind, draw_index()});
+    state.Apply(kind);
+
+    // Mostly well-spaced moves, with occasional tight bursts that overlap an
+    // in-flight handoff (the supersede paths).
+    if (move_rng.Bernoulli(0.15)) {
+      t += Milliseconds(static_cast<int64_t>(move_rng.UniformInt(uint64_t{150}, uint64_t{600})));
+    } else {
+      t += Milliseconds(static_cast<int64_t>(move_rng.UniformInt(uint64_t{2000}, uint64_t{5000})));
+    }
+  }
+
+  // Settling move in quiet conditions: every fault has cleared by
+  // kFaultEndCap, so this attach must converge — which is what arms the
+  // terminal oracles (registration liveness, binding agreement).
+  MoveEventSpec settle;
+  settle.at = kSettleMoveAt;
+  settle.kind = move_rng.Bernoulli(0.35) ? MovementScript::Kind::kGoHome
+                                         : MovementScript::Kind::kWiredCold;
+  settle.host_index = draw_index();
+  spec.moves.push_back(settle);
+
+  spec.duration = kSettleMoveAt + Seconds(spec.lifetime_sec) + kTailSlack;
+
+  // --- Fault timeline ------------------------------------------------------
+  const int fault_count = static_cast<int>(fault_rng.UniformInt(uint64_t{0}, uint64_t{5}));
+  for (int i = 0; i < fault_count; ++i) {
+    FaultEventSpec f;
+    f.at = Milliseconds(static_cast<int64_t>(
+        fault_rng.UniformInt(uint64_t{kFaultStartMin.millis()}, uint64_t{kFaultStartMax.millis()})));
+    const double which = fault_rng.UniformDouble();
+    const double medium_pick = fault_rng.UniformDouble();
+    f.medium = medium_pick < 0.45   ? FaultMedium::kWired
+               : medium_pick < 0.75 ? FaultMedium::kRadio
+                                    : FaultMedium::kHome;
+    if (which < 0.30) {
+      f.kind = FaultEventSpec::Kind::kBlackout;
+      f.length = Milliseconds(
+          static_cast<int64_t>(fault_rng.UniformInt(uint64_t{500}, uint64_t{6000})));
+    } else if (which < 0.65) {
+      f.kind = FaultEventSpec::Kind::kProfile;
+      f.p_enter_burst = fault_rng.UniformDouble(0.02, 0.20);
+      f.p_exit_burst = fault_rng.UniformDouble(0.20, 0.50);
+      f.duplicate_probability = fault_rng.Bernoulli(0.5) ? fault_rng.UniformDouble(0.0, 0.05) : 0.0;
+      f.reorder_probability = fault_rng.Bernoulli(0.5) ? fault_rng.UniformDouble(0.0, 0.08) : 0.0;
+      f.corrupt_probability = fault_rng.Bernoulli(0.4) ? fault_rng.UniformDouble(0.0, 0.03) : 0.0;
+      spec.faults.push_back(f);
+      // Paired clear; NormalizeSpec keeps the pairing if the shrinker later
+      // edits the list.
+      FaultEventSpec clear;
+      clear.kind = FaultEventSpec::Kind::kClearProfile;
+      clear.medium = f.medium;
+      clear.at = f.at + Milliseconds(static_cast<int64_t>(
+                            fault_rng.UniformInt(uint64_t{2000}, uint64_t{8000})));
+      spec.faults.push_back(clear);
+      continue;
+    } else {
+      f.kind = FaultEventSpec::Kind::kHaOutage;
+      f.length = Milliseconds(
+          static_cast<int64_t>(fault_rng.UniformInt(uint64_t{1000}, uint64_t{8000})));
+      f.restart = fault_rng.Bernoulli(0.5);
+    }
+    spec.faults.push_back(f);
+  }
+
+  return NormalizeSpec(spec);
+}
+
+ScenarioSpec NormalizeSpec(const ScenarioSpec& spec) {
+  ScenarioSpec out = spec;
+
+  // Movement: sorted, and every step executable given the steps before it.
+  std::stable_sort(out.moves.begin(), out.moves.end(),
+                   [](const MoveEventSpec& a, const MoveEventSpec& b) { return a.at < b.at; });
+  MoveValidity state;
+  std::vector<MoveEventSpec> valid_moves;
+  valid_moves.reserve(out.moves.size());
+  for (const MoveEventSpec& m : out.moves) {
+    if (m.at < Duration() || m.at >= out.duration) {
+      continue;
+    }
+    if (!state.Allows(m.kind)) {
+      continue;
+    }
+    state.Apply(m.kind);
+    valid_moves.push_back(m);
+  }
+  out.moves = std::move(valid_moves);
+
+  // Faults: sorted; timed windows clamped to clear before the settling
+  // window; profile events re-paired with a clear per medium.
+  std::stable_sort(out.faults.begin(), out.faults.end(),
+                   [](const FaultEventSpec& a, const FaultEventSpec& b) { return a.at < b.at; });
+  const Duration settle_at = out.moves.empty() ? out.duration : out.moves.back().at;
+  const Duration fault_end_cap =
+      std::min(settle_at - Seconds(2), out.duration - Seconds(15));
+  std::vector<FaultEventSpec> valid_faults;
+  valid_faults.reserve(out.faults.size());
+  bool profile_active[3] = {false, false, false};
+  for (const FaultEventSpec& f : out.faults) {
+    FaultEventSpec e = f;
+    const size_t m = static_cast<size_t>(e.medium);
+    if (e.at < Duration() || e.at > fault_end_cap - Milliseconds(100)) {
+      continue;
+    }
+    switch (e.kind) {
+      case FaultEventSpec::Kind::kBlackout:
+      case FaultEventSpec::Kind::kHaOutage:
+        if (e.length < Milliseconds(100)) {
+          e.length = Milliseconds(100);
+        }
+        if (e.at + e.length > fault_end_cap) {
+          e.length = fault_end_cap - e.at;
+        }
+        break;
+      case FaultEventSpec::Kind::kProfile:
+        profile_active[m] = true;
+        break;
+      case FaultEventSpec::Kind::kClearProfile:
+        if (!profile_active[m]) {
+          continue;  // Clear with no profile to clear.
+        }
+        profile_active[m] = false;
+        break;
+    }
+    valid_faults.push_back(e);
+  }
+  // Any profile still active gets its clear back, just before the cap.
+  for (size_t m = 0; m < 3; ++m) {
+    if (profile_active[m]) {
+      FaultEventSpec clear;
+      clear.kind = FaultEventSpec::Kind::kClearProfile;
+      clear.medium = static_cast<FaultMedium>(m);
+      clear.at = fault_end_cap;
+      valid_faults.push_back(clear);
+    }
+  }
+  std::stable_sort(valid_faults.begin(), valid_faults.end(),
+                   [](const FaultEventSpec& a, const FaultEventSpec& b) { return a.at < b.at; });
+  out.faults = std::move(valid_faults);
+  return out;
+}
+
+}  // namespace msn

@@ -1,0 +1,118 @@
+// Scenario synthesis for the deterministic fuzzer (DESIGN.md §13).
+//
+// A ScenarioSpec is a fully explicit, replayable description of one fuzz run:
+// topology knobs, a traffic mix, a movement timeline, and a fault timeline.
+// GenerateScenario() derives one from a single 64-bit seed using labeled Rng
+// substreams (Rng::Fork(label)), so the topology, movement, traffic, and
+// fault draws are decoupled — tweaking the fault model cannot reshuffle the
+// generated movement, which keeps corpus seeds meaningful across generator
+// changes. Specs serialize to a line-oriented text format (ToString/Parse)
+// used by `fuzz_main --replay`, the shrinker's minimized repros, and the
+// checked-in regression corpus under tests/corpus/.
+#ifndef MSN_SRC_CHECK_SCENARIO_GEN_H_
+#define MSN_SRC_CHECK_SCENARIO_GEN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+#include "src/topo/scenario.h"
+
+namespace msn {
+
+// Which testbed medium a fault event targets.
+enum class FaultMedium {
+  kHome,   // net 36.135 (wired home subnet).
+  kWired,  // net 36.8 (visited Ethernet; the default correspondent lives here).
+  kRadio,  // net 36.134 (Metricom radio).
+};
+const char* FaultMediumName(FaultMedium medium);
+
+struct FaultEventSpec {
+  enum class Kind {
+    kBlackout,      // Link blackout on `medium` for `length`.
+    kProfile,       // Install a burst-loss/dup/reorder/corrupt profile.
+    kClearProfile,  // Remove the profile from `medium`.
+    kHaOutage,      // HA drops UDP 434 for `length`; `restart` wipes bindings.
+  };
+
+  Duration at;
+  Kind kind = Kind::kBlackout;
+  FaultMedium medium = FaultMedium::kWired;
+  Duration length;       // kBlackout / kHaOutage.
+  bool restart = false;  // kHaOutage: daemon restart (bindings wiped).
+  // kProfile parameters (Gilbert-Elliott burst loss plus per-frame faults).
+  double p_enter_burst = 0.0;
+  double p_exit_burst = 1.0;
+  double duplicate_probability = 0.0;
+  double reorder_probability = 0.0;
+  double corrupt_probability = 0.0;
+
+  static const char* KindName(Kind kind);
+};
+
+struct MoveEventSpec {
+  Duration at;
+  MovementScript::Kind kind = MovementScript::Kind::kWiredCold;
+  uint32_t host_index = 50;
+};
+
+struct TrafficSpec {
+  bool probes = true;                           // CH -> home-address UDP echo stream.
+  Duration probe_interval = Milliseconds(100);
+  bool tcp = false;                             // MH -> CH TCP-lite transfer.
+  uint32_t tcp_bytes = 4096;
+  bool pings = false;                           // CH pings the home address.
+  Duration ping_interval = Milliseconds(700);
+  bool probe_triangle = false;                  // MH probes the triangle route once.
+  Duration triangle_at = Seconds(10);
+};
+
+struct ScenarioSpec {
+  uint64_t seed = 1;
+
+  // Topology knobs (TestbedConfig).
+  bool transit_filter = false;
+  bool ha_on_router = true;
+  bool external_ch = false;
+  uint16_t lifetime_sec = 10;
+
+  TrafficSpec traffic;
+  std::vector<MoveEventSpec> moves;
+  std::vector<FaultEventSpec> faults;
+  // Total scripted run length (movement/fault offsets share its origin).
+  Duration duration = Seconds(45);
+
+  // The state the mobile host must reach once the timeline goes quiet: true
+  // when the last movement event returns home (or there are none — runs boot
+  // at home), false when it ends attached to a foreign network.
+  [[nodiscard]] bool ExpectsAtHomeTerminal() const;
+
+  // Deterministic line-oriented serialization; Parse() accepts exactly what
+  // ToString() emits (plus comments and a bare seed-only file, which means
+  // "generate from this seed").
+  [[nodiscard]] std::string ToString() const;
+  [[nodiscard]] static std::optional<ScenarioSpec> Parse(const std::string& text,
+                                                         std::string* error = nullptr);
+};
+
+// Synthesizes a random-but-valid scenario from `seed`. Guarantees the fuzzer
+// relies on: movement steps are executable in order (hot switches only target
+// devices a previous step left up and configured), all fault activity ends
+// before a final settling move, and the run tail is long enough for every
+// recovery path (renewal, resync, re-registration) to converge on correct
+// code. A violated oracle therefore indicates a protocol bug, not an
+// impossible scenario.
+[[nodiscard]] ScenarioSpec GenerateScenario(uint64_t seed);
+
+// Repairs a spec whose event lists were edited (by the shrinker or by hand):
+// drops movement steps that are invalid given the steps before them, re-pairs
+// profile events with clears, clamps fault windows to end before the settling
+// window, and keeps both timelines sorted. Generator output is a fixed point.
+[[nodiscard]] ScenarioSpec NormalizeSpec(const ScenarioSpec& spec);
+
+}  // namespace msn
+
+#endif  // MSN_SRC_CHECK_SCENARIO_GEN_H_

@@ -1,0 +1,146 @@
+#include "src/check/shrink.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace msn {
+namespace {
+
+// One entry of the merged event list: a reference into the original spec's
+// moves (is_move) or faults vector.
+struct EventRef {
+  bool is_move = false;
+  size_t index = 0;
+};
+
+ScenarioSpec BuildCandidate(const ScenarioSpec& original, const std::vector<EventRef>& events) {
+  ScenarioSpec spec = original;
+  spec.moves.clear();
+  spec.faults.clear();
+  for (const EventRef& e : events) {
+    if (e.is_move) {
+      spec.moves.push_back(original.moves[e.index]);
+    } else {
+      spec.faults.push_back(original.faults[e.index]);
+    }
+  }
+  return NormalizeSpec(spec);
+}
+
+}  // namespace
+
+std::string ShrinkResult::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "shrunk %zu events -> %zu in %d run(s), preserving oracle '%s'\n",
+                original_events, minimized_events, runs, oracle.c_str());
+  return buf;
+}
+
+ShrinkResult ShrinkScenario(const ScenarioSpec& failing, const RunOptions& options,
+                            int max_runs) {
+  ShrinkResult result;
+  const ScenarioSpec original = NormalizeSpec(failing);
+  result.original_events = original.moves.size() + original.faults.size();
+
+  RunResult base = RunScenario(original, options);
+  result.runs = 1;
+  if (!base.failed()) {
+    result.minimized = original;
+    result.minimized_events = result.original_events;
+    result.final_report = base.report;
+    return result;
+  }
+  // Preserve the first violated oracle (report order is deterministic);
+  // candidates that fail some *other* way are rejected, so shrinking cannot
+  // slip onto a different bug.
+  result.oracle = base.report.violations.begin()->first;
+  result.final_report = base.report;
+
+  auto reproduces = [&](const ScenarioSpec& candidate) {
+    RunResult r = RunScenario(candidate, options);
+    ++result.runs;
+    if (r.report.violations.count(result.oracle) > 0) {
+      result.final_report = r.report;
+      return true;
+    }
+    return false;
+  };
+
+  std::vector<EventRef> current;
+  for (size_t i = 0; i < original.moves.size(); ++i) {
+    current.push_back({true, i});
+  }
+  for (size_t i = 0; i < original.faults.size(); ++i) {
+    current.push_back({false, i});
+  }
+
+  // ddmin: drop chunks of 1/n of the list while the failure reproduces.
+  size_t n = 2;
+  ScenarioSpec best = original;
+  while (current.size() >= 2 && n <= current.size() && result.runs < max_runs) {
+    const size_t chunk = (current.size() + n - 1) / n;
+    bool reduced = false;
+    for (size_t start = 0; start < current.size() && result.runs < max_runs; start += chunk) {
+      std::vector<EventRef> candidate_events;
+      candidate_events.reserve(current.size());
+      for (size_t i = 0; i < current.size(); ++i) {
+        if (i < start || i >= start + chunk) {
+          candidate_events.push_back(current[i]);
+        }
+      }
+      const ScenarioSpec candidate = BuildCandidate(original, candidate_events);
+      if (reproduces(candidate)) {
+        current = std::move(candidate_events);
+        best = candidate;
+        n = std::max<size_t>(2, n - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (n >= current.size()) {
+        break;
+      }
+      n = std::min(current.size(), n * 2);
+    }
+  }
+
+  // Traffic simplification: drop components the violation does not need.
+  auto try_spec = [&](ScenarioSpec candidate) {
+    if (result.runs >= max_runs) {
+      return;
+    }
+    candidate = NormalizeSpec(candidate);
+    if (reproduces(candidate)) {
+      best = candidate;
+    }
+  };
+  if (best.traffic.tcp) {
+    ScenarioSpec c = best;
+    c.traffic.tcp = false;
+    try_spec(c);
+  }
+  if (best.traffic.pings) {
+    ScenarioSpec c = best;
+    c.traffic.pings = false;
+    try_spec(c);
+  }
+  if (best.traffic.probe_triangle) {
+    ScenarioSpec c = best;
+    c.traffic.probe_triangle = false;
+    try_spec(c);
+  }
+  if (best.traffic.probes) {
+    ScenarioSpec c = best;
+    c.traffic.probes = false;
+    try_spec(c);
+  }
+
+  result.minimized = best;
+  result.minimized_events = best.moves.size() + best.faults.size();
+  return result;
+}
+
+}  // namespace msn

@@ -1,0 +1,45 @@
+// Scenario shrinking: given a failing spec, find a minimal event list that
+// still trips the same oracle.
+//
+// Classic delta debugging (ddmin) over the merged movement + fault event
+// list: repeatedly try dropping chunks of events, keeping any candidate that
+// still reproduces the original (primary) oracle violation, halving chunk
+// size when no chunk can be dropped. Every candidate passes through
+// NormalizeSpec first, so removals cannot manufacture invalid-by-construction
+// scenarios whose spurious failures would hijack the shrink ("slippage" is
+// further prevented by keying the predicate on the original oracle, not on
+// failing at all). A final pass turns off traffic components the failure
+// does not need.
+#ifndef MSN_SRC_CHECK_SHRINK_H_
+#define MSN_SRC_CHECK_SHRINK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/check/fuzzer.h"
+#include "src/check/scenario_gen.h"
+
+namespace msn {
+
+struct ShrinkResult {
+  ScenarioSpec minimized;
+  // The oracle whose violation the shrink preserved (first violation, in
+  // report order, of the original run).
+  std::string oracle;
+  int runs = 0;  // Scenario executions spent shrinking (including the first).
+  size_t original_events = 0;
+  size_t minimized_events = 0;
+  // Report of the minimized scenario's run.
+  OracleReport final_report;
+
+  [[nodiscard]] std::string Summary() const;
+};
+
+// `max_runs` bounds total scenario executions. If `failing` does not actually
+// fail, returns it unshrunk with runs == 1 and an empty oracle.
+ShrinkResult ShrinkScenario(const ScenarioSpec& failing, const RunOptions& options = {},
+                            int max_runs = 120);
+
+}  // namespace msn
+
+#endif  // MSN_SRC_CHECK_SHRINK_H_

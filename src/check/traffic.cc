@@ -1,0 +1,109 @@
+#include "src/check/traffic.h"
+
+#include <utility>
+#include <vector>
+
+namespace msn {
+
+TrafficHarness::TrafficHarness(Testbed& testbed, const ScenarioSpec& spec)
+    : tb_(testbed), spec_(spec) {}
+
+TrafficHarness::~TrafficHarness() = default;
+
+void TrafficHarness::Start() {
+  if (spec_.traffic.probes) {
+    echo_server_ = std::make_unique<ProbeEchoServer>(*tb_.mh, kProbePort);
+    ProbeSender::Config cfg;
+    cfg.target = Testbed::HomeAddress();
+    cfg.port = kProbePort;
+    cfg.interval = spec_.traffic.probe_interval;
+    probe_sender_ = std::make_unique<ProbeSender>(*tb_.ch, cfg);
+    probe_sender_->Start();
+  }
+
+  if (spec_.traffic.tcp) {
+    StartTcp();
+  }
+
+  if (spec_.traffic.pings) {
+    pinger_ = std::make_unique<Pinger>(tb_.ch->stack());
+    ping_task_ = std::make_unique<PeriodicTask>(tb_.sim, spec_.traffic.ping_interval, [this] {
+      ++ping_stats_.sent;
+      pinger_->Ping(Testbed::HomeAddress(), Seconds(2), [this](const Pinger::Result& r) {
+        if (r.success) {
+          ++ping_stats_.ok;
+        } else {
+          ++ping_stats_.failed;
+        }
+      });
+    });
+    ping_task_->Start();
+  }
+
+  if (spec_.traffic.probe_triangle) {
+    tb_.sim.Schedule(spec_.traffic.triangle_at, [this] { FireTrianglePr(); });
+  }
+}
+
+void TrafficHarness::StartTcp() {
+  mh_tcp_ = std::make_unique<TcpLite>(tb_.mh->stack());
+  ch_tcp_ = std::make_unique<TcpLite>(tb_.ch->stack());
+
+  // Server side: verify the byte pattern as it arrives; a close is only
+  // reported once TCP-lite has delivered the FIN in order, i.e. after every
+  // byte before it.
+  ch_tcp_->Listen(kTcpPort, [this](TcpLiteConnection* conn) {
+    conn->SetDataHandler([this](const std::vector<uint8_t>& data) {
+      for (uint8_t byte : data) {
+        if (byte != TcpPatternByte(tcp_stats_.server_received)) {
+          tcp_stats_.pattern_ok = false;
+        }
+        ++tcp_stats_.server_received;
+      }
+    });
+    conn->SetCloseHandler([this] { tcp_stats_.server_closed = true; });
+  });
+
+  // Client side: connect from the mobile host with an unbound source, so the
+  // connection gets full mobile-IP treatment (home address as source) and
+  // must survive every handoff in the scenario.
+  tb_.sim.Schedule(Seconds(1), [this] {
+    TcpLiteConnection* conn = mh_tcp_->Connect(tb_.ch_address(), kTcpPort, [this](bool ok) {
+      if (!ok) {
+        tcp_stats_.connect_failed = true;
+        return;
+      }
+      tcp_stats_.client_connected = true;
+    });
+    if (conn == nullptr) {
+      tcp_stats_.connect_failed = true;
+      return;
+    }
+    conn->SetCloseHandler([this] { tcp_stats_.client_closed = true; });
+    // Queue the whole transfer up front (Send/Close buffer until the
+    // handshake completes); TCP-lite delivers it reliably across handoffs,
+    // and Close() sends FIN only after the buffer drains.
+    std::vector<uint8_t> payload(spec_.traffic.tcp_bytes);
+    for (uint64_t i = 0; i < payload.size(); ++i) {
+      payload[i] = TcpPatternByte(i);
+    }
+    conn->Send(payload);
+    conn->Close();
+  });
+}
+
+void TrafficHarness::FireTrianglePr() {
+  triangle_.attempted = true;
+  if (!tb_.mobile->registered()) {
+    return;  // Only meaningful away from home with a live binding.
+  }
+  triangle_.fired = true;
+  triangle_.on_radio = tb_.mobile->attachment().device == tb_.mh_radio;
+  tb_.mobile->ProbeTriangleRoute(tb_.ch_address(), [this](bool ok) {
+    triangle_.done = true;
+    triangle_.ok = ok;
+    triangle_.policy_after = tb_.mobile->policy_table().LookupConst(tb_.ch_address());
+  });
+}
+
+}  // namespace msn

@@ -1,0 +1,106 @@
+// The fuzzer's traffic mix: everything a ScenarioSpec's TrafficSpec asks for,
+// wired into a Testbed and tracked well enough for the invariant oracles to
+// audit afterwards.
+//
+//   - a correspondent-side UDP probe stream against the home address (the
+//     paper's Figure 6 measurement harness), echoed by the mobile host;
+//   - an optional TCP-lite transfer from the mobile host to the correspondent
+//     with a position-derived byte pattern, so the receiver can prove
+//     in-order, duplicate-free delivery byte by byte;
+//   - optional periodic pings of the home address;
+//   - an optional one-shot triangle-route probe, with the policy-table state
+//     captured at the moment the probe resolves.
+#ifndef MSN_SRC_CHECK_TRAFFIC_H_
+#define MSN_SRC_CHECK_TRAFFIC_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/check/scenario_gen.h"
+#include "src/mip/policy_table.h"
+#include "src/node/icmp.h"
+#include "src/tcplite/tcplite.h"
+#include "src/topo/testbed.h"
+#include "src/tracing/probe.h"
+
+namespace msn {
+
+// The byte the TCP-lite transfer carries at stream position `i`. The period
+// (251, prime) is coprime to every power-of-two segment size, so a dropped,
+// duplicated, or reordered segment misaligns the pattern immediately.
+inline uint8_t TcpPatternByte(uint64_t i) {
+  return static_cast<uint8_t>((i * 31 + 7) % 251);
+}
+
+class TrafficHarness {
+ public:
+  static constexpr uint16_t kProbePort = 4207;
+  static constexpr uint16_t kTcpPort = 5001;
+
+  struct TcpStats {
+    bool client_connected = false;
+    bool connect_failed = false;  // RST during handshake; never expected.
+    bool client_closed = false;
+    bool server_closed = false;
+    uint64_t server_received = 0;
+    // Every received byte matched TcpPatternByte(position). Checked
+    // incrementally, so one duplicated or misordered delivered byte latches
+    // this false forever.
+    bool pattern_ok = true;
+  };
+
+  struct PingStats {
+    uint64_t sent = 0;
+    uint64_t ok = 0;
+    uint64_t failed = 0;
+  };
+
+  struct TriangleResult {
+    bool attempted = false;  // The scheduled probe moment arrived.
+    bool fired = false;      // MH was registered, so the probe actually ran.
+    bool done = false;       // Probe callback resolved.
+    bool ok = false;
+    bool on_radio = false;   // Fired while attached via the lossy radio.
+    MobilePolicy policy_after = MobilePolicy::kTunnelHome;
+  };
+
+  TrafficHarness(Testbed& testbed, const ScenarioSpec& spec);
+  ~TrafficHarness();
+
+  TrafficHarness(const TrafficHarness&) = delete;
+  TrafficHarness& operator=(const TrafficHarness&) = delete;
+
+  // Call once, after Testbed::StartMobileAtHome() and before the movement
+  // script runs. Probe/ping streams start immediately; the TCP client
+  // connects one second in; the triangle probe fires at its scheduled time.
+  void Start();
+
+  const ProbeSender& probes() const { return *probe_sender_; }
+  const TcpStats& tcp() const { return tcp_stats_; }
+  const PingStats& pings() const { return ping_stats_; }
+  const TriangleResult& triangle() const { return triangle_; }
+
+ private:
+  void StartTcp();
+  void FireTrianglePr();
+
+  Testbed& tb_;
+  ScenarioSpec spec_;
+
+  std::unique_ptr<ProbeEchoServer> echo_server_;  // On the mobile host.
+  std::unique_ptr<ProbeSender> probe_sender_;     // On the correspondent.
+
+  std::unique_ptr<TcpLite> mh_tcp_;
+  std::unique_ptr<TcpLite> ch_tcp_;
+  TcpStats tcp_stats_;
+
+  std::unique_ptr<Pinger> pinger_;  // On the correspondent.
+  std::unique_ptr<PeriodicTask> ping_task_;
+  PingStats ping_stats_;
+
+  TriangleResult triangle_;
+};
+
+}  // namespace msn
+
+#endif  // MSN_SRC_CHECK_TRAFFIC_H_

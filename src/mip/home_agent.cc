@@ -221,9 +221,13 @@ void HomeAgent::ProcessRequest(const RegistrationRequest& request,
     reply.code = MipReplyCode::kDeniedBadAuthenticator;
   } else if (request.home_agent != config_.address) {
     reply.code = MipReplyCode::kDeniedMalformed;
-  } else if (!request.IsDeregistration() && request.care_of_address.IsAny()) {
+  } else if (!request.IsDeregistration() &&
+             (request.care_of_address.IsAny() ||
+              request.care_of_address == request.home_address)) {
     // A registration must name somewhere to tunnel to; accepting an empty
-    // care-of address would install a black-hole binding.
+    // care-of address would install a black-hole binding, and a care-of
+    // equal to the home address would make the HA tunnel home-bound
+    // packets back into its own intercept route forever.
     reply.code = MipReplyCode::kDeniedMalformed;
   } else if (resync_required_.erase(request.home_address) > 0) {
     // First registration after a daemon restart: deny once with a mismatch,
@@ -311,7 +315,7 @@ void HomeAgent::InstallBinding(const RegistrationRequest& request,
     // caches so traffic for the home address now lands on us.
     node_.stack().arp().AddProxyEntry(config_.home_device, home);
     node_.stack().arp().AddStaticEntry(home, config_.home_device->mac());
-    node_.stack().arp().SendGratuitousArp(config_.home_device, home);
+    node_.stack().arp().AnnounceGratuitousArp(config_.home_device, home);
   }
   ScheduleExpiry(home, binding.expires);
 

@@ -480,8 +480,11 @@ void MobileHost::ScheduleRenewal(uint16_t granted_lifetime_sec) {
     return;
   }
   const Duration lead = Seconds(granted_lifetime_sec) * config_.renewal_fraction;
-  renewal_event_ = node_.sim().Schedule(lead, [this] {
-    if (state_ != State::kRegistered) {
+  renewal_event_ = node_.sim().Schedule(lead, [this, generation = attach_generation_] {
+    // state_ alone is not enough: during an AttachHome whose deregistration
+    // is still in flight the state stays kRegistered, but renewing the old
+    // binding with the (now home) attachment would be wrong.
+    if (generation != attach_generation_ || state_ != State::kRegistered) {
       return;
     }
     ++counters_.renewals;
@@ -495,6 +498,12 @@ void MobileHost::ScheduleRenewal(uint16_t granted_lifetime_sec) {
 void MobileHost::CancelPendingRegistration() {
   node_.sim().Cancel(retransmit_event_);
   retransmit_event_ = EventId();
+  // A renewal armed for the superseded attachment must die with it: left
+  // alive it fires after AttachHome has pointed attachment_ at the home
+  // device, re-registering the home address as its own care-of — the HA
+  // would then tunnel home-bound packets to itself in a loop.
+  node_.sim().Cancel(renewal_event_);
+  renewal_event_ = EventId();
   outstanding_identification_ = 0;
   renewing_ = false;
   binding_lost_ = false;
@@ -559,6 +568,12 @@ void MobileHost::ColdSwitchTo(const Attachment& attachment, CompletionCallback d
       node_.stack().routes().RemoveForDevice(old_device);
       node_.stack().UnconfigureAddress(old_device);
       old_device->TakeDown();
+    }
+    // From here until the new registration completes the host has no usable
+    // attachment; stop claiming the old (torn-down) one is registered. This
+    // is the handoff downtime window the paper measures in Figure 7.
+    if (state_ == State::kRegistered || state_ == State::kAtHome) {
+      state_ = State::kRegistering;
     }
     attachment.device->BringUp([this, generation, attachment, done = std::move(done)]() mutable {
       if (generation != attach_generation_) {
@@ -631,7 +646,7 @@ void MobileHost::ContinueAttachHome(uint64_t generation) {
 
       // Announce our return: void stale ARP entries (including neighbours
       // still mapping the home address to the HA's proxy MAC).
-      node_.stack().arp().SendGratuitousArp(config_.home_device, config_.home_address);
+      node_.stack().arp().AnnounceGratuitousArp(config_.home_device, config_.home_address);
 
       if (!was_away) {
         state_ = State::kAtHome;

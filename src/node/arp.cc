@@ -178,4 +178,26 @@ void ArpService::SendGratuitousArp(NetDevice* device, Ipv4Address ip) {
   TransmitArp(device, announce, MacAddress::Broadcast());
 }
 
+void ArpService::AnnounceGratuitousArp(NetDevice* device, Ipv4Address ip) {
+  SendGratuitousArp(device, ip);
+  ScheduleGratuitousRepeat(device, ip, kGratuitousRepeats - 1);
+}
+
+void ArpService::ScheduleGratuitousRepeat(NetDevice* device, Ipv4Address ip,
+                                          int remaining) {
+  if (remaining <= 0) {
+    return;
+  }
+  sim_.Schedule(kGratuitousSpacing, [this, device, ip, remaining] {
+    if (!device->IsUp()) {
+      return;
+    }
+    if (!IsProxying(device, ip) && stack_.GetInterfaceAddress(device) != ip) {
+      return;  // No longer ours to announce.
+    }
+    SendGratuitousArp(device, ip);
+    ScheduleGratuitousRepeat(device, ip, remaining - 1);
+  });
+}
+
 }  // namespace msn

@@ -56,6 +56,15 @@ class ArpService {
   // that already have an entry for `ip` overwrite it (stale-entry voiding).
   void SendGratuitousArp(NetDevice* device, Ipv4Address ip);
 
+  // Gratuitous ARP with retransmissions (RFC 2002 §4.6: the announcement
+  // rides an unreliable broadcast, so mobility agents repeat it). A repeat is
+  // skipped once the claim stops being true — the device went down, or the
+  // address is neither proxied nor configured here any more — so a stale
+  // repeat can never clobber the next owner's announcement.
+  static constexpr int kGratuitousRepeats = 3;
+  static constexpr Duration kGratuitousSpacing = Milliseconds(400);
+  void AnnounceGratuitousArp(NetDevice* device, Ipv4Address ip);
+
   [[nodiscard]] std::optional<MacAddress> CachedLookup(Ipv4Address ip) const;
   void Flush();
   // Entries expire this long after last refresh.
@@ -87,6 +96,7 @@ class ArpService {
   };
 
   void SendRequest(NetDevice* device, Ipv4Address ip);
+  void ScheduleGratuitousRepeat(NetDevice* device, Ipv4Address ip, int remaining);
   void RetryOrFail(Ipv4Address ip);
   void InsertCacheEntry(Ipv4Address ip, MacAddress mac);
   void TransmitArp(NetDevice* device, const ArpMessage& msg, MacAddress dst);

@@ -2,9 +2,23 @@
 
 #include <utility>
 
+#include "src/util/logging.h"
+
 namespace msn {
 
-Simulator::Simulator(uint64_t seed) : rng_(seed) {}
+Simulator::Simulator(uint64_t seed) : rng_(seed) {
+  // Stamp log lines with this simulator's virtual clock. Last-constructed
+  // wins, which matches how tools run scenarios (one live sim at a time).
+  SetLogClock(
+      [](void* ctx) { return static_cast<Simulator*>(ctx)->Now().ToSecondsF(); },
+      this);
+}
+
+Simulator::~Simulator() {
+  if (GetLogClockContext() == this) {
+    SetLogClock(nullptr, nullptr);
+  }
+}
 
 EventId Simulator::Schedule(Duration delay, EventQueue::Callback cb) {
   if (delay < Duration()) {

@@ -19,6 +19,7 @@ namespace msn {
 class Simulator {
  public:
   explicit Simulator(uint64_t seed = 1);
+  ~Simulator();
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;

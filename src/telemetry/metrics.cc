@@ -182,6 +182,22 @@ std::vector<std::string> MetricsRegistry::Names() const {
   return names;
 }
 
+std::map<std::string, double> MetricsRegistry::ScalarSnapshot(const std::string& prefix) const {
+  std::map<std::string, double> out;
+  // std::map iteration is name-sorted; the prefix range could be found with
+  // lower_bound, but registries are small and oracles sample at a coarse
+  // interval, so the simple scan keeps this obviously correct.
+  for (const auto& [name, entry] : metrics_) {
+    if (name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    if (auto value = ReadValue(name); value.has_value()) {
+      out.emplace(name, *value);
+    }
+  }
+  return out;
+}
+
 std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
   std::vector<MetricSnapshot> out;
   out.reserve(metrics_.size());

@@ -188,6 +188,13 @@ class MetricsRegistry {
   std::vector<std::string> Names() const;
   std::vector<MetricSnapshot> Snapshot() const;
 
+  // Oracle snapshot: every metric under `prefix` ("" = all) as a name-sorted
+  // scalar map (counter/gauge value; histogram count). Invariant oracles diff
+  // two of these to reason about what a run segment did — the map form makes
+  // "counter X never moved between checkpoints" a lookup, not a scan.
+  [[nodiscard]] std::map<std::string, double> ScalarSnapshot(
+      const std::string& prefix = std::string()) const;
+
   // Drops a metric (used when a short-lived probe owner unbinds itself).
   void Remove(const std::string& name) { metrics_.erase(name); }
 

@@ -6,12 +6,21 @@ namespace msn {
 namespace {
 
 LogLevel g_level = LogLevel::kOff;
+LogClockFn g_clock = nullptr;
+void* g_clock_ctx = nullptr;
 
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level = level; }
 
 LogLevel GetLogLevel() { return g_level; }
+
+void SetLogClock(LogClockFn fn, void* ctx) {
+  g_clock = fn;
+  g_clock_ctx = ctx;
+}
+
+void* GetLogClockContext() { return g_clock_ctx; }
 
 const char* LogLevelName(LogLevel level) {
   switch (level) {
@@ -34,6 +43,9 @@ const char* LogLevelName(LogLevel level) {
 void Logf(LogLevel level, const char* tag, const char* fmt, ...) {
   if (level < g_level) {
     return;
+  }
+  if (g_clock != nullptr) {
+    std::fprintf(stderr, "[%10.6f] ", g_clock(g_clock_ctx));
   }
   std::fprintf(stderr, "[%-5s] %-8s ", LogLevelName(level), tag);
   va_list args;

@@ -23,6 +23,13 @@ enum class LogLevel : int {
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+// Optional clock stamped onto every log line (seconds). The simulator
+// installs itself here so protocol logs carry virtual time; pass nullptr to
+// detach. `ctx` disambiguates when several simulators exist in one process.
+using LogClockFn = double (*)(void* ctx);
+void SetLogClock(LogClockFn fn, void* ctx);
+void* GetLogClockContext();
+
 // printf-style log statement. `tag` identifies the subsystem ("mip", "arp").
 void Logf(LogLevel level, const char* tag, const char* fmt, ...)
     __attribute__((format(printf, 3, 4)));

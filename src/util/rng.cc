@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/util/siphash.h"
+
 namespace msn {
 namespace {
 
@@ -119,5 +121,15 @@ double Rng::Exponential(double mean) {
 }
 
 Rng Rng::Fork() { return Rng(NextU64()); }
+
+Rng Rng::Fork(std::string_view label) const {
+  // Key the label hash with the parent's full state (not a drawn value, so
+  // the parent stream is left untouched). SipHash gives well-mixed,
+  // label-decoupled seeds even for short or similar labels.
+  const SipHashKey key{s_[0] ^ s_[2], s_[1] ^ s_[3]};
+  const uint64_t seed =
+      SipHash24(key, reinterpret_cast<const uint8_t*>(label.data()), label.size());
+  return Rng(seed);
+}
 
 }  // namespace msn

@@ -7,6 +7,7 @@
 #define MSN_SRC_UTIL_RNG_H_
 
 #include <cstdint>
+#include <string_view>
 
 namespace msn {
 
@@ -41,8 +42,17 @@ class Rng {
   [[nodiscard]] double Exponential(double mean);
 
   // Derives an independent child generator; handy for giving each component
-  // its own stream while staying deterministic overall.
+  // its own stream while staying deterministic overall. Advances this
+  // generator by one draw, so successive Fork() calls differ.
   [[nodiscard]] Rng Fork();
+
+  // Derives an independent child generator keyed by `label` (hash-derived
+  // substream) WITHOUT advancing this generator: the same parent state and
+  // label always yield the same child, and children under different labels
+  // are decoupled from one another. This is what lets a scenario generator
+  // draw topology, traffic, and fault randomness from separate streams —
+  // adding a draw to one stream cannot reshuffle the others.
+  [[nodiscard]] Rng Fork(std::string_view label) const;
 
  private:
   uint64_t s_[4];

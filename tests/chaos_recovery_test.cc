@@ -216,7 +216,7 @@ TEST_F(ChaosFixture, BindingExpiryRacingInFlightRenewalRecovers) {
 // Satellite: deregistration is hardened too — going home while the link is
 // lossy still converges to kAtHome with the binding removed.
 TEST_F(ChaosFixture, DeregistrationSurvivesBurstLoss) {
-  Build(/*seed=*/19, /*lifetime_sec=*/300);
+  Build(/*seed=*/21, /*lifetime_sec=*/300);
   FaultInjector injector(tb_->sim, *tb_->net135);
   FaultProfile bursty;
   bursty.burst_loss = GilbertElliottParams{0.15, 0.3, 0.0, 1.0};

@@ -184,6 +184,19 @@ class MsnLintTest(unittest.TestCase):
         self.tree.write("src/mip/bad.cc", 'auto& a = reg.GetCounter("IP." + name);\n')
         self.assertEqual(rules_of(run_lint(self.tree.root)), ["telemetry/metric-name"])
 
+    def test_unregistered_namespace_flagged(self):
+        self.tree.write("src/mip/bad.cc",
+                        'auto& a = reg.GetCounter("bogus.requests");\n'
+                        'auto& b = reg.GetGauge("arp." + name);\n')
+        self.assertEqual(rules_of(run_lint(self.tree.root)),
+                         ["telemetry/metric-name"] * 2)
+
+    def test_check_namespace_ok(self):
+        self.tree.write("src/check/ok.cc",
+                        'auto& a = reg.GetCounter("check.oracle_checks");\n'
+                        'auto& b = reg.GetCounterRef("check." + oracle);\n')
+        self.assertEqual(run_lint(self.tree.root), [])
+
     # --- perf/frame-by-value ------------------------------------------------
 
     def test_frame_by_value_flagged(self):

@@ -216,6 +216,80 @@ TEST_P(LpmProperty, PolicyTableMatchesRoutingTableSemantics) {
   }
 }
 
+TEST_P(LpmProperty, InsertRemoveChurnMatchesReference) {
+  Rng rng(GetParam() + 7);
+  MobilePolicyTable policy;
+  RoutingTable reference;
+  const MobilePolicy policies[] = {MobilePolicy::kTunnelHome, MobilePolicy::kTriangle,
+                                   MobilePolicy::kEncapDirect, MobilePolicy::kDirect};
+  std::vector<Subnet> live;
+  for (int op = 0; op < 200; ++op) {
+    if (!live.empty() && rng.Bernoulli(0.35)) {
+      const size_t victim = rng.UniformInt(uint64_t{0}, uint64_t{live.size() - 1});
+      const Subnet subnet = live[victim];
+      live.erase(live.begin() + static_cast<long>(victim));
+      EXPECT_TRUE(policy.Remove(subnet));
+      reference.RemoveWhere([&](const RouteEntry& e) { return e.dest == subnet; });
+    } else {
+      const int prefix = static_cast<int>(rng.UniformInt(uint64_t{1}, uint64_t{32}));
+      const Subnet subnet(Ipv4Address(static_cast<uint32_t>(rng.NextU64())),
+                          SubnetMask(prefix));
+      const MobilePolicy p = policies[rng.UniformInt(uint64_t{0}, uint64_t{3})];
+      if (std::find(live.begin(), live.end(), subnet) == live.end()) {
+        live.push_back(subnet);
+      }
+      policy.Set(subnet, p);
+      reference.RemoveWhere([&](const RouteEntry& e) { return e.dest == subnet; });
+      reference.Add(RouteEntry{subnet, Ipv4Address::Any(), nullptr, Ipv4Address::Any(),
+                               static_cast<int>(p)});
+    }
+    // Spot-check LPM agreement after every mutation.
+    for (int probe = 0; probe < 20; ++probe) {
+      const Ipv4Address dst(static_cast<uint32_t>(rng.NextU64()));
+      auto route = reference.Lookup(dst);
+      const MobilePolicy got = policy.LookupConst(dst);
+      if (route.has_value()) {
+        EXPECT_EQ(static_cast<int>(got), route->metric);
+      } else {
+        EXPECT_EQ(got, MobilePolicy::kTunnelHome);
+      }
+    }
+  }
+}
+
+TEST_P(LpmProperty, FallbackAlwaysTerminatesAtTunnelHome) {
+  // Paper §3.3: when an optimized route (triangle or direct encapsulation)
+  // fails its reachability probe, the policy fallback must land the
+  // destination on kTunnelHome — from any table state, in one step, and
+  // stay there (idempotent), without disturbing unrelated destinations.
+  Rng rng(GetParam() + 13);
+  MobilePolicyTable policy;
+  const MobilePolicy policies[] = {MobilePolicy::kTunnelHome, MobilePolicy::kTriangle,
+                                   MobilePolicy::kEncapDirect, MobilePolicy::kDirect};
+  for (int i = 0; i < 30; ++i) {
+    const int prefix = static_cast<int>(rng.UniformInt(uint64_t{1}, uint64_t{28}));
+    const Subnet subnet(Ipv4Address(static_cast<uint32_t>(rng.NextU64())),
+                        SubnetMask(prefix));
+    policy.Set(subnet, policies[rng.UniformInt(uint64_t{0}, uint64_t{3})]);
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    const Ipv4Address dst(static_cast<uint32_t>(rng.NextU64()));
+    const Ipv4Address witness(static_cast<uint32_t>(rng.NextU64()));
+    const MobilePolicy witness_before = policy.LookupConst(witness);
+
+    policy.RecordFallback(dst);
+    EXPECT_EQ(policy.LookupConst(dst), MobilePolicy::kTunnelHome);
+    policy.RecordFallback(dst);
+    EXPECT_EQ(policy.LookupConst(dst), MobilePolicy::kTunnelHome);
+
+    if (witness != dst) {
+      EXPECT_EQ(policy.LookupConst(witness), witness_before)
+          << "fallback for " << dst.ToString() << " disturbed "
+          << witness.ToString();
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, LpmProperty, ::testing::Values(101, 202, 303, 404));
 
 // --- Same-subnet switch loss sweep (paper §4 experiment 1, 20 iterations) ------------------

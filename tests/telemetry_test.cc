@@ -142,6 +142,27 @@ TEST(MetricsRegistryTest, NamesAndSnapshotAreNameSorted) {
   EXPECT_DOUBLE_EQ(snap[3].value, 3.0);
 }
 
+TEST(MetricsRegistryTest, ScalarSnapshotFiltersByPrefix) {
+  MetricsRegistry registry;
+  registry.GetCounter("ip.mh.datagrams_sent").Add(9);
+  registry.GetCounter("ip.ha.datagrams_sent").Add(4);
+  registry.GetGauge("ha.bindings").Set(1);
+  registry.GetHistogram("mh.handoff_ms").Record(3.0);
+
+  const auto all = registry.ScalarSnapshot();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_DOUBLE_EQ(all.at("ip.mh.datagrams_sent"), 9.0);
+  EXPECT_DOUBLE_EQ(all.at("mh.handoff_ms"), 1.0);  // Histogram => count.
+
+  const auto ip_only = registry.ScalarSnapshot("ip.");
+  ASSERT_EQ(ip_only.size(), 2u);
+  EXPECT_EQ(ip_only.count("ha.bindings"), 0u);
+  EXPECT_DOUBLE_EQ(ip_only.at("ip.ha.datagrams_sent"), 4.0);
+
+  // The map form diffs cleanly: an untouched registry segment diffs empty.
+  EXPECT_TRUE(registry.ScalarSnapshot("tcp.").empty());
+}
+
 // --- Histogram ----------------------------------------------------------------
 
 TEST(HistogramTest, ExactAggregatesAndEdgeCases) {

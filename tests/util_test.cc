@@ -226,6 +226,37 @@ TEST(RngTest, ForkProducesIndependentStream) {
   EXPECT_NE(parent.NextU64(), child.NextU64());
 }
 
+TEST(RngTest, LabeledForkIsDeterministic) {
+  Rng a(16);
+  Rng b(16);
+  Rng fork_a = a.Fork("traffic");
+  Rng fork_b = b.Fork("traffic");
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(fork_a.NextU64(), fork_b.NextU64()) << "draw " << i;
+  }
+}
+
+TEST(RngTest, LabeledForksAreDecoupled) {
+  Rng parent(17);
+  Rng moves = parent.Fork("moves");
+  Rng faults = parent.Fork("faults");
+  EXPECT_NE(moves.NextU64(), faults.NextU64());
+  // Distinct from the parent's own stream too.
+  EXPECT_NE(parent.Fork("moves").NextU64(), Rng(17).NextU64());
+}
+
+TEST(RngTest, LabeledForkDoesNotAdvanceParent) {
+  Rng witness(18);
+  Rng parent(18);
+  (void)parent.Fork("topo");
+  (void)parent.Fork("faults");
+  // Forking by label is const: the parent's stream is untouched, so adding
+  // a substream to a generator cannot reshuffle its other draws.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(parent.NextU64(), witness.NextU64()) << "draw " << i;
+  }
+}
+
 // --- RunningStats ----------------------------------------------------------------
 
 TEST(RunningStatsTest, BasicMoments) {

@@ -21,7 +21,9 @@ see:
   header/using-namespace    No `using namespace` at any scope in headers.
   telemetry/metric-name     Metric names handed to MetricsRegistry::Get* are
                             lowercase dot-paths: "<subsystem>.<noun>" (e.g.
-                            "ha.bindings", "ip.mh.drop_no_route").
+                            "ha.bindings", "ip.mh.drop_no_route") whose first
+                            segment is a registered namespace (see
+                            METRIC_NAMESPACES; includes the fuzzer's "check").
   perf/frame-by-value       No EthernetFrame or Packet parameters taken by
                             value in src/ signatures — pass `const&` to read,
                             `&&` to consume. A by-value parameter silently
@@ -76,6 +78,7 @@ LAYER_RANK = {
     "tracing": 6,
     "fault": 6,
     "topo": 7,
+    "check": 8,
 }
 
 # (rule-id, repo-relative path) pairs exempted wholesale. Prefer inline
@@ -115,6 +118,13 @@ METRIC_CALL_RE = re.compile(
 )
 METRIC_FULL_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
 METRIC_PIECE_RE = re.compile(r"^[a-z0-9_.]*$")
+
+# First dot-path segment of every metric name. Keep sorted; grow it when a new
+# subsystem starts exporting metrics (the check fuzzer's oracles are the most
+# recent addition).
+METRIC_NAMESPACES = {
+    "check", "dev", "fault", "ha", "ip", "link", "mh", "packet", "pool", "tcp",
+}
 
 # A parameter position: `(` or `,` then an (optionally const) bare
 # EthernetFrame/Packet followed directly by a parameter name. References,
@@ -360,16 +370,28 @@ class Linter:
             terminator = m.group(2)
             lineno = text.count("\n", 0, m.start()) + 1
             if terminator == "+":
-                # Prefix/suffix of a concatenated name: charset only.
+                # Prefix/suffix of a concatenated name: charset only, plus a
+                # namespace check when the piece pins the first segment.
                 if not METRIC_PIECE_RE.match(literal):
                     self._report(path, rel, lineno, "telemetry/metric-name",
                                  f'"{literal}" — metric name pieces are lowercase '
                                  "[a-z0-9_.] only", allows)
+                elif "." in literal and \
+                        literal.split(".", 1)[0] not in METRIC_NAMESPACES:
+                    self._report(path, rel, lineno, "telemetry/metric-name",
+                                 f'"{literal}" — namespace '
+                                 f'"{literal.split(".", 1)[0]}" is not registered '
+                                 "in METRIC_NAMESPACES", allows)
             else:
                 if not METRIC_FULL_NAME_RE.match(literal):
                     self._report(path, rel, lineno, "telemetry/metric-name",
                                  f'"{literal}" — expected "<subsystem>.<noun>" '
                                  '(lowercase dot-path, e.g. "ha.bindings")', allows)
+                elif literal.split(".", 1)[0] not in METRIC_NAMESPACES:
+                    self._report(path, rel, lineno, "telemetry/metric-name",
+                                 f'"{literal}" — namespace '
+                                 f'"{literal.split(".", 1)[0]}" is not registered '
+                                 "in METRIC_NAMESPACES", allows)
 
 
 def collect_files(root: Path, paths: list[str]) -> list[Path]:

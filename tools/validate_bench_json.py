@@ -18,6 +18,12 @@ import sys
 SCHEMA = "msn-bench-v1"
 NUMBER = (int, float)
 METRIC_TYPES = {"counter", "gauge", "histogram"}
+# Mirror of METRIC_NAMESPACES in tools/msn_lint.py: the first dot-path segment
+# every exported metric name must start with ("check" covers the fuzzer's
+# oracle metrics).
+METRIC_NAMESPACES = {
+    "check", "dev", "fault", "ha", "ip", "link", "mh", "packet", "pool", "tcp",
+}
 HISTOGRAM_FIELDS = ("count", "sum", "mean", "min", "max", "p50", "p95", "p99")
 SUMMARY_BASE_FIELDS = ("count", "mean", "stddev", "min", "max")
 
@@ -84,6 +90,9 @@ def check_metric(metric, path):
     name = metric.get("name")
     require(isinstance(name, str) and name, path,
             "metric needs a non-empty string 'name'")
+    require(name.split(".", 1)[0] in METRIC_NAMESPACES, path,
+            f"metric '{name}' namespace {name.split('.', 1)[0]!r} is not one of "
+            f"{sorted(METRIC_NAMESPACES)}")
     mtype = metric.get("type")
     require(mtype in METRIC_TYPES, path,
             f"metric '{name}' has unknown type {mtype!r}")
