@@ -45,6 +45,7 @@ RunResult RunScenario(const ScenarioSpec& spec, const RunOptions& options) {
   cfg.transit_filter = spec.transit_filter;
   cfg.ha_on_router = spec.ha_on_router;
   cfg.external_ch = spec.external_ch;
+  cfg.with_backup_ha = spec.backup_ha;
   cfg.mh_lifetime_sec = spec.lifetime_sec;
   // Calibrated mid-90s kernel delays triple the event count without changing
   // any protocol decision the oracles check; run in the fast timing regime.
@@ -87,6 +88,10 @@ RunResult RunScenario(const ScenarioSpec& spec, const RunOptions& options) {
         break;
       case FaultEventSpec::Kind::kHaOutage:
         faults.HaOutage(f.at, *tb.home_agent, f.length, f.restart);
+        break;
+      case FaultEventSpec::Kind::kHaCrash:
+        // length 0 = the primary never rejoins; the backup carries the run.
+        faults.HaCrash(f.at, *tb.home_agent, f.length);
         break;
     }
   }

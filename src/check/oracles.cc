@@ -31,6 +31,12 @@ Duration FaultEffectEnd(const FaultEventSpec& f) {
     case FaultEventSpec::Kind::kBlackout:
     case FaultEventSpec::Kind::kHaOutage:
       return f.at + f.length;
+    case FaultEventSpec::Kind::kHaCrash:
+      // Rejoin crash: the rejoin (resync, demotion) is the last disturbance.
+      // Permanent crash: the disturbance ends once the backup has taken over
+      // and the MH has failed over to it — bounded by the takeover timeout
+      // plus the MH's renewal-escalation window.
+      return f.length.nanos() > 0 ? f.at + f.length : f.at + Seconds(8);
     case FaultEventSpec::Kind::kProfile:
     case FaultEventSpec::Kind::kClearProfile:
       return f.at;
@@ -152,9 +158,15 @@ bool OracleSuite::InNoisyWindow(Duration offset) const {
 
 bool OracleSuite::QuietNow() const {
   const MobileHost& mh = *tb_.mobile;
-  const HomeAgent& ha = *tb_.home_agent;
+  if (tb_.ServingAgentCount() != 1) {
+    return false;  // Failover in flight: zero (or two) agents serving.
+  }
+  const HomeAgent& ha = *tb_.ServingAgent();
   switch (mh.state()) {
     case MobileHost::State::kRegistered: {
+      if (mh.active_home_agent() != ha.config().address) {
+        return false;  // MH has not switched to the serving agent yet.
+      }
       const auto binding = ha.GetBinding(Testbed::HomeAddress());
       if (!binding.has_value() || binding->care_of != mh.care_of()) {
         return false;  // Mid-renewal divergence; probes may black-hole.
@@ -208,26 +220,47 @@ void OracleSuite::OnTick() {
     }
   }
 
-  // binding-table: one mobile host => at most one binding, and the exported
-  // gauge tracks the table exactly.
+  // binding-table: one mobile host => each agent holds at most one binding,
+  // and every exported bindings gauge tracks its agent's table exactly.
   ++report_.checks;
-  if (ha.binding_count() > 1) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%zu bindings for one mobile host", ha.binding_count());
-    report_.Add("binding-table", buf);
-  }
-  if (const auto gauge = tb_.metrics.ReadValue("ha.bindings");
-      gauge.has_value() && *gauge != static_cast<double>(ha.binding_count())) {
-    report_.Add("binding-table", "ha.bindings gauge " + FormatMetricValue(*gauge) +
-                                     " != binding table size");
+  for (const HomeAgent* agent : {tb_.home_agent.get(), tb_.backup_agent.get()}) {
+    if (agent == nullptr) {
+      continue;
+    }
+    if (agent->binding_count() > 1) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%zu bindings for one mobile host",
+                    agent->binding_count());
+      report_.Add("binding-table", buf);
+    }
+    const std::string gauge_name = agent->config().metric_prefix + "bindings";
+    if (const auto gauge = tb_.metrics.ReadValue(gauge_name);
+        gauge.has_value() && *gauge != static_cast<double>(agent->binding_count())) {
+      report_.Add("binding-table", gauge_name + " gauge " + FormatMetricValue(*gauge) +
+                                       " != binding table size");
+    }
   }
 
-  // stale-tunnel: once the run has settled at home (deregistered, quiet), the
-  // HA must not tunnel another packet.
+  // split-brain (live): outside noisy windows at most one agent may serve the
+  // home binding. Mid-fault a promoted backup is allowed to race the failing
+  // primary; the post-fault margin covers the demotion converging.
+  if (tb_.backup_agent != nullptr) {
+    ++report_.checks;
+    if (tb_.ServingAgentCount() > 1 && !InNoisyWindow(now - start_)) {
+      report_.Add("split-brain",
+                  "both home agents serving at " + FormatMs(now - start_));
+    }
+  }
+
+  // stale-tunnel: once the run has settled at home (deregistered, quiet), no
+  // agent may tunnel another packet.
   if (settles_ && spec_.ExpectsAtHomeTerminal() && !spec_.moves.empty() &&
       now - start_ >= spec_.moves.back().at + Seconds(5)) {
     ++report_.checks;
-    const uint64_t tunneled = ha.counters().packets_tunneled;
+    uint64_t tunneled = ha.counters().packets_tunneled;
+    if (tb_.backup_agent != nullptr) {
+      tunneled += tb_.backup_agent->counters().packets_tunneled;
+    }
     if (!stale_tunnel_marker_.has_value()) {
       stale_tunnel_marker_ = tunneled;
     } else if (tunneled > *stale_tunnel_marker_) {
@@ -280,7 +313,9 @@ void OracleSuite::FinalStateOracles() {
     return;
   }
   const MobileHost& mh = *tb_.mobile;
-  const HomeAgent& ha = *tb_.home_agent;
+  // Replicated runs judge terminal state against whichever agent ended up
+  // serving; a permanently crashed primary's frozen table is not consulted.
+  const HomeAgent& ha = *tb_.ServingAgent();
   const bool expect_home = spec_.ExpectsAtHomeTerminal();
 
   ++report_.checks;
@@ -289,8 +324,13 @@ void OracleSuite::FinalStateOracles() {
       report_.Add("registration-liveness",
                   "scenario settles at home but the MH never re-attached there");
     }
-    if (ha.HasBinding(Testbed::HomeAddress())) {
-      report_.Add("binding-agreement", "MH is home but the HA still holds a binding");
+    for (const HomeAgent* agent : {tb_.home_agent.get(), tb_.backup_agent.get()}) {
+      if (agent == nullptr || agent->crashed()) {
+        continue;  // RAM died with the host; its table is not authoritative.
+      }
+      if (agent->HasBinding(Testbed::HomeAddress())) {
+        report_.Add("binding-agreement", "MH is home but the HA still holds a binding");
+      }
     }
   } else {
     if (mh.state() != MobileHost::State::kRegistered) {
@@ -385,7 +425,15 @@ void OracleSuite::TrafficOracles() {
 
 void OracleSuite::CounterOracles() {
   const MobileHost::Counters mh = tb_.mobile->counters();
-  const HomeAgent::Counters ha = tb_.home_agent->counters();
+  // Replicated runs account the pair as one logical HA: the MH's view must be
+  // consistent with the sum of whatever both agents did across failovers.
+  HomeAgent::Counters ha = tb_.home_agent->counters();
+  if (tb_.backup_agent != nullptr) {
+    const HomeAgent::Counters backup = tb_.backup_agent->counters();
+    ha.registrations_accepted += backup.registrations_accepted;
+    ha.packets_tunneled += backup.packets_tunneled;
+    ha.reverse_decapsulated += backup.reverse_decapsulated;
+  }
 
   ++report_.checks;
   if (mh.recoveries > mh.bindings_lost) {
@@ -419,6 +467,29 @@ void OracleSuite::Finish() {
   FinalStateOracles();
   TrafficOracles();
   CounterOracles();
+
+  // split-brain (per-epoch ledger): tunnel traffic for the home binding must
+  // have come from exactly one agent in each epoch — even across partitions
+  // and takeovers, where instantaneous dual-serving is transiently allowed.
+  if (tb_.backup_agent != nullptr) {
+    ++report_.checks;
+    std::map<uint64_t, int> tunnel_sources;
+    for (const HomeAgent* agent : {tb_.home_agent.get(), tb_.backup_agent.get()}) {
+      for (const auto& [epoch, count] : agent->tunneled_by_epoch()) {
+        if (count > 0) {
+          ++tunnel_sources[epoch];
+        }
+      }
+    }
+    for (const auto& [epoch, sources] : tunnel_sources) {
+      if (sources > 1) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "epoch %" PRIu64 " saw tunnel traffic from both home agents", epoch);
+        report_.Add("split-brain", buf);
+      }
+    }
+  }
 
   tb_.metrics.GetCounter("check.oracle_checks").Add(report_.checks);
   uint64_t total = 0;

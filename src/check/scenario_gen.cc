@@ -180,6 +180,8 @@ const char* FaultEventSpec::KindName(Kind kind) {
       return "clear";
     case Kind::kHaOutage:
       return "ha-outage";
+    case Kind::kHaCrash:
+      return "ha-crash";
   }
   return "?";
 }
@@ -196,9 +198,11 @@ std::string ScenarioSpec::ToString() const {
   char buf[160];
   std::snprintf(buf, sizeof(buf), "seed %" PRIu64 "\n", seed);
   out += buf;
-  std::snprintf(buf, sizeof(buf), "topo transit_filter=%d ha_on_router=%d external_ch=%d lifetime_sec=%u\n",
+  std::snprintf(buf, sizeof(buf),
+                "topo transit_filter=%d ha_on_router=%d external_ch=%d backup_ha=%d "
+                "lifetime_sec=%u\n",
                 transit_filter ? 1 : 0, ha_on_router ? 1 : 0, external_ch ? 1 : 0,
-                static_cast<unsigned>(lifetime_sec));
+                backup_ha ? 1 : 0, static_cast<unsigned>(lifetime_sec));
   out += buf;
   std::snprintf(buf, sizeof(buf),
                 "traffic probes=%d probe_interval_ms=%" PRId64 " tcp=%d tcp_bytes=%u pings=%d "
@@ -218,12 +222,14 @@ std::string ScenarioSpec::ToString() const {
     std::snprintf(buf, sizeof(buf), "fault %" PRId64 " %s", f.at.millis(),
                   FaultEventSpec::KindName(f.kind));
     out += buf;
-    if (f.kind != FaultEventSpec::Kind::kHaOutage) {
+    if (f.kind != FaultEventSpec::Kind::kHaOutage &&
+        f.kind != FaultEventSpec::Kind::kHaCrash) {
       out += ' ';
       out += FaultMediumName(f.medium);
     }
     switch (f.kind) {
       case FaultEventSpec::Kind::kBlackout:
+      case FaultEventSpec::Kind::kHaCrash:
         AppendKv(out, "len_ms", static_cast<uint64_t>(f.length.millis()));
         break;
       case FaultEventSpec::Kind::kProfile:
@@ -304,6 +310,7 @@ std::optional<ScenarioSpec> ScenarioSpec::Parse(const std::string& text, std::st
         spec.transit_filter = TakeKv(kv, "transit_filter", 0) != 0;
         spec.ha_on_router = TakeKv(kv, "ha_on_router", 1) != 0;
         spec.external_ch = TakeKv(kv, "external_ch", 0) != 0;
+        spec.backup_ha = TakeKv(kv, "backup_ha", 0) != 0;
         spec.lifetime_sec = static_cast<uint16_t>(TakeKv(kv, "lifetime_sec", 10));
       } else {
         spec.traffic.probes = TakeKv(kv, "probes", 1) != 0;
@@ -361,10 +368,13 @@ std::optional<ScenarioSpec> ScenarioSpec::Parse(const std::string& text, std::st
         f.kind = FaultEventSpec::Kind::kClearProfile;
       } else if (kind_name == "ha-outage") {
         f.kind = FaultEventSpec::Kind::kHaOutage;
+      } else if (kind_name == "ha-crash") {
+        f.kind = FaultEventSpec::Kind::kHaCrash;
       } else {
         return fail("unknown fault kind: " + kind_name);
       }
-      if (f.kind != FaultEventSpec::Kind::kHaOutage) {
+      if (f.kind != FaultEventSpec::Kind::kHaOutage &&
+          f.kind != FaultEventSpec::Kind::kHaCrash) {
         std::string medium_name;
         if (!(ls >> medium_name)) {
           return fail("fault line missing medium: " + line);
@@ -418,6 +428,7 @@ ScenarioSpec GenerateScenario(uint64_t seed) {
   Rng move_rng = root.Fork("moves");
   Rng traffic_rng = root.Fork("traffic");
   Rng fault_rng = root.Fork("faults");
+  Rng failover_rng = root.Fork("failover");
 
   ScenarioSpec spec;
   spec.seed = seed;
@@ -425,6 +436,11 @@ ScenarioSpec GenerateScenario(uint64_t seed) {
   spec.ha_on_router = !topo_rng.Bernoulli(0.25);
   spec.external_ch = topo_rng.Bernoulli(0.25);
   spec.lifetime_sec = static_cast<uint16_t>(topo_rng.UniformInt(uint64_t{5}, uint64_t{20}));
+  // Drawn after the knobs above so pre-replication seeds keep their topology.
+  spec.backup_ha = topo_rng.Bernoulli(0.35);
+  if (spec.backup_ha) {
+    spec.ha_on_router = false;  // The HA pair lives on dedicated home hosts.
+  }
 
   // --- Traffic mix ---------------------------------------------------------
   spec.traffic.probes = true;
@@ -500,8 +516,8 @@ ScenarioSpec GenerateScenario(uint64_t seed) {
   const int fault_count = static_cast<int>(fault_rng.UniformInt(uint64_t{0}, uint64_t{5}));
   for (int i = 0; i < fault_count; ++i) {
     FaultEventSpec f;
-    f.at = Milliseconds(static_cast<int64_t>(
-        fault_rng.UniformInt(uint64_t{kFaultStartMin.millis()}, uint64_t{kFaultStartMax.millis()})));
+    f.at = Milliseconds(static_cast<int64_t>(fault_rng.UniformInt(
+        uint64_t{kFaultStartMin.millis()}, uint64_t{kFaultStartMax.millis()})));
     const double which = fault_rng.UniformDouble();
     const double medium_pick = fault_rng.UniformDouble();
     f.medium = medium_pick < 0.45   ? FaultMedium::kWired
@@ -537,11 +553,34 @@ ScenarioSpec GenerateScenario(uint64_t seed) {
     spec.faults.push_back(f);
   }
 
+  // --- Failover timeline ---------------------------------------------------
+  // Replicated topologies get at most one primary crash: permanent (the
+  // backup carries the rest of the run) or with a later rejoin (the primary
+  // comes back wiped and resyncs from the replica as a standby). Drawn from
+  // its own substream so enabling replication never reshuffled the classic
+  // fault draws above.
+  if (spec.backup_ha && failover_rng.Bernoulli(0.6)) {
+    FaultEventSpec crash;
+    crash.kind = FaultEventSpec::Kind::kHaCrash;
+    crash.at = Milliseconds(
+        static_cast<int64_t>(failover_rng.UniformInt(uint64_t{4000}, uint64_t{18000})));
+    if (!failover_rng.Bernoulli(0.4)) {
+      crash.length = Milliseconds(
+          static_cast<int64_t>(failover_rng.UniformInt(uint64_t{4000}, uint64_t{10000})));
+    }
+    spec.faults.push_back(crash);
+  }
+
   return NormalizeSpec(spec);
 }
 
 ScenarioSpec NormalizeSpec(const ScenarioSpec& spec) {
   ScenarioSpec out = spec;
+
+  // Replicated topologies put the HA pair on dedicated home-network hosts.
+  if (out.backup_ha) {
+    out.ha_on_router = false;
+  }
 
   // Movement: sorted, and every step executable given the steps before it.
   std::stable_sort(out.moves.begin(), out.moves.end(),
@@ -571,6 +610,10 @@ ScenarioSpec NormalizeSpec(const ScenarioSpec& spec) {
   std::vector<FaultEventSpec> valid_faults;
   valid_faults.reserve(out.faults.size());
   bool profile_active[3] = {false, false, false};
+  bool saw_crash = false;
+  // Margin a permanent crash needs before the cap: backup takeover plus the
+  // MH noticing its renewals die and failing over to the backup.
+  constexpr Duration kCrashSettleMargin = Seconds(8);
   for (const FaultEventSpec& f : out.faults) {
     FaultEventSpec e = f;
     const size_t m = static_cast<size_t>(e.medium);
@@ -580,12 +623,33 @@ ScenarioSpec NormalizeSpec(const ScenarioSpec& spec) {
     switch (e.kind) {
       case FaultEventSpec::Kind::kBlackout:
       case FaultEventSpec::Kind::kHaOutage:
+        // A muted-but-alive primary alongside a promoted backup is a real
+        // dual-serving window, so replicated topologies model primary loss
+        // exclusively as fail-stop crashes.
+        if (out.backup_ha && e.kind == FaultEventSpec::Kind::kHaOutage) {
+          continue;
+        }
         if (e.length < Milliseconds(100)) {
           e.length = Milliseconds(100);
         }
         if (e.at + e.length > fault_end_cap) {
           e.length = fault_end_cap - e.at;
         }
+        break;
+      case FaultEventSpec::Kind::kHaCrash:
+        if (!out.backup_ha || saw_crash) {
+          continue;  // Needs a replica to fail over to; one crash per run.
+        }
+        if (e.length.nanos() > 0) {
+          // Crash with rejoin: the rejoin (and its resync) must finish
+          // before the settling window, like any timed fault.
+          if (e.at + e.length > fault_end_cap) {
+            e.length = fault_end_cap - e.at;
+          }
+        } else if (e.at + kCrashSettleMargin > fault_end_cap) {
+          continue;  // Permanent crash too late for failover to settle.
+        }
+        saw_crash = true;
         break;
       case FaultEventSpec::Kind::kProfile:
         profile_active[m] = true;

@@ -36,12 +36,15 @@ struct FaultEventSpec {
     kProfile,       // Install a burst-loss/dup/reorder/corrupt profile.
     kClearProfile,  // Remove the profile from `medium`.
     kHaOutage,      // HA drops UDP 434 for `length`; `restart` wipes bindings.
+    kHaCrash,       // Fail-stop crash of the primary HA (backup_ha topologies
+                    // only); `length` 0 = never rejoins, > 0 = rejoins (wiped,
+                    // demoted to standby) after that long.
   };
 
   Duration at;
   Kind kind = Kind::kBlackout;
   FaultMedium medium = FaultMedium::kWired;
-  Duration length;       // kBlackout / kHaOutage.
+  Duration length;       // kBlackout / kHaOutage / kHaCrash (0 = permanent).
   bool restart = false;  // kHaOutage: daemon restart (bindings wiped).
   // kProfile parameters (Gilbert-Elliott burst loss plus per-frame faults).
   double p_enter_burst = 0.0;
@@ -77,6 +80,9 @@ struct ScenarioSpec {
   bool transit_filter = false;
   bool ha_on_router = true;
   bool external_ch = false;
+  // Replicated HA pair with MH failover (DESIGN.md §14); forces
+  // ha_on_router = false, and is the only topology where kHaCrash is legal.
+  bool backup_ha = false;
   uint16_t lifetime_sec = 10;
 
   TrafficSpec traffic;

@@ -37,6 +37,24 @@ FaultSchedule& FaultSchedule::HaOutage(Duration at, HomeAgent& ha, Duration leng
   return *this;
 }
 
+FaultSchedule& FaultSchedule::HaOutage(Duration at, HomeAgent& ha, Duration length,
+                                       HaOutageKind kind) {
+  const char* label = kind == HaOutageKind::kFailStop       ? " (fail-stop)"
+                      : kind == HaOutageKind::kDaemonRestart ? " (daemon restart)"
+                                                             : "";
+  At(at, std::string("ha-outage begin") + label, [&ha, kind] { ha.BeginOutage(kind); });
+  At(at + length, "ha-outage end", [&ha] { ha.EndOutage(); });
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::HaCrash(Duration at, HomeAgent& ha, Duration rejoin_after) {
+  At(at, "ha-crash (fail-stop)", [&ha] { ha.BeginOutage(HaOutageKind::kFailStop); });
+  if (rejoin_after.nanos() > 0) {
+    At(at + rejoin_after, "ha-crash rejoin", [&ha] { ha.EndOutage(); });
+  }
+  return *this;
+}
+
 void FaultSchedule::Arm(Simulator& sim) {
   for (Event& event : events_) {
     // The event list outlives the armed callbacks (the schedule must outlive

@@ -20,6 +20,7 @@
 namespace msn {
 
 class HomeAgent;
+enum class HaOutageKind;
 
 class FaultSchedule {
  public:
@@ -45,6 +46,16 @@ class FaultSchedule {
   // recovering HA then forces each mobile host to resynchronize.
   FaultSchedule& HaOutage(Duration at, HomeAgent& ha, Duration length,
                           bool restart_daemon = false);
+
+  // Kind-aware variant (fail-stop crash, daemon restart, or plain service
+  // outage — see HaOutageKind in src/mip/home_agent.h).
+  FaultSchedule& HaOutage(Duration at, HomeAgent& ha, Duration length, HaOutageKind kind);
+
+  // Fail-stop crash of the whole agent: nothing is served, arriving packets
+  // are dropped with reason accounting, and RAM dies with the host. With a
+  // positive `rejoin_after` the agent comes back that much later (wiped, and
+  // demoting itself to standby when replicated); the default never rejoins.
+  FaultSchedule& HaCrash(Duration at, HomeAgent& ha, Duration rejoin_after = Duration());
 
   // Schedules every event relative to sim.Now(). May be called once per run.
   void Arm(Simulator& sim);

@@ -8,25 +8,32 @@
 
 namespace msn {
 
-HomeAgent::HomeAgent(Node& node, Config config) : node_(node), config_(config) {
+HomeAgent::HomeAgent(Node& node, Config config)
+    : node_(node), config_(std::move(config)), role_(config_.initial_role) {
   MetricsRegistry* metrics = config_.metrics;
   if (metrics == nullptr) {
     owned_metrics_ = std::make_unique<MetricsRegistry>();
     metrics = owned_metrics_.get();
   }
-  counters_.requests_received = metrics->GetCounterRef("ha.requests_received");
-  counters_.registrations_accepted = metrics->GetCounterRef("ha.registrations_accepted");
-  counters_.registrations_denied = metrics->GetCounterRef("ha.registrations_denied");
-  counters_.deregistrations = metrics->GetCounterRef("ha.deregistrations");
-  counters_.packets_tunneled = metrics->GetCounterRef("ha.packets_tunneled");
-  counters_.reverse_decapsulated = metrics->GetCounterRef("ha.reverse_decapsulated");
-  counters_.bindings_expired = metrics->GetCounterRef("ha.bindings_expired");
-  counters_.tunnel_drops_no_binding = metrics->GetCounterRef("ha.tunnel_drops_no_binding");
-  counters_.requests_dropped_outage = metrics->GetCounterRef("ha.requests_dropped_outage");
-  counters_.bindings_wiped = metrics->GetCounterRef("ha.bindings_wiped");
-  counters_.resync_denials = metrics->GetCounterRef("ha.resync_denials");
-  bindings_gauge_ = &metrics->GetGauge("ha.bindings");
-  processing_histogram_ = &metrics->GetHistogram("ha.processing_ms");
+  const std::string& p = config_.metric_prefix;
+  counters_.requests_received = metrics->GetCounterRef(p + "requests_received");
+  counters_.registrations_accepted = metrics->GetCounterRef(p + "registrations_accepted");
+  counters_.registrations_denied = metrics->GetCounterRef(p + "registrations_denied");
+  counters_.deregistrations = metrics->GetCounterRef(p + "deregistrations");
+  counters_.packets_tunneled = metrics->GetCounterRef(p + "packets_tunneled");
+  counters_.reverse_decapsulated = metrics->GetCounterRef(p + "reverse_decapsulated");
+  counters_.bindings_expired = metrics->GetCounterRef(p + "bindings_expired");
+  counters_.tunnel_drops_no_binding = metrics->GetCounterRef(p + "tunnel_drops_no_binding");
+  counters_.requests_dropped_outage = metrics->GetCounterRef(p + "requests_dropped_outage");
+  counters_.requests_dropped_standby = metrics->GetCounterRef(p + "requests_dropped_standby");
+  counters_.requests_dropped_crashed = metrics->GetCounterRef(p + "requests_dropped_crashed");
+  counters_.tunnel_drops_crashed = metrics->GetCounterRef(p + "tunnel_drops_crashed");
+  counters_.bindings_wiped = metrics->GetCounterRef(p + "bindings_wiped");
+  counters_.resync_denials = metrics->GetCounterRef(p + "resync_denials");
+  bindings_gauge_ = &metrics->GetGauge(p + "bindings");
+  role_gauge_ = &metrics->GetGauge(p + "role");
+  processing_histogram_ = &metrics->GetHistogram(p + "processing_ms");
+  SetRoleGauge();
 
   // Registration service socket.
   socket_ = std::make_unique<UdpSocket>(node_.stack());
@@ -51,6 +58,10 @@ HomeAgent::HomeAgent(Node& node, Config config) : node_(node), config_(config) {
   tunnel_->SetInspector([this](const Ipv4Header& outer, const Ipv4Datagram& inner) {
     (void)outer;
     (void)inner;
+    if (crashed_) {
+      ++counters_.tunnel_drops_crashed;
+      return false;
+    }
     ++counters_.reverse_decapsulated;
     return true;
   });
@@ -90,6 +101,9 @@ HomeAgent::Counters HomeAgent::counters() const {
   c.bindings_expired = counters_.bindings_expired;
   c.tunnel_drops_no_binding = counters_.tunnel_drops_no_binding;
   c.requests_dropped_outage = counters_.requests_dropped_outage;
+  c.requests_dropped_standby = counters_.requests_dropped_standby;
+  c.requests_dropped_crashed = counters_.requests_dropped_crashed;
+  c.tunnel_drops_crashed = counters_.tunnel_drops_crashed;
   c.bindings_wiped = counters_.bindings_wiped;
   c.resync_denials = counters_.resync_denials;
   return c;
@@ -108,6 +122,12 @@ std::optional<HomeAgent::Binding> HomeAgent::GetBinding(Ipv4Address home_address
 }
 
 std::optional<RouteDecision> HomeAgent::RouteOverride(const RouteQuery& query) {
+  // A standby holds mirrored bindings but must not intercept traffic; a
+  // crashed primary still captures so the drops can be counted — on a real
+  // network those frames land on the dead host's MAC and die there.
+  if (role_ != HaRole::kPrimary) {
+    return std::nullopt;
+  }
   auto it = bindings_.find(query.dst);
   if (it == bindings_.end()) {
     return std::nullopt;
@@ -125,7 +145,12 @@ void HomeAgent::EncapsulateAndTunnel(const Ipv4Header& inner, const Packet& inne
     ++counters_.tunnel_drops_no_binding;
     return;
   }
+  if (crashed_) {
+    ++counters_.tunnel_drops_crashed;
+    return;
+  }
   ++counters_.packets_tunneled;
+  ++tunneled_by_epoch_[epoch_];
   Ipv4Header outer;
   Packet wire = EncapsulateIpIpPacket(outer, inner_wire, config_.address, it->second.care_of);
   MSN_TRACE("mip-ha", "%s: tunneling %s -> careof %s", node_.name().c_str(),
@@ -133,15 +158,53 @@ void HomeAgent::EncapsulateAndTunnel(const Ipv4Header& inner, const Packet& inne
   node_.stack().SendPreformedPacket(outer, std::move(wire), /*forwarding=*/false);
 }
 
-void HomeAgent::BeginOutage(bool restart_daemon) {
+void HomeAgent::BeginOutage(HaOutageKind kind) {
   service_available_ = false;
-  MSN_WARN("mip-ha", "%s: outage begins%s", node_.name().c_str(),
-           restart_daemon ? " (daemon restart: soft state wiped)" : "");
-  if (!restart_daemon) {
-    return;
+  switch (kind) {
+    case HaOutageKind::kService:
+      MSN_WARN("mip-ha", "%s: outage begins", node_.name().c_str());
+      return;
+    case HaOutageKind::kDaemonRestart:
+      MSN_WARN("mip-ha", "%s: outage begins (daemon restart: soft state wiped)",
+               node_.name().c_str());
+      WipeSoftState();
+      return;
+    case HaOutageKind::kFailStop:
+      MSN_WARN("mip-ha", "%s: outage begins (fail-stop crash)", node_.name().c_str());
+      crashed_ = true;
+      // The dead host answers no ARP; stale neighbor caches keep sending
+      // frames its way for a while, and those show up as tunnel_drops_crashed
+      // because the bindings themselves are kept until rejoin.
+      for (const auto& [home, binding] : bindings_) {
+        RemoveServingArpState(home);
+      }
+      return;
   }
-  // The daemon's soft state dies with it. Snapshot the keys first —
-  // RemoveBinding mutates bindings_.
+}
+
+void HomeAgent::BeginOutage(bool restart_daemon) {
+  BeginOutage(restart_daemon ? HaOutageKind::kDaemonRestart : HaOutageKind::kService);
+}
+
+void HomeAgent::EndOutage() {
+  service_available_ = true;
+  if (crashed_) {
+    // Rejoin after a fail-stop crash: RAM is gone, and if a replica exists it
+    // now owns the bindings — come back as a standby and resync from it
+    // (HaReplicationLink requests a snapshot on the down->up transition)
+    // instead of forcing every mobile host through identification resync.
+    crashed_ = false;
+    WipeSoftState();
+    if (replication_sink_ && role_ == HaRole::kPrimary) {
+      StepDown(epoch_);
+    }
+  }
+  MSN_INFO("mip-ha", "%s: outage ends", node_.name().c_str());
+}
+
+void HomeAgent::WipeSoftState() {
+  applying_peer_state_ = true;
+  // Snapshot the keys first — RemoveBinding mutates bindings_.
   std::vector<Ipv4Address> homes;
   homes.reserve(bindings_.size());
   for (const auto& [home, binding] : bindings_) {
@@ -153,19 +216,176 @@ void HomeAgent::BeginOutage(bool restart_daemon) {
     RemoveBinding(home, /*expired=*/false);
   }
   last_identification_.clear();
+  applying_peer_state_ = false;
 }
 
-void HomeAgent::EndOutage() {
-  service_available_ = true;
-  MSN_INFO("mip-ha", "%s: outage ends", node_.name().c_str());
+void HomeAgent::Promote(uint64_t epoch) {
+  MSN_WARN("mip-ha", "%s: promoted to primary (epoch %llu -> %llu, %zu bindings)",
+           node_.name().c_str(), static_cast<unsigned long long>(epoch_),
+           static_cast<unsigned long long>(epoch), bindings_.size());
+  role_ = HaRole::kPrimary;
+  epoch_ = epoch;
+  SetRoleGauge();
+  // Pull home-subnet traffic here: proxy ARP plus a gratuitous announcement
+  // for every mirrored binding.
+  for (const auto& [home, binding] : bindings_) {
+    InstallServingArpState(home);
+  }
+}
+
+void HomeAgent::StepDown(uint64_t epoch) {
+  MSN_WARN("mip-ha", "%s: stepping down to standby (epoch %llu -> %llu)",
+           node_.name().c_str(), static_cast<unsigned long long>(epoch_),
+           static_cast<unsigned long long>(epoch));
+  role_ = HaRole::kStandby;
+  epoch_ = epoch;
+  SetRoleGauge();
+  for (const auto& [home, binding] : bindings_) {
+    RemoveServingArpState(home);
+  }
+}
+
+void HomeAgent::SetReplicationSink(ReplicationSink sink) {
+  replication_sink_ = std::move(sink);
+}
+
+void HomeAgent::EmitMutation(const BindingMutation& mutation) {
+  if (replication_sink_ && !applying_peer_state_) {
+    replication_sink_(mutation);
+  }
+}
+
+void HomeAgent::SetRoleGauge() {
+  role_gauge_->Set(role_ == HaRole::kPrimary ? 1.0 : 0.0);
+}
+
+void HomeAgent::ApplyMutation(const BindingMutation& mutation) {
+  applying_peer_state_ = true;
+  switch (mutation.kind) {
+    case BindingMutation::Kind::kInstall: {
+      Binding binding;
+      binding.home_address = mutation.home_address;
+      binding.care_of = mutation.care_of;
+      binding.expires = node_.sim().Now() + Seconds(mutation.lifetime_sec);
+      binding.identification = mutation.identification;
+      binding.registered_at = node_.sim().Now();
+      binding.decapsulates_self = mutation.decapsulates_self;
+      bindings_[mutation.home_address] = binding;
+      bindings_gauge_->Set(static_cast<double>(bindings_.size()));
+      last_identification_[mutation.home_address] = mutation.identification;
+      resync_required_.erase(mutation.home_address);
+      ScheduleExpiry(mutation.home_address, binding.expires);
+      if (serving()) {
+        InstallServingArpState(mutation.home_address);
+      }
+      break;
+    }
+    case BindingMutation::Kind::kRemove:
+      last_identification_[mutation.home_address] = mutation.identification;
+      RemoveBinding(mutation.home_address, /*expired=*/false);
+      break;
+    case BindingMutation::Kind::kIdentification:
+      last_identification_[mutation.home_address] = mutation.identification;
+      resync_required_.erase(mutation.home_address);
+      break;
+  }
+  applying_peer_state_ = false;
+}
+
+HaBindingState HomeAgent::SnapshotState() const {
+  HaBindingState state;
+  const Time now = node_.sim().Now();
+  state.bindings.reserve(bindings_.size());
+  for (const auto& [home, binding] : bindings_) {
+    HaBindingState::Entry entry;
+    entry.home_address = home;
+    entry.care_of = binding.care_of;
+    const double remaining_ms = (binding.expires - now).ToMillisF();
+    const double remaining_sec = (remaining_ms + 999.0) / 1000.0;
+    entry.lifetime_sec = static_cast<uint16_t>(
+        std::clamp(remaining_sec, 1.0, 65535.0));
+    entry.identification = binding.identification;
+    entry.decapsulates_self = binding.decapsulates_self;
+    state.bindings.push_back(entry);
+  }
+  state.identifications.reserve(last_identification_.size());
+  for (const auto& [home, identification] : last_identification_) {
+    state.identifications.emplace_back(home, identification);
+  }
+  return state;
+}
+
+void HomeAgent::AdoptState(const HaBindingState& state) {
+  applying_peer_state_ = true;
+  std::vector<Ipv4Address> homes;
+  homes.reserve(bindings_.size());
+  for (const auto& [home, binding] : bindings_) {
+    homes.push_back(home);
+  }
+  for (Ipv4Address home : homes) {
+    RemoveBinding(home, /*expired=*/false);
+  }
+  last_identification_.clear();
+  for (const auto& [home, identification] : state.identifications) {
+    last_identification_[home] = identification;
+  }
+  for (const auto& entry : state.bindings) {
+    Binding binding;
+    binding.home_address = entry.home_address;
+    binding.care_of = entry.care_of;
+    binding.expires = node_.sim().Now() + Seconds(entry.lifetime_sec);
+    binding.identification = entry.identification;
+    binding.registered_at = node_.sim().Now();
+    binding.decapsulates_self = entry.decapsulates_self;
+    bindings_[entry.home_address] = binding;
+    ScheduleExpiry(entry.home_address, binding.expires);
+    if (serving()) {
+      InstallServingArpState(entry.home_address);
+    }
+  }
+  bindings_gauge_->Set(static_cast<double>(bindings_.size()));
+  // The replica's identification history supersedes the from-scratch resync:
+  // a recovering agent that adopted a snapshot needs no one-shot denial.
+  resync_required_.clear();
+  applying_peer_state_ = false;
+  MSN_INFO("mip-ha", "%s: adopted replica state (%zu bindings, %zu identifications)",
+           node_.name().c_str(), state.bindings.size(), state.identifications.size());
+}
+
+void HomeAgent::InstallServingArpState(Ipv4Address home_address) {
+  if (config_.home_device == nullptr) {
+    return;
+  }
+  node_.stack().arp().AddProxyEntry(config_.home_device, home_address);
+  node_.stack().arp().AddStaticEntry(home_address, config_.home_device->mac());
+  node_.stack().arp().AnnounceGratuitousArp(config_.home_device, home_address);
+}
+
+void HomeAgent::RemoveServingArpState(Ipv4Address home_address) {
+  if (config_.home_device == nullptr) {
+    return;
+  }
+  node_.stack().arp().RemoveProxyEntry(config_.home_device, home_address);
+  node_.stack().arp().RemoveEntry(home_address);
 }
 
 void HomeAgent::OnRegistrationDatagram(const std::vector<uint8_t>& data,
                                        const UdpSocket::Metadata& meta) {
+  if (crashed_) {
+    // Fail-stop: the whole host is gone; nothing answers on port 434.
+    ++counters_.requests_dropped_crashed;
+    return;
+  }
   if (!service_available_) {
     // Down hard: no reply, no state change. The MH's retransmission and
     // backoff machinery is what recovers from this.
     ++counters_.requests_dropped_outage;
+    return;
+  }
+  if (role_ != HaRole::kPrimary) {
+    // A standby never answers registrations — doing so would let two agents
+    // grant conflicting bindings (the split-brain the epoch rules forbid).
+    ++counters_.requests_dropped_standby;
     return;
   }
   ++counters_.requests_received;
@@ -235,6 +455,11 @@ void HomeAgent::ProcessRequest(const RegistrationRequest& request,
     // MH's resync re-send carries a higher identification and is accepted.
     last_identification_[request.home_address] = request.identification;
     ++counters_.resync_denials;
+    BindingMutation mutation;
+    mutation.kind = BindingMutation::Kind::kIdentification;
+    mutation.home_address = request.home_address;
+    mutation.identification = request.identification;
+    EmitMutation(mutation);
     reply.code = MipReplyCode::kDeniedIdentificationMismatch;
   } else {
     auto last = last_identification_.find(request.home_address);
@@ -310,14 +535,21 @@ void HomeAgent::InstallBinding(const RegistrationRequest& request,
     socket_->SendTo(old_care_of, kMipRegistrationPort, update.Serialize());
   }
 
-  if (config_.home_device != nullptr) {
+  if (serving()) {
     // Become (or refresh as) the MH's ARP proxy and void stale neighbor
     // caches so traffic for the home address now lands on us.
-    node_.stack().arp().AddProxyEntry(config_.home_device, home);
-    node_.stack().arp().AddStaticEntry(home, config_.home_device->mac());
-    node_.stack().arp().AnnounceGratuitousArp(config_.home_device, home);
+    InstallServingArpState(home);
   }
   ScheduleExpiry(home, binding.expires);
+
+  BindingMutation mutation;
+  mutation.kind = BindingMutation::Kind::kInstall;
+  mutation.home_address = home;
+  mutation.care_of = binding.care_of;
+  mutation.lifetime_sec = granted_lifetime_sec;
+  mutation.identification = binding.identification;
+  mutation.decapsulates_self = binding.decapsulates_self;
+  EmitMutation(mutation);
 
   if (observer_) {
     observer_(home, old_care_of, binding.care_of);
@@ -334,13 +566,16 @@ void HomeAgent::RemoveBinding(Ipv4Address home_address, bool expired) {
   const Ipv4Address old_care_of = it->second.care_of;
   bindings_.erase(it);
   bindings_gauge_->Set(static_cast<double>(bindings_.size()));
-  if (config_.home_device != nullptr) {
-    node_.stack().arp().RemoveProxyEntry(config_.home_device, home_address);
-    node_.stack().arp().RemoveEntry(home_address);
-  }
+  RemoveServingArpState(home_address);
   if (expired) {
     ++counters_.bindings_expired;
   }
+  BindingMutation mutation;
+  mutation.kind = BindingMutation::Kind::kRemove;
+  mutation.home_address = home_address;
+  auto last = last_identification_.find(home_address);
+  mutation.identification = last != last_identification_.end() ? last->second : 0;
+  EmitMutation(mutation);
   if (observer_) {
     observer_(home_address, old_care_of, Ipv4Address::Any());
   }

@@ -16,6 +16,15 @@
 // Request processing is serialized through a single logical server (the
 // paper's user-level daemon), which is what the HA-scalability benchmark
 // measures.
+//
+// Replication (DESIGN.md §14): a home agent can be deployed as one of a
+// primary/standby pair. The primary emits every locally-originated binding
+// mutation through a replication sink (consumed by repl::HaReplicationLink),
+// and a standby applies the mirrored mutations without serving: it holds the
+// binding table but installs no proxy ARP, answers no registrations, and
+// tunnels nothing until promoted. Roles carry an epoch so that exactly one
+// agent serves a binding at a time — a promotion bumps the epoch, and a stale
+// primary hearing a higher epoch steps down.
 #ifndef MSN_SRC_MIP_HOME_AGENT_H_
 #define MSN_SRC_MIP_HOME_AGENT_H_
 
@@ -24,6 +33,9 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "src/mip/calibration.h"
 #include "src/mip/ipip.h"
@@ -35,6 +47,60 @@
 #include "src/util/stats.h"
 
 namespace msn {
+
+// Which side of a replicated pair this agent currently plays. Exactly one
+// agent of a pair is primary (serving) per epoch.
+enum class HaRole {
+  kPrimary,  // Serves registrations, proxy-ARPs, tunnels.
+  kStandby,  // Mirrors binding state; serves nothing until promoted.
+};
+
+// How an HA outage manifests (FaultSchedule::HaOutage / HaCrash).
+enum class HaOutageKind {
+  // The registration daemon is unreachable (UDP 434 silently dropped) but
+  // keeps its state; tunneling continues.
+  kService,
+  // The daemon dies and restarts: soft state (bindings, replay history) is
+  // wiped at outage begin; recovering mobile hosts go through the
+  // identification-resync path unless a replica restores the state first.
+  kDaemonRestart,
+  // Fail-stop crash of the whole agent: nothing is served and every packet
+  // arriving at the dead agent is dropped (and drop-reason counted). RAM is
+  // lost, so state is wiped when — if ever — the agent rejoins (EndOutage).
+  kFailStop,
+};
+
+// One binding-table mutation, as streamed primary -> standby over the sync
+// channel (src/repl/). Also the unit a standby applies.
+struct BindingMutation {
+  enum class Kind : uint8_t {
+    kInstall = 1,         // Create or refresh a binding.
+    kRemove = 2,          // Deregistration or expiry.
+    kIdentification = 3,  // Re-anchor the replay window only.
+  };
+
+  Kind kind = Kind::kInstall;
+  Ipv4Address home_address;
+  Ipv4Address care_of;             // kInstall.
+  uint16_t lifetime_sec = 0;       // kInstall: remaining lifetime.
+  uint64_t identification = 0;     // Replay-window anchor.
+  bool decapsulates_self = true;   // kInstall.
+};
+
+// Full agent state for snapshot anti-entropy: the binding table plus the
+// per-home identification history.
+struct HaBindingState {
+  struct Entry {
+    Ipv4Address home_address;
+    Ipv4Address care_of;
+    uint16_t lifetime_sec = 0;  // Remaining, from snapshot time.
+    uint64_t identification = 0;
+    bool decapsulates_self = true;
+  };
+  std::vector<Entry> bindings;
+  // Sorted by address (std::map iteration order) for determinism.
+  std::vector<std::pair<Ipv4Address, uint64_t>> identifications;
+};
 
 class HomeAgent {
  public:
@@ -56,11 +122,18 @@ class HomeAgent {
     // against denial-of-service attacks in the form of malicious fraudulent
     // registrations"). Keys are installed per mobile host via SetAuthKey.
     bool require_authentication = false;
+    // Role this agent boots in; a replicated pair starts one primary, one
+    // standby. Epochs start at 1.
+    HaRole initial_role = HaRole::kPrimary;
     Calibration calibration = Calibration::Default();
-    // When given, the agent's accounting lands here under "ha.*" (counters,
-    // an "ha.bindings" gauge, and an "ha.processing_ms" histogram); otherwise
-    // in a private registry, so counters() behaves identically either way.
+    // When given, the agent's accounting lands here under
+    // "<metric_prefix>*" (counters, a bindings gauge, a role gauge, and a
+    // processing-time histogram); otherwise in a private registry, so
+    // counters() behaves identically either way.
     MetricsRegistry* metrics = nullptr;
+    // Metric namespace; the backup of a replicated pair uses "ha.backup." so
+    // both agents can share one registry.
+    std::string metric_prefix = "ha.";
   };
 
   struct Binding {
@@ -75,7 +148,7 @@ class HomeAgent {
   };
 
   // Snapshot of the agent's accounting; the live values are registry-backed
-  // counters named "ha.<field>".
+  // counters named "<metric_prefix><field>".
   struct Counters {
     uint64_t requests_received = 0;
     uint64_t registrations_accepted = 0;
@@ -87,7 +160,14 @@ class HomeAgent {
     uint64_t tunnel_drops_no_binding = 0;
     // Requests silently dropped while the agent was in an outage window.
     uint64_t requests_dropped_outage = 0;
-    // Bindings discarded by a daemon restart (BeginOutage(restart=true)).
+    // Requests dropped because this agent is a non-serving standby.
+    uint64_t requests_dropped_standby = 0;
+    // Requests that arrived at a fail-stop-crashed agent.
+    uint64_t requests_dropped_crashed = 0;
+    // Tunnel packets (either direction) that arrived at a crashed agent.
+    uint64_t tunnel_drops_crashed = 0;
+    // Bindings discarded by a daemon restart (BeginOutage(restart=true)) or a
+    // fail-stop rejoin.
     uint64_t bindings_wiped = 0;
     // Post-restart registrations denied once with kDeniedIdentificationMismatch
     // to re-anchor the replay window.
@@ -97,6 +177,8 @@ class HomeAgent {
   // Observer for binding changes; `new_care_of` is Any() on removal.
   using BindingObserver = std::function<void(Ipv4Address home_address, Ipv4Address old_care_of,
                                              Ipv4Address new_care_of)>;
+  // Sink for locally-originated binding mutations (replication stream).
+  using ReplicationSink = std::function<void(const BindingMutation&)>;
 
   HomeAgent(Node& node, Config config);
   ~HomeAgent();
@@ -112,16 +194,48 @@ class HomeAgent {
   // if require_authentication is off.
   void SetAuthKey(Ipv4Address home_address, const MipAuthKey& key);
 
-  // Fault hooks (driven by FaultSchedule::HaOutage). During an outage every
-  // UDP 434 request is dropped without a reply — from the MH's point of view
-  // the agent is simply unreachable. With `restart_daemon` the outage also
-  // wipes all bindings and the identification history, modeling a crashed
-  // daemon losing its soft state: after recovery, each mobile host's first
-  // registration is denied once with kDeniedIdentificationMismatch (which
-  // re-anchors the replay window), forcing it through the resync path.
+  // Fault hooks (driven by FaultSchedule::HaOutage / HaCrash). During any
+  // outage every UDP 434 request is dropped without a reply — from the MH's
+  // point of view the agent is simply unreachable. See HaOutageKind for what
+  // else each flavor does. The bool overload keeps the historical meaning:
+  // restart_daemon=false -> kService, true -> kDaemonRestart.
+  void BeginOutage(HaOutageKind kind);
   void BeginOutage(bool restart_daemon = false);
   void EndOutage();
   bool service_available() const { return service_available_; }
+  bool crashed() const { return crashed_; }
+
+  // --- Replication / failover ------------------------------------------------
+
+  HaRole role() const { return role_; }
+  uint64_t epoch() const { return epoch_; }
+  // Primary and not fail-stopped: the agent that currently owns the bindings.
+  bool serving() const { return role_ == HaRole::kPrimary && !crashed_; }
+
+  // Takes over as primary in `epoch`: installs proxy/static ARP and announces
+  // a gratuitous ARP for every held binding so home-subnet traffic moves here.
+  void Promote(uint64_t epoch);
+  // Demotes to standby in `epoch` (>= the current epoch): removes the proxy
+  // state but keeps the mirrored bindings.
+  void StepDown(uint64_t epoch);
+
+  // Registers the sink that receives every locally-originated mutation
+  // (nullptr detaches). Mutations applied *from* the peer are never echoed.
+  void SetReplicationSink(ReplicationSink sink);
+
+  // Applies one mutation mirrored from the peer (no sink emission, no reply
+  // traffic, no ARP changes unless this agent is serving).
+  void ApplyMutation(const BindingMutation& mutation);
+
+  // Full-state anti-entropy: export / replace the binding table and
+  // identification history. AdoptState clears any pending resync requirement —
+  // the replica's history supersedes the from-scratch identification resync.
+  [[nodiscard]] HaBindingState SnapshotState() const;
+  void AdoptState(const HaBindingState& state);
+
+  // Packets tunneled by this agent per epoch; the split-brain oracle proves
+  // at most one agent tunnels within any given epoch.
+  const std::map<uint64_t, uint64_t>& tunneled_by_epoch() const { return tunneled_by_epoch_; }
 
   [[nodiscard]] bool HasBinding(Ipv4Address home_address) const;
   [[nodiscard]] std::optional<Binding> GetBinding(Ipv4Address home_address) const;
@@ -151,6 +265,9 @@ class HomeAgent {
     CounterRef bindings_expired;
     CounterRef tunnel_drops_no_binding;
     CounterRef requests_dropped_outage;
+    CounterRef requests_dropped_standby;
+    CounterRef requests_dropped_crashed;
+    CounterRef tunnel_drops_crashed;
     CounterRef bindings_wiped;
     CounterRef resync_denials;
   };
@@ -164,6 +281,15 @@ class HomeAgent {
   void ScheduleExpiry(Ipv4Address home_address, Time expires);
   void EncapsulateAndTunnel(const Ipv4Header& inner, const Packet& inner_wire);
   [[nodiscard]] std::optional<RouteDecision> RouteOverride(const RouteQuery& query);
+  // Proxy/static/gratuitous ARP for one home address (serving side effects).
+  void InstallServingArpState(Ipv4Address home_address);
+  void RemoveServingArpState(Ipv4Address home_address);
+  // Discards bindings and replay history (daemon restart / crash rejoin) and
+  // marks every lost home for the one-shot resync denial.
+  void WipeSoftState();
+  // Forwards to the sink unless the change originated from the peer.
+  void EmitMutation(const BindingMutation& mutation);
+  void SetRoleGauge();
 
   Node& node_;
   Config config_;
@@ -177,12 +303,22 @@ class HomeAgent {
   std::set<Ipv4Address> authorized_;
   std::map<Ipv4Address, MipAuthKey> auth_keys_;
   BindingObserver observer_;
+  ReplicationSink replication_sink_;
+  // True while applying peer-originated state; suppresses sink emission so
+  // mirrored mutations are never echoed back.
+  bool applying_peer_state_ = false;
   std::unique_ptr<MetricsRegistry> owned_metrics_;  // Fallback when unbound.
   LiveCounters counters_;
-  Gauge* bindings_gauge_ = nullptr;        // "ha.bindings"
-  Histogram* processing_histogram_ = nullptr;  // "ha.processing_ms"
+  Gauge* bindings_gauge_ = nullptr;            // "<prefix>bindings"
+  Gauge* role_gauge_ = nullptr;                // "<prefix>role" (1 = primary)
+  Histogram* processing_histogram_ = nullptr;  // "<prefix>processing_ms"
   // False inside a scheduled outage window; requests are dropped unreplied.
   bool service_available_ = true;
+  // True between a fail-stop crash and its rejoin.
+  bool crashed_ = false;
+  HaRole role_ = HaRole::kPrimary;
+  uint64_t epoch_ = 1;
+  std::map<uint64_t, uint64_t> tunneled_by_epoch_;
   // Home addresses whose first post-restart registration must be denied once
   // to resynchronize identifications.
   std::set<Ipv4Address> resync_required_;

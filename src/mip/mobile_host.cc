@@ -30,7 +30,9 @@ MobileHost::MobileHost(Node& node, Config config) : node_(node), config_(config)
   counters_.packets_decapsulated_in = metrics->GetCounterRef("mh.packets_decapsulated_in");
   counters_.probes_sent = metrics->GetCounterRef("mh.probes_sent");
   counters_.probe_fallbacks = metrics->GetCounterRef("mh.probe_fallbacks");
+  counters_.failover_count = metrics->GetCounterRef("mh.failover_count");
   handoff_histogram_ = &metrics->GetHistogram("mh.handoff_ms");
+  active_home_agent_ = config_.home_agent;
 
   // The encapsulating virtual interface (paper Figure 4). While away from
   // home the home address is bound to it, so decapsulated packets addressed
@@ -85,6 +87,7 @@ MobileHost::Counters MobileHost::counters() const {
   c.packets_decapsulated_in = counters_.packets_decapsulated_in;
   c.probes_sent = counters_.probes_sent;
   c.probe_fallbacks = counters_.probe_fallbacks;
+  c.failover_count = counters_.failover_count;
   return c;
 }
 
@@ -166,7 +169,7 @@ void MobileHost::EncapsulateOut(const Ipv4Header& inner, const Packet& inner_wir
     outer_dst = inner.dst;
     ++counters_.packets_encap_direct_out;
   } else {
-    outer_dst = config_.home_agent;
+    outer_dst = active_home_agent_;
     ++counters_.packets_tunneled_out;
   }
   // Outer source is the physical (care-of) address: valid on the local
@@ -288,7 +291,7 @@ void MobileHost::SendRegistrationRequest(uint64_t generation, bool deregistratio
   request.flags = (fa_mode_ && !deregistration) ? 0 : kMipFlagDecapsulateSelf;
   request.lifetime_sec = deregistration ? 0 : config_.lifetime_sec;
   request.home_address = config_.home_address;
-  request.home_agent = config_.home_agent;
+  request.home_agent = active_home_agent_;
   request.care_of_address = deregistration ? config_.home_address : attachment_.care_of;
   request.identification = next_identification_++;
   outstanding_identification_ = request.identification;
@@ -297,6 +300,7 @@ void MobileHost::SendRegistrationRequest(uint64_t generation, bool deregistratio
   }
 
   ++counters_.registrations_sent;
+  ++unanswered_sends_;
   if (timeline_.request_sent == Time::Zero() || timeline_.request_sent < timeline_.start) {
     timeline_.request_sent = node_.sim().Now();
   }
@@ -310,7 +314,7 @@ void MobileHost::SendRegistrationRequest(uint64_t generation, bool deregistratio
     reg_socket_->SendToWithExtras(attachment_.care_of, kMipRegistrationPort,
                                   request.Serialize(), extras);
   } else {
-    reg_socket_->SendTo(config_.home_agent, kMipRegistrationPort, request.Serialize());
+    reg_socket_->SendTo(active_home_agent_, kMipRegistrationPort, request.Serialize());
   }
 
   retransmit_event_ = node_.sim().Schedule(NextRetransmitDelay(),
@@ -319,10 +323,30 @@ void MobileHost::SendRegistrationRequest(uint64_t generation, bool deregistratio
                                            });
 }
 
+void MobileHost::MaybeFailoverHomeAgent() {
+  if (!config_.backup_home_agent.has_value() ||
+      unanswered_sends_ < static_cast<uint64_t>(std::max(1, config_.failover_after_sends))) {
+    return;
+  }
+  const Ipv4Address from = active_home_agent_;
+  active_home_agent_ = active_home_agent_ == config_.home_agent
+                           ? *config_.backup_home_agent
+                           : config_.home_agent;
+  ++counters_.failover_count;
+  // Structured so chaos runs are greppable without pcap digging.
+  MSN_WARN("mip-mh", "%s: event=ha_failover from=%s to=%s unanswered=%llu renewing=%d",
+           node_.name().c_str(), from.ToString().c_str(),
+           active_home_agent_.ToString().c_str(),
+           static_cast<unsigned long long>(unanswered_sends_), renewing_ ? 1 : 0);
+  // The switch starts a fresh silence window toward the new agent.
+  unanswered_sends_ = 0;
+}
+
 void MobileHost::OnRetransmitTimer(uint64_t generation, bool deregistration) {
   if (generation != attach_generation_) {
     return;
   }
+  MaybeFailoverHomeAgent();
   if (renewing_) {
     // A renewal must not give up silently: by default it keeps retrying with
     // backoff until the HA answers or the attachment changes. If the binding
@@ -368,6 +392,11 @@ void MobileHost::OnRegistrationDatagram(const std::vector<uint8_t>& data,
   auto reply = RegistrationReply::Parse(data);
   if (!reply || reply->home_address != config_.home_address) {
     return;  // Malformed or foreign reply.
+  }
+  if (reply->home_agent == active_home_agent_) {
+    // Any reply — even a duplicate or a denial — proves the active HA is
+    // alive, so the failover escalation starts over.
+    unanswered_sends_ = 0;
   }
   if (reply->identification != outstanding_identification_ ||
       outstanding_identification_ == 0) {
@@ -510,6 +539,7 @@ void MobileHost::CancelPendingRegistration() {
   binding_expires_ = Time::Zero();
   backoff_ = Duration();
   renewal_sends_ = 0;
+  unanswered_sends_ = 0;
   in_flight_deregistration_ = false;
 }
 

@@ -71,6 +71,14 @@ class MobileHost {
     // window desynced), immediately re-register with a fresh identification
     // instead of failing the attach.
     bool resync_on_identification_mismatch = true;
+    // Replicated-HA failover (DESIGN.md §14): when set, a run of unanswered
+    // registration sends to the active home agent makes the host switch to
+    // this backup (and back, alternating) before the next retransmit. The
+    // identification sequence continues across the switch, so a backup that
+    // mirrored the primary's replay window accepts immediately.
+    std::optional<Ipv4Address> backup_home_agent;
+    // Unanswered sends to the active HA before each failover switch.
+    int failover_after_sends = 2;
     // Timeout for triangle-route probes.
     Duration probe_timeout = Seconds(3);
     // Shared secret with the home agent. When set, every registration
@@ -143,6 +151,8 @@ class MobileHost {
     uint64_t packets_decapsulated_in = 0;
     uint64_t probes_sent = 0;
     uint64_t probe_fallbacks = 0;
+    // Switches of the active home agent after unanswered registrations.
+    uint64_t failover_count = 0;
   };
 
   using CompletionCallback = std::function<void(bool success)>;
@@ -206,6 +216,9 @@ class MobileHost {
   Ipv4Address care_of() const { return attachment_.care_of; }
   const Config& config() const { return config_; }
   const RegistrationTimeline& last_timeline() const { return timeline_; }
+  // The home agent registrations (and reverse tunnels) currently target;
+  // config().home_agent unless failover switched to the backup.
+  Ipv4Address active_home_agent() const { return active_home_agent_; }
   Counters counters() const;
   VirtualInterface* vif() { return vif_; }
   Node& node() { return node_; }
@@ -231,6 +244,7 @@ class MobileHost {
     CounterRef packets_decapsulated_in;
     CounterRef probes_sent;
     CounterRef probe_fallbacks;
+    CounterRef failover_count;
   };
 
   [[nodiscard]] std::optional<RouteDecision> RouteOverride(const RouteQuery& query);
@@ -249,6 +263,9 @@ class MobileHost {
   void SendRegistrationRequest(uint64_t generation, bool deregistration);
   void OnRegistrationDatagram(const std::vector<uint8_t>& data, const UdpSocket::Metadata& meta);
   void OnRetransmitTimer(uint64_t generation, bool deregistration);
+  // Escalation on registration silence: after failover_after_sends unanswered
+  // sends, point the next (re)send at the other configured home agent.
+  void MaybeFailoverHomeAgent();
   void FinishRegistration(uint64_t generation, bool success);
   void ScheduleRenewal(uint16_t granted_lifetime_sec);
   void CancelPendingRegistration();
@@ -281,6 +298,11 @@ class MobileHost {
 
   // Invalidates scheduled steps of superseded attach operations.
   uint64_t attach_generation_ = 0;
+  // Registration target; flips between home_agent and backup_home_agent on
+  // failover (initialized to config_.home_agent in the constructor).
+  Ipv4Address active_home_agent_;
+  // Registration sends since the last reply from the active HA.
+  uint64_t unanswered_sends_ = 0;
   uint64_t next_identification_ = 1;
   uint64_t outstanding_identification_ = 0;
   uint64_t last_accepted_identification_ = 0;

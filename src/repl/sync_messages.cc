@@ -1,0 +1,238 @@
+#include "src/repl/sync_messages.h"
+
+#include <cstdio>
+
+#include "src/util/byte_buffer.h"
+
+namespace msn {
+
+std::optional<SyncMessageType> PeekSyncMessageType(const std::vector<uint8_t>& bytes) {
+  if (bytes.empty()) {
+    return std::nullopt;
+  }
+  switch (bytes[0]) {
+    case static_cast<uint8_t>(SyncMessageType::kHeartbeat):
+    case static_cast<uint8_t>(SyncMessageType::kMutation):
+    case static_cast<uint8_t>(SyncMessageType::kAck):
+    case static_cast<uint8_t>(SyncMessageType::kSnapshotRequest):
+    case static_cast<uint8_t>(SyncMessageType::kSnapshot):
+      return static_cast<SyncMessageType>(bytes[0]);
+    default:
+      return std::nullopt;
+  }
+}
+
+std::vector<uint8_t> SyncHeartbeat::Serialize() const {
+  ByteWriter w(kSize);
+  w.WriteU8(static_cast<uint8_t>(SyncMessageType::kHeartbeat));
+  w.WriteU64(epoch);
+  w.WriteU8(role == HaRole::kPrimary ? 1 : 0);
+  w.WriteU64(seq);
+  return w.Take();
+}
+
+std::optional<SyncHeartbeat> SyncHeartbeat::Parse(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  if (r.remaining() < kSize ||
+      r.ReadU8() != static_cast<uint8_t>(SyncMessageType::kHeartbeat)) {
+    return std::nullopt;
+  }
+  SyncHeartbeat hb;
+  hb.epoch = r.ReadU64();
+  hb.role = r.ReadU8() != 0 ? HaRole::kPrimary : HaRole::kStandby;
+  hb.seq = r.ReadU64();
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+  return hb;
+}
+
+std::string SyncHeartbeat::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "SyncHeartbeat epoch=%llu role=%s seq=%llu",
+                static_cast<unsigned long long>(epoch),
+                role == HaRole::kPrimary ? "primary" : "standby",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+std::vector<uint8_t> SyncMutation::Serialize() const {
+  ByteWriter w(kSize);
+  w.WriteU8(static_cast<uint8_t>(SyncMessageType::kMutation));
+  w.WriteU64(epoch);
+  w.WriteU64(seq);
+  w.WriteU8(static_cast<uint8_t>(mutation.kind));
+  w.WriteU32(mutation.home_address.value());
+  w.WriteU32(mutation.care_of.value());
+  w.WriteU16(mutation.lifetime_sec);
+  w.WriteU64(mutation.identification);
+  w.WriteU8(mutation.decapsulates_self ? kFlagDecapsulatesSelf : 0);
+  return w.Take();
+}
+
+std::optional<SyncMutation> SyncMutation::Parse(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  if (r.remaining() < kSize ||
+      r.ReadU8() != static_cast<uint8_t>(SyncMessageType::kMutation)) {
+    return std::nullopt;
+  }
+  SyncMutation m;
+  m.epoch = r.ReadU64();
+  m.seq = r.ReadU64();
+  const uint8_t kind = r.ReadU8();
+  if (kind < static_cast<uint8_t>(BindingMutation::Kind::kInstall) ||
+      kind > static_cast<uint8_t>(BindingMutation::Kind::kIdentification)) {
+    return std::nullopt;
+  }
+  m.mutation.kind = static_cast<BindingMutation::Kind>(kind);
+  m.mutation.home_address = Ipv4Address(r.ReadU32());
+  m.mutation.care_of = Ipv4Address(r.ReadU32());
+  m.mutation.lifetime_sec = r.ReadU16();
+  m.mutation.identification = r.ReadU64();
+  m.mutation.decapsulates_self = (r.ReadU8() & kFlagDecapsulatesSelf) != 0;
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+std::string SyncMutation::ToString() const {
+  const char* kind = "?";
+  switch (mutation.kind) {
+    case BindingMutation::Kind::kInstall:
+      kind = "install";
+      break;
+    case BindingMutation::Kind::kRemove:
+      kind = "remove";
+      break;
+    case BindingMutation::Kind::kIdentification:
+      kind = "ident";
+      break;
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "SyncMutation epoch=%llu seq=%llu %s home=%s careof=%s lifetime=%us id=%llu",
+                static_cast<unsigned long long>(epoch), static_cast<unsigned long long>(seq),
+                kind, mutation.home_address.ToString().c_str(),
+                mutation.care_of.ToString().c_str(), mutation.lifetime_sec,
+                static_cast<unsigned long long>(mutation.identification));
+  return buf;
+}
+
+std::vector<uint8_t> SyncAck::Serialize() const {
+  ByteWriter w(kSize);
+  w.WriteU8(static_cast<uint8_t>(SyncMessageType::kAck));
+  w.WriteU64(epoch);
+  w.WriteU64(seq);
+  return w.Take();
+}
+
+std::optional<SyncAck> SyncAck::Parse(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  if (r.remaining() < kSize || r.ReadU8() != static_cast<uint8_t>(SyncMessageType::kAck)) {
+    return std::nullopt;
+  }
+  SyncAck ack;
+  ack.epoch = r.ReadU64();
+  ack.seq = r.ReadU64();
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+  return ack;
+}
+
+std::vector<uint8_t> SyncSnapshotRequest::Serialize() const {
+  ByteWriter w(kSize);
+  w.WriteU8(static_cast<uint8_t>(SyncMessageType::kSnapshotRequest));
+  w.WriteU64(epoch);
+  return w.Take();
+}
+
+std::optional<SyncSnapshotRequest> SyncSnapshotRequest::Parse(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  if (r.remaining() < kSize ||
+      r.ReadU8() != static_cast<uint8_t>(SyncMessageType::kSnapshotRequest)) {
+    return std::nullopt;
+  }
+  SyncSnapshotRequest req;
+  req.epoch = r.ReadU64();
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+  return req;
+}
+
+std::vector<uint8_t> SyncSnapshot::Serialize() const {
+  ByteWriter w(kMinSize + state.bindings.size() * kBindingEntrySize +
+               state.identifications.size() * kIdentEntrySize);
+  w.WriteU8(static_cast<uint8_t>(SyncMessageType::kSnapshot));
+  w.WriteU64(epoch);
+  w.WriteU64(seq);
+  w.WriteU16(static_cast<uint16_t>(state.bindings.size()));
+  for (const auto& entry : state.bindings) {
+    w.WriteU32(entry.home_address.value());
+    w.WriteU32(entry.care_of.value());
+    w.WriteU16(entry.lifetime_sec);
+    w.WriteU64(entry.identification);
+    w.WriteU8(entry.decapsulates_self ? SyncMutation::kFlagDecapsulatesSelf : 0);
+  }
+  w.WriteU16(static_cast<uint16_t>(state.identifications.size()));
+  for (const auto& [home, identification] : state.identifications) {
+    w.WriteU32(home.value());
+    w.WriteU64(identification);
+  }
+  return w.Take();
+}
+
+std::optional<SyncSnapshot> SyncSnapshot::Parse(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  if (r.remaining() < kMinSize ||
+      r.ReadU8() != static_cast<uint8_t>(SyncMessageType::kSnapshot)) {
+    return std::nullopt;
+  }
+  SyncSnapshot snap;
+  snap.epoch = r.ReadU64();
+  snap.seq = r.ReadU64();
+  const uint16_t binding_count = r.ReadU16();
+  if (!r.ok() || r.remaining() < binding_count * kBindingEntrySize) {
+    return std::nullopt;
+  }
+  snap.state.bindings.reserve(binding_count);
+  for (uint16_t i = 0; i < binding_count; ++i) {
+    HaBindingState::Entry entry;
+    entry.home_address = Ipv4Address(r.ReadU32());
+    entry.care_of = Ipv4Address(r.ReadU32());
+    entry.lifetime_sec = r.ReadU16();
+    entry.identification = r.ReadU64();
+    entry.decapsulates_self = (r.ReadU8() & SyncMutation::kFlagDecapsulatesSelf) != 0;
+    snap.state.bindings.push_back(entry);
+  }
+  if (r.remaining() < 2) {
+    return std::nullopt;
+  }
+  const uint16_t ident_count = r.ReadU16();
+  if (!r.ok() || r.remaining() < ident_count * kIdentEntrySize) {
+    return std::nullopt;
+  }
+  snap.state.identifications.reserve(ident_count);
+  for (uint16_t i = 0; i < ident_count; ++i) {
+    const Ipv4Address home(r.ReadU32());
+    const uint64_t identification = r.ReadU64();
+    snap.state.identifications.emplace_back(home, identification);
+  }
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+  return snap;
+}
+
+std::string SyncSnapshot::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "SyncSnapshot epoch=%llu seq=%llu bindings=%zu idents=%zu",
+                static_cast<unsigned long long>(epoch), static_cast<unsigned long long>(seq),
+                state.bindings.size(), state.identifications.size());
+  return buf;
+}
+
+}  // namespace msn

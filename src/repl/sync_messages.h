@@ -1,0 +1,119 @@
+// Wire format of the HA binding-sync channel (DESIGN.md §14).
+//
+// A primary/standby home-agent pair exchanges five message types over UDP
+// port 4434: heartbeats carrying the sender's epoch/role/highest-sent
+// sequence number, sequenced binding mutations (the incremental stream),
+// cumulative acks, snapshot requests, and full-state snapshots (the
+// anti-entropy path that heals loss, reordering, and rejoin-after-crash).
+// Same conventions as src/mip/messages.h: fixed-size network-byte-order
+// structs with a leading type byte, strict Parse that rejects truncated or
+// mistyped input with nullopt.
+#ifndef MSN_SRC_REPL_SYNC_MESSAGES_H_
+#define MSN_SRC_REPL_SYNC_MESSAGES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/mip/home_agent.h"
+#include "src/net/address.h"
+
+namespace msn {
+
+// UDP port of the HA-to-HA sync channel (registration's 434, "one plane up").
+inline constexpr uint16_t kHaSyncPort = 4434;
+
+enum class SyncMessageType : uint8_t {
+  kHeartbeat = 1,
+  kMutation = 2,
+  kAck = 3,
+  kSnapshotRequest = 4,
+  kSnapshot = 5,
+};
+
+// First byte of a sync datagram, if it names a known type.
+std::optional<SyncMessageType> PeekSyncMessageType(const std::vector<uint8_t>& bytes);
+
+// Periodic liveness + progress beacon. `seq` is the sender's highest sent
+// mutation sequence number this epoch (0 before the first mutation), which
+// lets a standby detect that it missed mutations without waiting for the
+// next one to arrive out of order.
+struct SyncHeartbeat {
+  // [type][epoch u64][role u8][seq u64]
+  static constexpr size_t kSize = 18;
+
+  uint64_t epoch = 0;
+  HaRole role = HaRole::kPrimary;
+  uint64_t seq = 0;
+
+  [[nodiscard]] std::vector<uint8_t> Serialize() const;
+  static std::optional<SyncHeartbeat> Parse(const std::vector<uint8_t>& bytes);
+  [[nodiscard]] std::string ToString() const;
+};
+
+// One binding-table mutation, sequenced within an epoch (seq starts at 1).
+struct SyncMutation {
+  // [type][epoch u64][seq u64][kind u8][home u32][careof u32][lifetime u16]
+  // [identification u64][flags u8]
+  static constexpr size_t kSize = 37;
+  static constexpr uint8_t kFlagDecapsulatesSelf = 0x01;
+
+  uint64_t epoch = 0;
+  uint64_t seq = 0;
+  BindingMutation mutation;
+
+  [[nodiscard]] std::vector<uint8_t> Serialize() const;
+  static std::optional<SyncMutation> Parse(const std::vector<uint8_t>& bytes);
+  [[nodiscard]] std::string ToString() const;
+};
+
+// Cumulative ack: every mutation up to and including `seq` in `epoch` has
+// been applied (or superseded by a snapshot).
+struct SyncAck {
+  // [type][epoch u64][seq u64]
+  static constexpr size_t kSize = 17;
+
+  uint64_t epoch = 0;
+  uint64_t seq = 0;
+
+  [[nodiscard]] std::vector<uint8_t> Serialize() const;
+  static std::optional<SyncAck> Parse(const std::vector<uint8_t>& bytes);
+};
+
+// A standby asking the primary for a full snapshot (gap detected, or fresh
+// rejoin after an outage).
+struct SyncSnapshotRequest {
+  // [type][epoch u64]
+  static constexpr size_t kSize = 9;
+
+  uint64_t epoch = 0;
+
+  [[nodiscard]] std::vector<uint8_t> Serialize() const;
+  static std::optional<SyncSnapshotRequest> Parse(const std::vector<uint8_t>& bytes);
+};
+
+// Full-state anti-entropy: the complete binding table plus identification
+// history, stamped with the primary's epoch and highest sent sequence number
+// (applying the snapshot makes the receiver current through `seq`).
+struct SyncSnapshot {
+  // [type][epoch u64][seq u64][binding_count u16][bindings...]
+  // [ident_count u16][idents...]; binding entry = [home u32][careof u32]
+  // [lifetime u16][identification u64][flags u8], ident entry =
+  // [home u32][identification u64].
+  static constexpr size_t kMinSize = 21;
+  static constexpr size_t kBindingEntrySize = 19;
+  static constexpr size_t kIdentEntrySize = 12;
+
+  uint64_t epoch = 0;
+  uint64_t seq = 0;
+  HaBindingState state;
+
+  [[nodiscard]] std::vector<uint8_t> Serialize() const;
+  static std::optional<SyncSnapshot> Parse(const std::vector<uint8_t>& bytes);
+  [[nodiscard]] std::string ToString() const;
+};
+
+}  // namespace msn
+
+#endif  // MSN_SRC_REPL_SYNC_MESSAGES_H_

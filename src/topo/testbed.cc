@@ -29,6 +29,10 @@ IpStack::DelayParams Testbed::RouterDelays() {
 }
 
 Testbed::Testbed(TestbedConfig config) : sim(config.seed), config_(config) {
+  if (config_.with_backup_ha) {
+    // The replicated pair lives on dedicated home-network hosts.
+    config_.ha_on_router = false;
+  }
   BuildMedia();
   BuildRouter();
   BuildMobileHost();
@@ -101,6 +105,46 @@ void Testbed::BuildRouter() {
     ha_config.calibration = config_.calibration;
     ha_config.metrics = &metrics;
     home_agent = std::make_unique<HomeAgent>(*ha_host, ha_config);
+
+    if (config_.with_backup_ha) {
+      backup_ha_host = std::make_unique<Node>(sim, "ha-backup", &metrics);
+      if (config_.realistic_delays) {
+        backup_ha_host->stack().set_delay_params(RouterDelays());
+      }
+      backup_ha_host->stack().set_forwarding_enabled(true);
+      EthernetDevice* bdev = backup_ha_host->AddEthernet("eth0", net135.get());
+      bdev->ForceUp();
+      backup_ha_host->ConfigureInterface(bdev, "36.135.0.3/16");
+      backup_ha_host->AddDefaultRoute(RouterOn135(), bdev);
+      backup_ha_host->AddLoopback();
+
+      HomeAgent::Config backup_config;
+      backup_config.address = BackupHaAddress();
+      backup_config.home_device = bdev;
+      backup_config.home_subnet = HomeSubnet();
+      backup_config.calibration = config_.calibration;
+      backup_config.metrics = &metrics;
+      backup_config.metric_prefix = "ha.backup.";
+      backup_config.initial_role = HaRole::kStandby;
+      backup_agent = std::make_unique<HomeAgent>(*backup_ha_host, backup_config);
+
+      // Sync links, one per agent. Takeover timeouts are staggered so the
+      // designated backup always moves first when both ends go quiet.
+      HaReplicationLink::Config primary_link;
+      primary_link.self = HaHostAddress();
+      primary_link.peer = BackupHaAddress();
+      primary_link.takeover_timeout = Milliseconds(2400);
+      primary_link.metrics = &metrics;
+      repl_primary = std::make_unique<HaReplicationLink>(*home_agent, primary_link);
+
+      HaReplicationLink::Config backup_link;
+      backup_link.self = BackupHaAddress();
+      backup_link.peer = HaHostAddress();
+      backup_link.takeover_timeout = Milliseconds(1600);
+      backup_link.metrics = &metrics;
+      backup_link.metric_prefix = "repl.backup.";
+      repl_backup = std::make_unique<HaReplicationLink>(*backup_agent, backup_link);
+    }
   }
 
   if (config_.with_dhcp) {
@@ -140,7 +184,28 @@ void Testbed::BuildMobileHost() {
   mc.lifetime_sec = config_.mh_lifetime_sec;
   mc.calibration = config_.calibration;
   mc.metrics = &metrics;
+  if (config_.with_backup_ha) {
+    mc.backup_home_agent = BackupHaAddress();
+  }
   mobile = std::make_unique<MobileHost>(*mh, mc);
+}
+
+int Testbed::ServingAgentCount() const {
+  int count = home_agent != nullptr && home_agent->serving() ? 1 : 0;
+  if (backup_agent != nullptr && backup_agent->serving()) {
+    ++count;
+  }
+  return count;
+}
+
+HomeAgent* Testbed::ServingAgent() {
+  if (home_agent != nullptr && home_agent->serving()) {
+    return home_agent.get();
+  }
+  if (backup_agent != nullptr && backup_agent->serving()) {
+    return backup_agent.get();
+  }
+  return home_agent.get();
 }
 
 void Testbed::BuildCorrespondent() {

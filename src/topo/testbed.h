@@ -23,6 +23,7 @@
 #include "src/mip/home_agent.h"
 #include "src/mip/mobile_host.h"
 #include "src/node/node.h"
+#include "src/repl/ha_replication.h"
 #include "src/sim/simulator.h"
 #include "src/telemetry/metrics.h"
 
@@ -37,6 +38,11 @@ struct TestbedConfig {
   // Collocate the home agent on the router (the paper's usual setup) or on a
   // separate host in the home network.
   bool ha_on_router = true;
+  // Deploy a replicated HA pair (DESIGN.md §14): primary on the HA host at
+  // 36.135.0.2, standby on a second host at 36.135.0.3, sync channel between
+  // them, and the MH configured to fail over. Forces ha_on_router = false
+  // (the pair lives on dedicated home-network hosts).
+  bool with_backup_ha = false;
   // Attach the correspondent host behind the campus subnet instead of 36.8.
   bool external_ch = false;
   // Apply calibrated mid-90s kernel processing delays. Disable for unit
@@ -65,6 +71,7 @@ class Testbed {
   static Ipv4Address RouterOn134() { return Ipv4Address(36, 134, 0, 1); }
   static Ipv4Address RouterOnCampus() { return Ipv4Address(171, 64, 0, 1); }
   static Ipv4Address HaHostAddress() { return Ipv4Address(36, 135, 0, 2); }
+  static Ipv4Address BackupHaAddress() { return Ipv4Address(36, 135, 0, 3); }
   static Subnet Net8() { return Subnet(Ipv4Address(36, 8, 0, 0), SubnetMask(16)); }
   static Subnet Net134() { return Subnet(Ipv4Address(36, 134, 0, 0), SubnetMask(16)); }
   static Subnet CampusNet() { return Subnet(Ipv4Address(171, 64, 0, 0), SubnetMask(16)); }
@@ -87,9 +94,15 @@ class Testbed {
   std::unique_ptr<Node> router;
   std::unique_ptr<Node> mh;
   std::unique_ptr<Node> ch;
-  std::unique_ptr<Node> ha_host;  // Only when !config.ha_on_router.
+  std::unique_ptr<Node> ha_host;         // Only when !config.ha_on_router.
+  std::unique_ptr<Node> backup_ha_host;  // Only when config.with_backup_ha.
 
   std::unique_ptr<HomeAgent> home_agent;
+  // Replicated pair (with_backup_ha): standby agent and the two sync-link
+  // halves. The backup reports under "ha.backup.*" / "repl.backup.*".
+  std::unique_ptr<HomeAgent> backup_agent;
+  std::unique_ptr<HaReplicationLink> repl_primary;
+  std::unique_ptr<HaReplicationLink> repl_backup;
   std::unique_ptr<MobileHost> mobile;
   std::unique_ptr<DhcpServer> dhcp_net8;
   std::unique_ptr<DhcpServer> dhcp_net134;
@@ -99,6 +112,13 @@ class Testbed {
   EthernetDevice* ch_dev = nullptr;
 
   const TestbedConfig& config() const { return config_; }
+
+  // Replication-aware views of the HA pair. With no backup configured the
+  // single home agent is the serving agent.
+  int ServingAgentCount() const;
+  // The agent currently serving bindings; falls back to the primary when
+  // none is (e.g. mid-failover).
+  HomeAgent* ServingAgent();
 
   // --- Scenario helpers ------------------------------------------------------------
 

@@ -75,6 +75,7 @@ LAYER_RANK = {
     "mip": 5,
     "dhcp": 5,
     "tcplite": 5,
+    "repl": 6,
     "tracing": 6,
     "fault": 6,
     "topo": 7,
@@ -123,7 +124,8 @@ METRIC_PIECE_RE = re.compile(r"^[a-z0-9_.]*$")
 # subsystem starts exporting metrics (the check fuzzer's oracles are the most
 # recent addition).
 METRIC_NAMESPACES = {
-    "check", "dev", "fault", "ha", "ip", "link", "mh", "packet", "pool", "tcp",
+    "check", "dev", "fault", "ha", "ip", "link", "mh", "packet", "pool", "repl",
+    "tcp",
 }
 
 # A parameter position: `(` or `,` then an (optionally const) bare
