@@ -1,13 +1,51 @@
 #include "src/check/fuzzer.h"
 
+#include <algorithm>
 #include <memory>
+#include <utility>
 
 #include "src/check/traffic.h"
 #include "src/fault/fault_schedule.h"
+#include "src/mip/movement_detector.h"
+#include "src/mobility/mobility_driver.h"
 #include "src/topo/scenario.h"
 
 namespace msn {
 namespace {
+
+// Cell reach of the fuzzer's corridor layout; the binding helpers in
+// topo/testbed.cc use the same figures for the distance->loss mapping.
+constexpr double kWiredCellRangeM = 60.0;
+constexpr double kRadioCellRangeM = 120.0;
+
+// The host's motion model, seeded from its own labeled substream so mobility
+// draws never perturb the generator's. The walk starts at the first station
+// so the scripted wired departure lands in coverage.
+std::unique_ptr<MobilityModel> BuildMobilityModel(const CampusMap& map, const MobilitySpec& mob,
+                                                  const Rng& rng) {
+  const Vec2 bounds{mob.map_w_m, mob.map_h_m};
+  const Vec2 start =
+      map.base_stations().empty() ? Vec2{} : map.base_stations().front().position;
+  RandomWaypointModel::Params wp;
+  wp.min_speed_mps = std::max(0.5, mob.speed_mps / 2.0);
+  wp.max_speed_mps = mob.speed_mps;
+  wp.max_pause = mob.max_pause;
+  auto waypoint = std::make_unique<RandomWaypointModel>(bounds, start, wp, rng.Fork("waypoint"));
+  if (mob.model == MobilitySpec::Model::kTrace) {
+    // Exercise the trace format in the production path: record the waypoint
+    // walk, round-trip it through the text serialization, replay that.
+    TraceReplayModel recorded =
+        TraceReplayModel::Record(*waypoint, Seconds(70), Milliseconds(500));
+    auto parsed = TraceReplayModel::Parse(recorded.ToText());
+    return std::make_unique<TraceReplayModel>(parsed.has_value() ? std::move(*parsed)
+                                                                 : std::move(recorded));
+  }
+  if (mob.model == MobilitySpec::Model::kGroup) {
+    return std::make_unique<GroupMobilityModel>(bounds, std::move(waypoint),
+                                                GroupMobilityModel::Params{}, rng.Fork("group"));
+  }
+  return waypoint;
+}
 
 FaultProfile ProfileFromSpec(const FaultEventSpec& f) {
   FaultProfile profile;
@@ -97,8 +135,45 @@ RunResult RunScenario(const ScenarioSpec& spec, const RunOptions& options) {
   }
   script.WithFaults(faults);
 
+  // Physical mobility: a corridor of alternating wired/radio cells, a motion
+  // model, and the driver closing the position -> quality -> handoff loop via
+  // a signal-aware movement detector. Started shortly after the scripted
+  // departure at 2s, so the home attachment's Ethernet (the same device as
+  // the visited wired one) is not torn down while still serving net 36.135.
+  std::unique_ptr<MovementDetector> detector;
+  std::unique_ptr<MobilityDriver> mobility;
+  if (spec.mobility.enabled) {
+    const MobilitySpec& mob = spec.mobility;
+    const uint32_t host_index = spec.moves.empty() ? 50 : spec.moves.front().host_index;
+    CampusMap map = CampusMap::Corridor(mob.map_w_m, mob.map_h_m, static_cast<int>(mob.cells),
+                                        kWiredCellRangeM, kRadioCellRangeM);
+    std::unique_ptr<MobilityModel> model =
+        BuildMobilityModel(map, mob, Rng(spec.seed).Fork("mobility-model"));
+
+    MovementDetector::Config det_cfg;
+    det_cfg.use_signal = true;
+    det_cfg.min_residency = Seconds(3);
+    det_cfg.metrics = &tb.metrics;
+    detector = std::make_unique<MovementDetector>(*tb.mobile, det_cfg);
+    detector->AddCandidate({tb.WiredAttachment(host_index), /*preference=*/2});
+    detector->AddCandidate({tb.WirelessAttachment(host_index), /*preference=*/1});
+
+    MobilityDriver::Config drv_cfg;
+    drv_cfg.detector = detector.get();
+    drv_cfg.metrics = &tb.metrics;
+    mobility = std::make_unique<MobilityDriver>(*tb.mobile, std::move(map), std::move(model),
+                                                drv_cfg);
+    mobility->AddBinding(tb.WiredMobilityBinding(&inject_wired, host_index));
+    mobility->AddBinding(tb.RadioMobilityBinding(&inject_radio, host_index));
+    tb.sim.Schedule(Milliseconds(2500), [&mobility] { mobility->Start(); });
+    tb.sim.Schedule(Milliseconds(3500), [&detector] { detector->Start(); });
+  }
+
   OracleSuite::Media media{&inject_home, &inject_wired, &inject_radio};
   OracleSuite oracles(tb, spec, traffic, media);
+  if (mobility != nullptr) {
+    oracles.AttachMobility(mobility.get());
+  }
   PeriodicTask tick(tb.sim, OracleSuite::kTickInterval, [&oracles] { oracles.OnTick(); });
   tick.Start();
 

@@ -17,6 +17,15 @@ constexpr Duration kPostFaultMargin = Seconds(3);
 constexpr Duration kQuietEntryMargin = Seconds(1);
 constexpr Duration kQuietExitMargin = Milliseconds(2500);
 
+// coverage-continuity thresholds (in OracleSuite::kTickInterval ticks): some
+// cell must have been cleanly covering continuously for this long...
+constexpr int kCoveredStreakTicks = 40;  // 20 s.
+// ...while the MH was unable to communicate for this long, before the broken
+// handoff loop is called. Generous: a cold switch plus registration plus the
+// detector's hysteresis and residency guard all fit several times over.
+constexpr int kDisconnectedStreakTicks = 24;  // 12 s.
+constexpr double kDeepCoverageLoss = 0.02;
+
 std::string FormatMs(Duration d) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%" PRId64 "ms", d.millis());
@@ -95,6 +104,11 @@ std::string OracleReport::ToString() const {
 }
 
 bool SettlesCleanly(const ScenarioSpec& spec) {
+  if (spec.mobility.enabled) {
+    // Motion never stops, so no terminal state is promised: the host may end
+    // the run mid-handoff at a cell edge.
+    return false;
+  }
   Duration last_fault_end;
   for (const FaultEventSpec& f : spec.faults) {
     last_fault_end = std::max(last_fault_end, FaultEffectEnd(f));
@@ -157,6 +171,9 @@ bool OracleSuite::InNoisyWindow(Duration offset) const {
 }
 
 bool OracleSuite::QuietNow() const {
+  if (spec_.mobility.enabled) {
+    return false;  // Distance-derived loss can strike at any instant.
+  }
   const MobileHost& mh = *tb_.mobile;
   if (tb_.ServingAgentCount() != 1) {
     return false;  // Failover in flight: zero (or two) agents serving.
@@ -269,6 +286,27 @@ void OracleSuite::OnTick() {
                     "HA tunneled %" PRIu64 " packet(s) after the MH settled at home",
                     tunneled - *stale_tunnel_marker_);
       report_.Add("stale-tunnel", buf);
+    }
+  }
+
+  // coverage-continuity (mobility runs): the MH may transiently disconnect in
+  // a coverage hole or mid-handoff, but while some cell has offered clean
+  // coverage continuously, a long communication outage means the
+  // signal-driven handoff loop is broken (detector stuck, ping-pong guard
+  // wedged, association never happening).
+  if (mobility_ != nullptr) {
+    ++report_.checks;
+    covered_ticks_ = mobility_->AnyDeepCoverage(kDeepCoverageLoss) ? covered_ticks_ + 1 : 0;
+    const MobileHost::State mh_state = tb_.mobile->state();
+    const bool connected = mh_state == MobileHost::State::kRegistered ||
+                           mh_state == MobileHost::State::kAtHome;
+    disconnected_ticks_ = connected ? 0 : disconnected_ticks_ + 1;
+    if (covered_ticks_ >= kCoveredStreakTicks &&
+        disconnected_ticks_ >= kDisconnectedStreakTicks) {
+      report_.Add("coverage-continuity",
+                  "MH unregistered for " +
+                      FormatMs(Milliseconds(kTickInterval.millis() * disconnected_ticks_)) +
+                      " despite continuous cell coverage, at " + FormatMs(now - start_));
     }
   }
 

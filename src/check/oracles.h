@@ -31,6 +31,10 @@
 //                       filter always forces the fallback.
 //   counter-consistency cross-component counter inequalities (decap <=
 //                       tunneled, MH accepts <= HA accepts, ...).
+//   coverage-continuity (mobility runs) while some cell offers clean
+//                       coverage for a long continuous stretch, the MH must
+//                       not stay unable to communicate: motion plus
+//                       signal-driven handoff always finds a way back.
 #ifndef MSN_SRC_CHECK_ORACLES_H_
 #define MSN_SRC_CHECK_ORACLES_H_
 
@@ -89,6 +93,10 @@ class OracleSuite {
   OracleSuite(const OracleSuite&) = delete;
   OracleSuite& operator=(const OracleSuite&) = delete;
 
+  // Mobility runs: attach the driver so the coverage-continuity oracle can
+  // see per-cell link quality. Call before Begin().
+  void AttachMobility(const MobilityDriver* driver) { mobility_ = driver; }
+
   // Marks the movement-script start time: spec event offsets are interpreted
   // relative to it. Call immediately before MovementScript::Run().
   void Begin();
@@ -135,6 +143,13 @@ class OracleSuite {
   // Stale-tunnel oracle: HA tunneled-packet count sampled once the settled
   // at-home state is reached.
   std::optional<uint64_t> stale_tunnel_marker_;
+
+  // coverage-continuity (mobility runs): consecutive ticks with some cell in
+  // deep coverage, and consecutive ticks with the MH unable to communicate.
+  // Long streaks of both at once mean the signal-driven handoff loop broke.
+  const MobilityDriver* mobility_ = nullptr;
+  int covered_ticks_ = 0;
+  int disconnected_ticks_ = 0;
 };
 
 }  // namespace msn

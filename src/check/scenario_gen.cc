@@ -147,6 +147,16 @@ std::optional<MovementScript::Kind> MoveKindFromName(const std::string& name) {
   return std::nullopt;
 }
 
+std::optional<MobilitySpec::Model> MobilityModelFromName(const std::string& name) {
+  for (MobilitySpec::Model model : {MobilitySpec::Model::kWaypoint, MobilitySpec::Model::kTrace,
+                                    MobilitySpec::Model::kGroup}) {
+    if (name == MobilitySpec::ModelName(model)) {
+      return model;
+    }
+  }
+  return std::nullopt;
+}
+
 std::optional<FaultMedium> FaultMediumFromName(const std::string& name) {
   for (FaultMedium medium : {FaultMedium::kHome, FaultMedium::kWired, FaultMedium::kRadio}) {
     if (name == FaultMediumName(medium)) {
@@ -166,6 +176,18 @@ const char* FaultMediumName(FaultMedium medium) {
       return "wired";
     case FaultMedium::kRadio:
       return "radio";
+  }
+  return "?";
+}
+
+const char* MobilitySpec::ModelName(Model model) {
+  switch (model) {
+    case Model::kWaypoint:
+      return "waypoint";
+    case Model::kTrace:
+      return "trace";
+    case Model::kGroup:
+      return "group";
   }
   return "?";
 }
@@ -211,6 +233,16 @@ std::string ScenarioSpec::ToString() const {
                 traffic.tcp_bytes, traffic.pings ? 1 : 0, traffic.ping_interval.millis(),
                 traffic.probe_triangle ? 1 : 0, traffic.triangle_at.millis());
   out += buf;
+  if (mobility.enabled) {
+    out += "mobility ";
+    out += MobilitySpec::ModelName(mobility.model);
+    AppendKvF(out, "speed_mps", mobility.speed_mps);
+    AppendKv(out, "cells", mobility.cells);
+    AppendKvF(out, "map_w_m", mobility.map_w_m);
+    AppendKvF(out, "map_h_m", mobility.map_h_m);
+    AppendKv(out, "pause_ms", static_cast<uint64_t>(mobility.max_pause.millis()));
+    out += '\n';
+  }
   std::snprintf(buf, sizeof(buf), "duration_ms %" PRId64 "\n", duration.millis());
   out += buf;
   for (const MoveEventSpec& m : moves) {
@@ -327,6 +359,33 @@ std::optional<ScenarioSpec> ScenarioSpec::Parse(const std::string& text, std::st
       }
       if (!kv.empty()) {
         return fail("unknown " + word + " key: " + kv.begin()->first);
+      }
+      continue;
+    }
+    if (word == "mobility") {
+      std::string model_name;
+      if (!(ls >> model_name)) {
+        return fail("mobility line missing model: " + line);
+      }
+      const auto model = MobilityModelFromName(model_name);
+      if (!model.has_value()) {
+        return fail("unknown mobility model: " + model_name);
+      }
+      std::string token;
+      while (ls >> token) {
+        if (!ParseKv(token, kv, error)) {
+          return std::nullopt;
+        }
+      }
+      spec.mobility.enabled = true;
+      spec.mobility.model = *model;
+      spec.mobility.speed_mps = TakeKv(kv, "speed_mps", 4);
+      spec.mobility.cells = static_cast<uint32_t>(TakeKv(kv, "cells", 4));
+      spec.mobility.map_w_m = TakeKv(kv, "map_w_m", 600);
+      spec.mobility.map_h_m = TakeKv(kv, "map_h_m", 200);
+      spec.mobility.max_pause = Milliseconds(static_cast<int64_t>(TakeKv(kv, "pause_ms", 2000)));
+      if (!kv.empty()) {
+        return fail("unknown mobility key: " + kv.begin()->first);
       }
       continue;
     }
@@ -571,6 +630,39 @@ ScenarioSpec GenerateScenario(uint64_t seed) {
     spec.faults.push_back(crash);
   }
 
+  // --- Physical mobility ---------------------------------------------------
+  // A slice of runs swaps the scripted timeline for motion: the host departs
+  // once onto the visited wired network, then a mobility model roams it
+  // through a corridor of cells and every further handoff is signal-driven.
+  // Drawn from its own substream, so pre-mobility aspects of a seed are
+  // untouched. All values are quantized so ToString's %.6g is lossless.
+  Rng mob_rng = root.Fork("mobility");
+  if (mob_rng.Bernoulli(0.30)) {
+    MobilitySpec& mob = spec.mobility;
+    mob.enabled = true;
+    const double which_model = mob_rng.UniformDouble();
+    mob.model = which_model < 0.45   ? MobilitySpec::Model::kWaypoint
+                : which_model < 0.75 ? MobilitySpec::Model::kTrace
+                                     : MobilitySpec::Model::kGroup;
+    mob.speed_mps =
+        static_cast<double>(mob_rng.UniformInt(uint64_t{20}, uint64_t{180})) / 10.0;
+    mob.cells = static_cast<uint32_t>(mob_rng.UniformInt(uint64_t{3}, uint64_t{6}));
+    mob.map_w_m = static_cast<double>(mob_rng.UniformInt(uint64_t{400}, uint64_t{900}));
+    mob.map_h_m = static_cast<double>(mob_rng.UniformInt(uint64_t{120}, uint64_t{300}));
+    mob.max_pause =
+        Milliseconds(static_cast<int64_t>(mob_rng.UniformInt(uint64_t{0}, uint64_t{3000})));
+    const uint32_t depart_index =
+        static_cast<uint32_t>(mob_rng.UniformInt(uint64_t{40}, uint64_t{90}));
+    spec.moves = {MoveEventSpec{kFirstMoveAt, MovementScript::Kind::kWiredCold, depart_index}};
+    spec.faults.clear();  // The mobility driver owns the fault injectors.
+    spec.duration = Seconds(60);
+    // The CH must sit outside the cells' media, and the filter/triangle
+    // variations assume the scripted timeline.
+    spec.external_ch = true;
+    spec.transit_filter = false;
+    spec.traffic.probe_triangle = false;
+  }
+
   return NormalizeSpec(spec);
 }
 
@@ -580,6 +672,38 @@ ScenarioSpec NormalizeSpec(const ScenarioSpec& spec) {
   // Replicated topologies put the HA pair on dedicated home-network hosts.
   if (out.backup_ha) {
     out.ha_on_router = false;
+  }
+
+  // Mobility scenarios canonicalize to the shape the generator emits: one
+  // initial wired departure, no scripted faults, an external CH, and knobs
+  // clamped to the supported ranges — so generator output is a fixed point
+  // and hand-edited specs stay runnable.
+  if (out.mobility.enabled) {
+    out.external_ch = true;
+    out.transit_filter = false;
+    out.traffic.probe_triangle = false;
+    out.faults.clear();
+    MoveEventSpec depart;
+    depart.at = kFirstMoveAt;
+    depart.kind = MovementScript::Kind::kWiredCold;
+    for (const MoveEventSpec& m : out.moves) {
+      if (m.kind == MovementScript::Kind::kWiredCold) {
+        depart.host_index = m.host_index;
+        break;
+      }
+    }
+    out.moves = {depart};
+    if (out.duration < Seconds(45)) {
+      out.duration = Seconds(60);
+    }
+    out.mobility.speed_mps = std::clamp(out.mobility.speed_mps, 0.5, 30.0);
+    out.mobility.cells = std::clamp(out.mobility.cells, uint32_t{2}, uint32_t{8});
+    out.mobility.map_w_m = std::clamp(out.mobility.map_w_m, 200.0, 2000.0);
+    out.mobility.map_h_m = std::clamp(out.mobility.map_h_m, 50.0, 1000.0);
+    if (out.mobility.max_pause < Duration()) {
+      out.mobility.max_pause = Duration();
+    }
+    return out;
   }
 
   // Movement: sorted, and every step executable given the steps before it.

@@ -73,6 +73,25 @@ struct TrafficSpec {
   Duration triangle_at = Seconds(10);
 };
 
+// Physical-mobility knob (DESIGN.md §15): instead of a scripted move/fault
+// timeline, the host roams a corridor of alternating wired/radio cells and
+// handoffs emerge from distance-derived link quality. Mobility scenarios
+// replace the random movement timeline with a single initial departure and
+// carry no scripted faults (the mobility driver owns the injectors).
+struct MobilitySpec {
+  enum class Model { kWaypoint, kTrace, kGroup };
+
+  bool enabled = false;
+  Model model = Model::kWaypoint;
+  double speed_mps = 4.0;
+  uint32_t cells = 4;  // Base stations along the corridor (alternating media).
+  double map_w_m = 600.0;
+  double map_h_m = 200.0;
+  Duration max_pause = Seconds(2);  // Random-waypoint pause upper bound.
+
+  static const char* ModelName(Model model);
+};
+
 struct ScenarioSpec {
   uint64_t seed = 1;
 
@@ -86,6 +105,7 @@ struct ScenarioSpec {
   uint16_t lifetime_sec = 10;
 
   TrafficSpec traffic;
+  MobilitySpec mobility;
   std::vector<MoveEventSpec> moves;
   std::vector<FaultEventSpec> faults;
   // Total scripted run length (movement/fault offsets share its origin).

@@ -468,6 +468,9 @@ void MobileHost::OnRegistrationDatagram(const std::vector<uint8_t>& data,
       state_ = State::kAtHome;
     } else {
       state_ = State::kRegistered;
+      // Handoff downtime as the paper measures it: attach start to usable
+      // binding (Figure 7's total).
+      handoff_histogram_->Record(timeline_.Total().ToMillisF());
       ScheduleRenewal(granted);
     }
     if (pending_done_) {

@@ -36,6 +36,20 @@ double MovementDetector::LossEstimate(const std::string& device_name) const {
   return 1.0;
 }
 
+void MovementDetector::ReportSignal(const std::string& device_name, double rssi_dbm) {
+  for (auto& t : tracked_) {
+    if (t->candidate.attachment.device->name() != device_name) {
+      continue;
+    }
+    t->rssi_dbm = rssi_dbm;
+    t->have_rssi = true;
+    if (config_.metrics != nullptr) {
+      config_.metrics->GetGauge("mh.movedet.rssi_dbm." + device_name).Set(rssi_dbm);
+    }
+    return;
+  }
+}
+
 LinkCharacteristics MovementDetector::Characterize(const Tracked& t) const {
   LinkCharacteristics c;
   c.device_name = t.candidate.attachment.device->name();
@@ -81,6 +95,12 @@ void MovementDetector::ProbeRound() {
                        ++tp->rounds_dead;
                        tp->rounds_usable = 0;
                      }
+                     if (config_.metrics != nullptr) {
+                       const std::string& dev = tp->candidate.attachment.device->name();
+                       config_.metrics->GetGauge("mh.movedet.loss." + dev).Set(tp->loss_ewma);
+                       config_.metrics->GetGauge("mh.movedet.rtt_ms." + dev)
+                           .Set(tp->last_rtt.ToMillisF());
+                     }
                    });
   }
   Evaluate();
@@ -121,16 +141,50 @@ void MovementDetector::Evaluate() {
     return;
   }
 
+  // Registration-liveness recovery: a timed-out registration leaves the MH
+  // detached, and the protocol never retries on its own (the attachment
+  // stays usable in its local role). Once the current link has settled
+  // usable again, re-attach through it.
+  if (current != nullptr && mobile_.state() == MobileHost::State::kDetached &&
+      current->rounds_usable >= config_.hysteresis_rounds) {
+    ++counters_.reattaches;
+    SwitchTo(*current, /*upgrade=*/false);
+    return;
+  }
+
+  // Ping-pong guard: within min_residency of the last switch, only a
+  // physically-down current device justifies moving again. A host parked at
+  // a cell boundary (loss hovering at the usable threshold) otherwise
+  // bounces between cells on every EWMA wiggle.
+  const bool in_residency =
+      config_.min_residency.nanos() > 0 &&
+      mobile_.node().sim().Now() < attached_since_ + config_.min_residency;
+  const bool current_device_up =
+      current != nullptr && current->candidate.attachment.device->IsUp();
+  if (in_residency && current_device_up) {
+    if (current_dead || (config_.upgrade_when_available && best_usable != nullptr &&
+                         best_usable->candidate.preference > current->candidate.preference)) {
+      ++counters_.pingpong_suppressed;
+    }
+    return;
+  }
+
   if (current_dead) {
     if (best_usable != nullptr) {
       ++counters_.failovers;
       SwitchTo(*best_usable, /*upgrade=*/false);
     } else {
       // Blind failover: highest-preference alternative, even unprobeable
-      // (a cold switch will bring its device up).
+      // (a cold switch will bring its device up). Under the signal-aware
+      // policy a link known to be out of coverage is not worth a blind cold
+      // switch — the registration would only burn its full retransmit
+      // schedule; staying put lets coverage come back to a live candidate.
       Tracked* fallback = nullptr;
       for (auto& t : tracked_) {
         if (t.get() == current) {
+          continue;
+        }
+        if (config_.use_signal && t->have_rssi && t->rssi_dbm < config_.rssi_floor_dbm) {
           continue;
         }
         if (fallback == nullptr ||
@@ -163,6 +217,7 @@ void MovementDetector::SwitchTo(Tracked& target, bool upgrade) {
   auto done = [this, tp](bool ok) {
     switching_ = false;
     cooldown_until_ = mobile_.node().sim().Now() + config_.switch_cooldown;
+    attached_since_ = mobile_.node().sim().Now();
     if (change_handler_) {
       change_handler_(Characterize(*tp), ok);
     }

@@ -26,6 +26,7 @@
 
 #include "src/mip/mobile_host.h"
 #include "src/node/icmp.h"
+#include "src/telemetry/metrics.h"
 
 namespace msn {
 
@@ -63,6 +64,21 @@ class MovementDetector {
     // this long. A short link blackout then rides out on retransmission
     // instead of triggering a spurious (and expensive) cold switch.
     Duration switch_cooldown = Seconds(2);
+    // Ping-pong guard: once attached, stay on the cell at least this long
+    // before any *voluntary* switch (upgrade, or failover while the current
+    // device is still physically up). A host parked exactly at the
+    // usable-threshold boundary otherwise oscillates between two cells on
+    // every EWMA wiggle. Zero disables the guard. Blind failover off a
+    // device that is actually down is always exempt.
+    Duration min_residency;
+    // Signal-aware policy (fed by MobilityDriver::ReportSignal): when on, a
+    // link whose last reported RSSI is below rssi_floor_dbm counts as
+    // unusable even while its probes still succeed, so the detector hands
+    // off *before* walking out of coverage.
+    bool use_signal = false;
+    double rssi_floor_dbm = -85.0;
+    // Optional: per-link loss/RTT/RSSI gauges under "mh.movedet.*".
+    MetricsRegistry* metrics = nullptr;
   };
 
   using AttachmentChangeHandler =
@@ -87,6 +103,10 @@ class MovementDetector {
   double LossEstimate(const std::string& device_name) const;
   const Candidate* current() const { return current_; }
 
+  // Signal feed (typically from the mobility driver): latest RSSI for a
+  // candidate's device. Unknown device names are ignored.
+  void ReportSignal(const std::string& device_name, double rssi_dbm);
+
   struct Counters {
     uint64_t probes_sent = 0;
     uint64_t switches = 0;
@@ -94,6 +114,11 @@ class MovementDetector {
     uint64_t failovers = 0;
     // Switches vetoed by the post-switch cooldown window.
     uint64_t suppressed_switches = 0;
+    // Voluntary switches vetoed by the min_residency ping-pong guard.
+    uint64_t pingpong_suppressed = 0;
+    // Re-attachments through the current link after a registration timeout
+    // left the MH detached (the protocol itself never retries).
+    uint64_t reattaches = 0;
   };
   const Counters& counters() const { return counters_; }
 
@@ -106,12 +131,19 @@ class MovementDetector {
     int rounds_usable = 0;
     int rounds_dead = 0;
     bool probe_outstanding = false;
+    double rssi_dbm = 0.0;
+    bool have_rssi = false;
   };
 
   void ProbeRound();
   void Evaluate();
   void SwitchTo(Tracked& target, bool upgrade);
-  bool IsUsable(const Tracked& t) const { return t.loss_ewma < config_.usable_threshold; }
+  bool IsUsable(const Tracked& t) const {
+    if (config_.use_signal && t.have_rssi && t.rssi_dbm < config_.rssi_floor_dbm) {
+      return false;  // Fading signal marks the link unusable pre-emptively.
+    }
+    return t.loss_ewma < config_.usable_threshold;
+  }
   LinkCharacteristics Characterize(const Tracked& t) const;
 
   MobileHost& mobile_;
@@ -124,6 +156,8 @@ class MovementDetector {
   bool switching_ = false;
   // Evaluate() will not switch again before this instant.
   Time cooldown_until_;
+  // When the current attachment completed; anchors the min_residency guard.
+  Time attached_since_;
 };
 
 }  // namespace msn

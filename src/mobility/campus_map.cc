@@ -1,0 +1,63 @@
+#include "src/mobility/campus_map.h"
+
+#include <algorithm>
+
+namespace msn {
+
+const char* CellMediumName(CellMedium medium) {
+  switch (medium) {
+    case CellMedium::kWired:
+      return "wired";
+    case CellMedium::kRadio:
+      return "radio";
+  }
+  return "?";
+}
+
+Vec2 CampusMap::Clamp(Vec2 p) const {
+  p.x = std::clamp(p.x, 0.0, width_m_);
+  p.y = std::clamp(p.y, 0.0, height_m_);
+  return p;
+}
+
+const BaseStation* CampusMap::Nearest(CellMedium medium, const Vec2& p,
+                                      double* distance_m) const {
+  const BaseStation* best = nullptr;
+  double best_distance = 0.0;
+  for (const BaseStation& station : stations_) {
+    if (station.medium != medium) {
+      continue;
+    }
+    const double d = Distance(station.position, p);
+    if (best == nullptr || d < best_distance) {
+      best = &station;
+      best_distance = d;
+    }
+  }
+  if (best != nullptr && distance_m != nullptr) {
+    *distance_m = best_distance;
+  }
+  return best;
+}
+
+CampusMap CampusMap::Corridor(double width_m, double height_m, int cells,
+                              double wired_range_m, double radio_range_m) {
+  CampusMap map(width_m, height_m);
+  if (cells <= 0) {
+    return map;
+  }
+  const double y = height_m / 2.0;
+  for (int k = 0; k < cells; ++k) {
+    // Evenly spaced along the midline, half a slot in from each edge.
+    const double x = width_m * (static_cast<double>(k) + 0.5) / static_cast<double>(cells);
+    BaseStation station;
+    station.medium = (k % 2 == 0) ? CellMedium::kWired : CellMedium::kRadio;
+    station.name = std::string(CellMediumName(station.medium)) + std::to_string(k);
+    station.position = {x, y};
+    station.range_m = station.medium == CellMedium::kWired ? wired_range_m : radio_range_m;
+    map.AddBaseStation(station);
+  }
+  return map;
+}
+
+}  // namespace msn

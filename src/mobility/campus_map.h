@@ -1,0 +1,77 @@
+// The 2D campus a mobile host physically roams (DESIGN.md §15).
+//
+// A CampusMap is a bounded rectangle (meters) with base stations placed on
+// it. Each station serves one link medium — a wired drop zone (an office or
+// lab with a live Ethernet jack) or a Metricom radio cell — and covers a
+// disc of `range_m` around its position. Mobility models (mobility_model.h)
+// produce positions inside the map; the mobility driver
+// (mobility_driver.h) turns distance-to-nearest-station into link quality.
+#ifndef MSN_SRC_MOBILITY_CAMPUS_MAP_H_
+#define MSN_SRC_MOBILITY_CAMPUS_MAP_H_
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace msn {
+
+// A point or displacement on the campus plane, in meters.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+inline double Distance(const Vec2& a, const Vec2& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+// Which testbed medium a base station fronts.
+enum class CellMedium {
+  kWired,  // Ethernet drop zone on net 36.8.
+  kRadio,  // Metricom radio cell on net 36.134.
+};
+const char* CellMediumName(CellMedium medium);
+
+struct BaseStation {
+  std::string name;  // Lowercase [a-z0-9_]; doubles as a metric-name segment.
+  CellMedium medium = CellMedium::kRadio;
+  Vec2 position;
+  double range_m = 120.0;  // Beyond this the station is out of coverage.
+};
+
+class CampusMap {
+ public:
+  CampusMap(double width_m, double height_m) : width_m_(width_m), height_m_(height_m) {}
+
+  double width_m() const { return width_m_; }
+  double height_m() const { return height_m_; }
+
+  void AddBaseStation(const BaseStation& station) { stations_.push_back(station); }
+  const std::vector<BaseStation>& base_stations() const { return stations_; }
+
+  // Clamps a position into the map rectangle.
+  [[nodiscard]] Vec2 Clamp(Vec2 p) const;
+
+  // Nearest station serving `medium`; nullptr when none is placed.
+  // `distance_m` (optional) receives the distance to the returned station.
+  [[nodiscard]] const BaseStation* Nearest(CellMedium medium, const Vec2& p,
+                                           double* distance_m = nullptr) const;
+
+  // Canonical layout used by the fuzzer and the handoff bench: `cells`
+  // stations spaced evenly along the horizontal midline of a width_m x
+  // height_m rectangle, alternating wired drop zones (shorter range) and
+  // radio cells. Station k is named "wired<k>" or "radio<k>".
+  static CampusMap Corridor(double width_m, double height_m, int cells,
+                            double wired_range_m, double radio_range_m);
+
+ private:
+  double width_m_;
+  double height_m_;
+  std::vector<BaseStation> stations_;
+};
+
+}  // namespace msn
+
+#endif  // MSN_SRC_MOBILITY_CAMPUS_MAP_H_

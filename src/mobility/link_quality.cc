@@ -1,0 +1,41 @@
+#include "src/mobility/link_quality.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace msn {
+namespace {
+
+// Position of `distance_m` across the [good, range_m] ramp, clamped to [0, 1].
+double RampFraction(const RadioParams& params, double distance_m) {
+  const double good = params.range_m * std::clamp(params.good_range_fraction, 0.0, 1.0);
+  if (distance_m <= good) {
+    return 0.0;
+  }
+  if (params.range_m <= good) {
+    return 1.0;  // Degenerate ramp: hard coverage edge.
+  }
+  return std::clamp((distance_m - good) / (params.range_m - good), 0.0, 1.0);
+}
+
+}  // namespace
+
+double RssiDbm(const RadioParams& params, double distance_m) {
+  const double d = std::max(distance_m, 1.0);
+  return params.tx_power_dbm - params.reference_loss_db -
+         10.0 * params.path_loss_exponent * std::log10(d);
+}
+
+double LossAtDistance(const RadioParams& params, double distance_m) {
+  if (distance_m >= params.range_m) {
+    return 1.0;
+  }
+  const double u = RampFraction(params, distance_m);
+  return u * u * (3.0 - 2.0 * u);  // Smoothstep: monotone, C1 at both ends.
+}
+
+Duration LatencyAtDistance(const RadioParams& params, double distance_m) {
+  return MillisecondsF(params.edge_latency.ToMillisF() * RampFraction(params, distance_m));
+}
+
+}  // namespace msn

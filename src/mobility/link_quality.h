@@ -1,0 +1,56 @@
+// Position -> link quality (DESIGN.md §15).
+//
+// Distance to the nearest base station maps onto three monotone signals the
+// rest of the system consumes:
+//
+//   RssiDbm              log-distance path-loss received signal strength,
+//                        strictly decreasing in distance — what the movement
+//                        detector's signal-aware policy reads;
+//   LossAtDistance       frame-loss probability, non-decreasing from ~0 deep
+//                        in the cell to 1 past the coverage edge — installed
+//                        into the fault injector as a degenerate
+//                        Gilbert-Elliott profile (no burst state);
+//   LatencyAtDistance    one-way medium latency, non-decreasing with range
+//                        (edge-of-cell retransmissions at the MAC layer) —
+//                        applied to the medium's base propagation latency.
+//
+// Monotonicity is a contract (property-tested in tests/mobility_test.cc):
+// walking away from a station may only ever make the link worse.
+#ifndef MSN_SRC_MOBILITY_LINK_QUALITY_H_
+#define MSN_SRC_MOBILITY_LINK_QUALITY_H_
+
+#include "src/sim/time.h"
+
+namespace msn {
+
+struct RadioParams {
+  double tx_power_dbm = 20.0;
+  // Path loss at the 1 m reference distance.
+  double reference_loss_db = 40.0;
+  // Log-distance path-loss exponent (2 free space, 3-4 indoor/campus).
+  double path_loss_exponent = 3.0;
+  // Coverage radius: loss reaches 1 here and RSSI is considered gone.
+  double range_m = 120.0;
+  // Within this fraction of range_m the link is clean (loss ~ 0); between it
+  // and range_m loss ramps smoothly to 1.
+  double good_range_fraction = 0.6;
+  // Latency penalty accrued across the ramp (MAC retransmissions near the
+  // cell edge): 0 at the good-range boundary, this much at range_m.
+  Duration edge_latency = MillisecondsF(1.5);
+};
+
+// Received signal strength at `distance_m` from the station; strictly
+// decreasing in distance. Distances under 1 m clamp to the reference point.
+[[nodiscard]] double RssiDbm(const RadioParams& params, double distance_m);
+
+// Frame-loss probability in [0, 1]; 0 inside the good range, smoothstep up
+// to 1 at range_m, 1 beyond. Non-decreasing in distance.
+[[nodiscard]] double LossAtDistance(const RadioParams& params, double distance_m);
+
+// Extra one-way latency on top of the medium's base propagation latency;
+// non-decreasing in distance, capped at edge_latency past range_m.
+[[nodiscard]] Duration LatencyAtDistance(const RadioParams& params, double distance_m);
+
+}  // namespace msn
+
+#endif  // MSN_SRC_MOBILITY_LINK_QUALITY_H_

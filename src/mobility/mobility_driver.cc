@@ -1,0 +1,184 @@
+#include "src/mobility/mobility_driver.h"
+
+#include <utility>
+
+namespace msn {
+namespace {
+
+constexpr double kClearLossEpsilon = 1e-9;
+
+}  // namespace
+
+MobilityDriver::MobilityDriver(MobileHost& mobile, CampusMap map,
+                               std::unique_ptr<MobilityModel> model, Config config)
+    : mobile_(mobile), map_(std::move(map)), model_(std::move(model)), config_(config) {
+  if (config_.metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    config_.metrics = owned_metrics_.get();
+  }
+}
+
+MobilityDriver::~MobilityDriver() { Stop(); }
+
+void MobilityDriver::AddBinding(const MediumBinding& binding) {
+  Bound b;
+  b.binding = binding;
+  b.base_params = binding.medium->params();
+  bound_.push_back(b);
+}
+
+void MobilityDriver::Start() {
+  if (task_ == nullptr) {
+    task_ = std::make_unique<PeriodicTask>(mobile_.node().sim(), config_.tick, [this] { Tick(); });
+  }
+  if (task_->running()) {
+    return;
+  }
+  last_device_ = mobile_.attachment().device;
+  Tick();           // Apply quality for the starting position right away.
+  task_->Start();   // ...then keep ticking every config.tick.
+}
+
+void MobilityDriver::Stop() {
+  if (task_ == nullptr || !task_->running()) {
+    return;
+  }
+  task_->Stop();
+  // Leave the media the way we found them.
+  for (Bound& b : bound_) {
+    b.binding.injector->ClearProfile();
+    b.binding.medium->set_params(b.base_params);
+  }
+}
+
+bool MobilityDriver::AnyDeepCoverage(double loss_threshold) const {
+  for (const Bound& b : bound_) {
+    if (b.state.in_coverage && b.state.loss <= loss_threshold) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void MobilityDriver::Tick() {
+  const Vec2 pos = map_.Clamp(model_->Advance(config_.tick));
+  counters_.ticks += 1;
+
+  MetricsRegistry& metrics = *config_.metrics;
+  metrics.GetCounter("mobility.ticks").Add(1);
+  metrics.GetGauge("mobility.pos_x_m").Set(pos.x);
+  metrics.GetGauge("mobility.pos_y_m").Set(pos.y);
+
+  for (Bound& b : bound_) {
+    UpdateQuality(b);
+    if (config_.manage_association) {
+      ManageAssociation(b);
+    }
+  }
+  NoteHandoffs();
+
+  // Cell residency: one tick attributed to the serving device's nearest cell.
+  for (const Bound& b : bound_) {
+    if (b.binding.attachment.device == mobile_.attachment().device &&
+        b.state.station != nullptr) {
+      metrics.GetCounter("mobility.residency." + b.state.station->name).Add(1);
+      break;
+    }
+  }
+}
+
+void MobilityDriver::UpdateQuality(Bound& b) {
+  const Vec2 pos = model_->position();
+  double distance_m = 0.0;
+  const BaseStation* station = map_.Nearest(b.binding.cell_medium, pos, &distance_m);
+  b.state.station = station;
+  if (station == nullptr) {
+    b.state.distance_m = 0.0;
+    b.state.rssi_dbm = -200.0;
+    b.state.loss = 1.0;
+    b.state.in_coverage = false;
+  } else {
+    b.state.distance_m = distance_m;
+    b.state.rssi_dbm = RssiDbm(b.binding.quality, distance_m);
+    b.state.loss = LossAtDistance(b.binding.quality, distance_m);
+    b.state.in_coverage = distance_m < b.binding.quality.range_m;
+  }
+
+  // Loss -> fault injector, as a degenerate (burst-free) Gilbert-Elliott
+  // profile so distance shares the one FaultHook slot with scripted faults.
+  if (b.state.loss <= kClearLossEpsilon) {
+    b.binding.injector->ClearProfile();
+  } else {
+    GilbertElliottParams ge;
+    ge.p_enter_burst = 0.0;
+    ge.p_exit_burst = 1.0;
+    ge.loss_good = b.state.loss;
+    ge.loss_bad = b.state.loss;
+    FaultProfile profile;
+    profile.burst_loss = ge;
+    b.binding.injector->SetProfile(profile);
+  }
+
+  // Range -> extra propagation latency on the medium.
+  MediumParams params = b.base_params;
+  params.latency = params.latency + LatencyAtDistance(b.binding.quality, b.state.distance_m);
+  b.binding.medium->set_params(params);
+
+  const char* cell_name = CellMediumName(b.binding.cell_medium);
+  MetricsRegistry& metrics = *config_.metrics;
+  metrics.GetGauge("mobility.loss." + std::string(cell_name)).Set(b.state.loss);
+  metrics.GetGauge("mobility.rssi_dbm." + std::string(cell_name)).Set(b.state.rssi_dbm);
+
+  if (config_.detector != nullptr) {
+    config_.detector->ReportSignal(b.binding.attachment.device->name(), b.state.rssi_dbm);
+  }
+}
+
+void MobilityDriver::ManageAssociation(Bound& b) {
+  NetDevice* device = b.binding.attachment.device;
+  if (device == nullptr || device == mobile_.attachment().device) {
+    return;  // Never touch the serving device; that is the detector's call.
+  }
+  // Level-triggered on purpose: a cold switch elsewhere tears the previous
+  // device down without the binding ever leaving coverage, so an in/out edge
+  // would never re-associate it.
+  IpStack& stack = mobile_.node().stack();
+  if (b.state.in_coverage && !device->IsUp()) {
+    // In this cell but not associated: associate, so a switch onto it is hot.
+    device->ForceUp();
+    stack.ConfigureAddress(device, b.binding.attachment.care_of, b.binding.attachment.mask);
+  } else if (!b.state.in_coverage && device->IsUp()) {
+    // Walked out: deconfigure and power down, mirroring the testbed's
+    // wireless-teardown idiom.
+    stack.routes().RemoveForDevice(device);
+    stack.UnconfigureAddress(device);
+    device->TakeDown();
+  }
+}
+
+void MobilityDriver::NoteHandoffs() {
+  NetDevice* current = mobile_.attachment().device;
+  if (current == last_device_) {
+    return;
+  }
+  // Classify by the state of the medium we left: still usable -> the switch
+  // was signal-driven; out of coverage -> motion forced it.
+  bool previous_was_covered = false;
+  for (const Bound& b : bound_) {
+    if (b.binding.attachment.device == last_device_) {
+      previous_was_covered = b.state.in_coverage;
+      break;
+    }
+  }
+  MetricsRegistry& metrics = *config_.metrics;
+  if (previous_was_covered) {
+    counters_.handoffs_signal += 1;
+    metrics.GetCounter("mobility.handoffs_signal").Add(1);
+  } else {
+    counters_.handoffs_coverage += 1;
+    metrics.GetCounter("mobility.handoffs_coverage").Add(1);
+  }
+  last_device_ = current;
+}
+
+}  // namespace msn

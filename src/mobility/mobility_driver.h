@@ -1,0 +1,129 @@
+// Drives physical mobility into the link layer and the movement detector
+// (DESIGN.md §15).
+//
+// Each tick the driver advances the host's mobility model, finds the nearest
+// base station per bound medium, and turns distance into link quality:
+//
+//   * loss  -> the medium's FaultInjector, as a degenerate Gilbert-Elliott
+//     profile (no burst state, loss_good = loss_bad = f(distance));
+//   * latency -> the medium's base propagation latency plus an edge penalty;
+//   * RSSI  -> MovementDetector::ReportSignal, so the detector's signal-aware
+//     policy sees fading before the loss EWMA catches up.
+//
+// The driver also manages association for non-serving media: entering a
+// cell's coverage force-brings the device up and configures its care-of
+// address (so the detector's switch onto it can be a *hot* switch), leaving
+// coverage tears it back down. The serving device is never touched — walking
+// out of its cell shows up as loss, and the handoff decision stays with the
+// movement detector. Handoffs are classified by what forced them: a switch
+// off a medium that was still in coverage is "signal" (quality-driven), off
+// a dead one is "coverage" (forced).
+//
+// Telemetry (all under "mobility.*"): position gauges, per-medium
+// loss/RSSI gauges, per-cell residency tick counters, handoff cause
+// counters.
+#ifndef MSN_SRC_MOBILITY_MOBILITY_DRIVER_H_
+#define MSN_SRC_MOBILITY_MOBILITY_DRIVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fault/fault_injector.h"
+#include "src/mip/movement_detector.h"
+#include "src/mobility/campus_map.h"
+#include "src/mobility/link_quality.h"
+#include "src/mobility/mobility_model.h"
+
+namespace msn {
+
+class MobilityDriver {
+ public:
+  // One testbed medium the roaming host can attach through.
+  struct MediumBinding {
+    CellMedium cell_medium = CellMedium::kRadio;  // Which base stations apply.
+    BroadcastMedium* medium = nullptr;
+    FaultInjector* injector = nullptr;  // Distance-derived loss goes here.
+    // The host's attachment through this medium (device, care-of, gateway).
+    MobileHost::Attachment attachment;
+    RadioParams quality;  // Distance -> loss/RSSI/latency mapping.
+  };
+
+  // Live per-binding quality snapshot, recomputed every tick.
+  struct MediumState {
+    const BaseStation* station = nullptr;  // Nearest cell; null if none placed.
+    double distance_m = 0.0;
+    double rssi_dbm = -200.0;
+    double loss = 1.0;
+    bool in_coverage = false;
+  };
+
+  struct Config {
+    Duration tick = Milliseconds(250);
+    // Bring non-serving devices up/down as coverage changes (hot-switch
+    // enablement). Disable to drive quality only.
+    bool manage_association = true;
+    MovementDetector* detector = nullptr;  // Optional RSSI feed.
+    MetricsRegistry* metrics = nullptr;
+  };
+
+  struct Counters {
+    uint64_t ticks = 0;
+    // Device changes observed on the mobile host, by cause: the previous
+    // medium was still in coverage (quality-driven) vs. already dead.
+    uint64_t handoffs_signal = 0;
+    uint64_t handoffs_coverage = 0;
+  };
+
+  MobilityDriver(MobileHost& mobile, CampusMap map, std::unique_ptr<MobilityModel> model,
+                 Config config);
+  ~MobilityDriver();
+
+  MobilityDriver(const MobilityDriver&) = delete;
+  MobilityDriver& operator=(const MobilityDriver&) = delete;
+
+  void AddBinding(const MediumBinding& binding);
+
+  // Applies quality once immediately, then every config.tick.
+  void Start();
+  void Stop();
+
+  Vec2 position() const { return model_->position(); }
+  const CampusMap& map() const { return map_; }
+  const MobilityModel& model() const { return *model_; }
+  const Counters& counters() const { return counters_; }
+
+  size_t binding_count() const { return bound_.size(); }
+  const MediumBinding& binding(size_t i) const { return bound_[i].binding; }
+  const MediumState& state(size_t i) const { return bound_[i].state; }
+
+  // True when some bound medium currently has loss <= threshold — the
+  // coverage-continuity oracle's premise that connectivity was available.
+  [[nodiscard]] bool AnyDeepCoverage(double loss_threshold) const;
+
+ private:
+  struct Bound {
+    MediumBinding binding;
+    MediumParams base_params;  // Medium params before the driver touched them.
+    MediumState state;
+  };
+
+  void Tick();
+  void UpdateQuality(Bound& b);
+  void ManageAssociation(Bound& b);
+  void NoteHandoffs();
+
+  MobileHost& mobile_;
+  CampusMap map_;
+  std::unique_ptr<MobilityModel> model_;
+  Config config_;
+  std::vector<Bound> bound_;
+  std::unique_ptr<PeriodicTask> task_;
+  Counters counters_;
+  NetDevice* last_device_ = nullptr;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;  // Fallback when unbound.
+};
+
+}  // namespace msn
+
+#endif  // MSN_SRC_MOBILITY_MOBILITY_DRIVER_H_

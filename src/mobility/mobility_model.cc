@@ -1,0 +1,190 @@
+#include "src/mobility/mobility_model.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace msn {
+
+RandomWaypointModel::RandomWaypointModel(Vec2 bounds, Vec2 start, Params params, Rng rng)
+    : bounds_(bounds), position_(start), params_(params), rng_(rng) {
+  position_.x = std::clamp(position_.x, 0.0, bounds_.x);
+  position_.y = std::clamp(position_.y, 0.0, bounds_.y);
+  DrawNextLeg();
+}
+
+void RandomWaypointModel::DrawNextLeg() {
+  waypoint_.x = rng_.UniformDouble(0.0, bounds_.x);
+  waypoint_.y = rng_.UniformDouble(0.0, bounds_.y);
+  speed_mps_ = rng_.UniformDouble(params_.min_speed_mps, params_.max_speed_mps);
+  if (speed_mps_ <= 0.0) {
+    speed_mps_ = params_.max_speed_mps > 0.0 ? params_.max_speed_mps : 1.0;
+  }
+  const double pause_ms = rng_.UniformDouble(params_.min_pause.ToMillisF(),
+                                             params_.max_pause.ToMillisF());
+  pause_left_ = MillisecondsF(pause_ms < 0.0 ? 0.0 : pause_ms);
+}
+
+Vec2 RandomWaypointModel::Advance(Duration dt) {
+  double remaining_s = dt.ToSecondsF();
+  while (remaining_s > 1e-12) {
+    if (pause_left_.nanos() > 0) {
+      const double pause_s = pause_left_.ToSecondsF();
+      if (pause_s >= remaining_s) {
+        pause_left_ = pause_left_ - SecondsF(remaining_s);
+        return position_;
+      }
+      remaining_s -= pause_s;
+      pause_left_ = Duration();
+    }
+    const double leg_m = Distance(position_, waypoint_);
+    const double step_m = speed_mps_ * remaining_s;
+    if (step_m < leg_m) {
+      const double f = step_m / leg_m;
+      position_.x += (waypoint_.x - position_.x) * f;
+      position_.y += (waypoint_.y - position_.y) * f;
+      return position_;
+    }
+    // Reached the waypoint inside this step; pause there, then a new leg.
+    position_ = waypoint_;
+    remaining_s -= speed_mps_ > 0.0 ? leg_m / speed_mps_ : remaining_s;
+    DrawNextLeg();
+  }
+  return position_;
+}
+
+TraceReplayModel::TraceReplayModel(std::vector<Point> points) : points_(std::move(points)) {
+  if (!points_.empty()) {
+    position_ = points_.front().position;
+  }
+}
+
+Vec2 TraceReplayModel::Advance(Duration dt) {
+  clock_ = clock_ + dt;
+  if (points_.empty()) {
+    return position_;
+  }
+  if (clock_ <= points_.front().at) {
+    position_ = points_.front().position;
+    return position_;
+  }
+  if (clock_ >= points_.back().at) {
+    position_ = points_.back().position;
+    return position_;
+  }
+  for (size_t i = 1; i < points_.size(); ++i) {
+    if (clock_ > points_[i].at) {
+      continue;
+    }
+    const Point& a = points_[i - 1];
+    const Point& b = points_[i];
+    const double span = (b.at - a.at).ToSecondsF();
+    const double f = span > 0.0 ? (clock_ - a.at).ToSecondsF() / span : 1.0;
+    position_.x = a.position.x + (b.position.x - a.position.x) * f;
+    position_.y = a.position.y + (b.position.y - a.position.y) * f;
+    return position_;
+  }
+  position_ = points_.back().position;
+  return position_;
+}
+
+std::string TraceReplayModel::ToText() const {
+  std::string out = "msn-trace-v1\n";
+  char buf[96];
+  for (const Point& p : points_) {
+    std::snprintf(buf, sizeof(buf), "p %" PRId64 " %.6g %.6g\n", p.at.millis(), p.position.x,
+                  p.position.y);
+    out += buf;
+  }
+  out += "end\n";
+  return out;
+}
+
+std::optional<TraceReplayModel> TraceReplayModel::Parse(const std::string& text,
+                                                        std::string* error) {
+  auto fail = [error](const std::string& msg) -> std::optional<TraceReplayModel> {
+    if (error != nullptr) {
+      *error = msg;
+    }
+    return std::nullopt;
+  };
+
+  std::vector<Point> points;
+  bool saw_header = false;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word)) {
+      continue;
+    }
+    if (!saw_header) {
+      if (word != "msn-trace-v1") {
+        return fail("missing msn-trace-v1 header");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (word == "end") {
+      break;
+    }
+    if (word != "p") {
+      return fail("unknown trace directive: " + word);
+    }
+    int64_t at_ms = 0;
+    double x = 0.0;
+    double y = 0.0;
+    if (!(ls >> at_ms >> x >> y)) {
+      return fail("bad trace point line: " + line);
+    }
+    if (!points.empty() && Milliseconds(at_ms) < points.back().at) {
+      return fail("trace timestamps must be non-decreasing");
+    }
+    points.push_back(Point{Milliseconds(at_ms), {x, y}});
+  }
+  if (!saw_header) {
+    return fail("empty trace file");
+  }
+  return TraceReplayModel(std::move(points));
+}
+
+TraceReplayModel TraceReplayModel::Record(MobilityModel& source, Duration length,
+                                          Duration step) {
+  std::vector<Point> points;
+  points.push_back(Point{Duration(), source.position()});
+  for (Duration t = step; t <= length; t = t + step) {
+    points.push_back(Point{t, source.Advance(step)});
+  }
+  return TraceReplayModel(std::move(points));
+}
+
+GroupMobilityModel::GroupMobilityModel(Vec2 bounds, std::unique_ptr<MobilityModel> reference,
+                                       Params params, Rng rng)
+    : bounds_(bounds), reference_(std::move(reference)), params_(params), rng_(rng) {
+  position_ = reference_->position();
+}
+
+Vec2 GroupMobilityModel::Advance(Duration dt) {
+  const Vec2 ref = reference_->Advance(dt);
+  // Bounded random walk of the member's offset from the reference point.
+  offset_.x += rng_.UniformDouble(-params_.offset_step_m, params_.offset_step_m);
+  offset_.y += rng_.UniformDouble(-params_.offset_step_m, params_.offset_step_m);
+  const double r = std::sqrt(offset_.x * offset_.x + offset_.y * offset_.y);
+  if (r > params_.max_offset_m && r > 0.0) {
+    const double f = params_.max_offset_m / r;
+    offset_.x *= f;
+    offset_.y *= f;
+  }
+  position_.x = std::clamp(ref.x + offset_.x, 0.0, bounds_.x);
+  position_.y = std::clamp(ref.y + offset_.y, 0.0, bounds_.y);
+  return position_;
+}
+
+}  // namespace msn

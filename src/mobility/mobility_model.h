@@ -1,0 +1,135 @@
+// Per-node motion models behind one interface (DESIGN.md §15).
+//
+// A MobilityModel owns a position on the campus plane and advances it in
+// discrete steps. All randomness comes from an Rng handed in at construction
+// (usually a labeled fork of the scenario seed), so the same seed always
+// produces a byte-identical position trace — the determinism tests in
+// tests/mobility_test.cc serialize traces and compare bytes.
+//
+// Models:
+//   RandomWaypointModel  pick a uniform waypoint, walk to it at a drawn
+//                        speed, pause, repeat — the classic campus-roaming
+//                        workload.
+//   TraceReplayModel     piecewise-linear replay of timestamped positions,
+//                        loadable from a simple text format (msn-trace-v1)
+//                        that ToText()/Parse() round-trip.
+//   GroupMobilityModel   reference-point group mobility: the member follows
+//                        an owned reference model with a bounded random-walk
+//                        offset, so a fleet sharing a reference roams as a
+//                        loose cluster.
+#ifndef MSN_SRC_MOBILITY_MOBILITY_MODEL_H_
+#define MSN_SRC_MOBILITY_MOBILITY_MODEL_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/mobility/campus_map.h"
+#include "src/sim/time.h"
+#include "src/util/rng.h"
+
+namespace msn {
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  virtual const char* name() const = 0;
+  virtual Vec2 position() const = 0;
+
+  // Advances the model by `dt` and returns the new position.
+  virtual Vec2 Advance(Duration dt) = 0;
+};
+
+class RandomWaypointModel : public MobilityModel {
+ public:
+  struct Params {
+    double min_speed_mps = 1.0;
+    double max_speed_mps = 2.0;
+    Duration min_pause;
+    Duration max_pause = Seconds(2);
+  };
+
+  // Roams the rectangle [0, bounds.x] x [0, bounds.y] starting at `start`.
+  RandomWaypointModel(Vec2 bounds, Vec2 start, Params params, Rng rng);
+
+  const char* name() const override { return "waypoint"; }
+  Vec2 position() const override { return position_; }
+  Vec2 Advance(Duration dt) override;
+
+ private:
+  void DrawNextLeg();
+
+  Vec2 bounds_;
+  Vec2 position_;
+  Params params_;
+  Rng rng_;
+  Vec2 waypoint_;
+  double speed_mps_ = 0.0;
+  Duration pause_left_;
+};
+
+class TraceReplayModel : public MobilityModel {
+ public:
+  struct Point {
+    Duration at;  // Offset from replay start; points must be non-decreasing.
+    Vec2 position;
+  };
+
+  explicit TraceReplayModel(std::vector<Point> points);
+
+  const char* name() const override { return "trace"; }
+  Vec2 position() const override { return position_; }
+  // Linear interpolation between surrounding trace points; the position
+  // holds at the first/last point outside the trace's time span.
+  Vec2 Advance(Duration dt) override;
+
+  const std::vector<Point>& points() const { return points_; }
+
+  // Text serialization ("msn-trace-v1" header, one "p <t_ms> <x> <y>" line
+  // per point, "end" trailer; '#' comments allowed). Parse accepts exactly
+  // what ToText emits; ToText(Parse(t)) is a fixed point.
+  [[nodiscard]] std::string ToText() const;
+  [[nodiscard]] static std::optional<TraceReplayModel> Parse(const std::string& text,
+                                                             std::string* error = nullptr);
+
+  // Samples another model every `step` for `length`, producing a replayable
+  // trace of its path (used by the fuzzer's trace-model scenarios, which
+  // exercise the serialization round trip in the production path).
+  static TraceReplayModel Record(MobilityModel& source, Duration length, Duration step);
+
+ private:
+  std::vector<Point> points_;
+  Duration clock_;
+  Vec2 position_;
+};
+
+class GroupMobilityModel : public MobilityModel {
+ public:
+  struct Params {
+    // Member offset from the reference point is a random walk confined to
+    // this radius.
+    double max_offset_m = 30.0;
+    double offset_step_m = 4.0;  // Max offset drift per Advance call.
+  };
+
+  GroupMobilityModel(Vec2 bounds, std::unique_ptr<MobilityModel> reference, Params params,
+                     Rng rng);
+
+  const char* name() const override { return "group"; }
+  Vec2 position() const override { return position_; }
+  Vec2 Advance(Duration dt) override;
+
+ private:
+  Vec2 bounds_;
+  std::unique_ptr<MobilityModel> reference_;
+  Params params_;
+  Rng rng_;
+  Vec2 offset_;
+  Vec2 position_;
+};
+
+}  // namespace msn
+
+#endif  // MSN_SRC_MOBILITY_MOBILITY_MODEL_H_

@@ -264,6 +264,33 @@ MobileHost::Attachment Testbed::WirelessAttachment(uint32_t host_index) {
   return att;
 }
 
+MobilityDriver::MediumBinding Testbed::WiredMobilityBinding(FaultInjector* injector,
+                                                            uint32_t host_index) {
+  MobilityDriver::MediumBinding b;
+  b.cell_medium = CellMedium::kWired;
+  b.medium = net8.get();
+  b.injector = injector;
+  b.attachment = WiredAttachment(host_index);
+  // Wired "cells" model office drops: short reach, clean until the edge.
+  b.quality.range_m = 60.0;
+  b.quality.good_range_fraction = 0.75;
+  b.quality.edge_latency = MillisecondsF(0.5);
+  return b;
+}
+
+MobilityDriver::MediumBinding Testbed::RadioMobilityBinding(FaultInjector* injector,
+                                                            uint32_t host_index) {
+  MobilityDriver::MediumBinding b;
+  b.cell_medium = CellMedium::kRadio;
+  b.medium = radio134.get();
+  b.injector = injector;
+  b.attachment = WirelessAttachment(host_index);
+  b.quality.range_m = 120.0;
+  b.quality.good_range_fraction = 0.6;
+  b.quality.edge_latency = MillisecondsF(1.5);
+  return b;
+}
+
 void Testbed::MoveMhEthernetTo(BroadcastMedium* medium) { mh_eth->AttachTo(medium); }
 
 void Testbed::ForceRadioUp() { mh_radio->ForceUp(); }

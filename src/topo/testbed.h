@@ -20,8 +20,10 @@
 
 #include "src/dhcp/dhcp.h"
 #include "src/link/link_device.h"
+#include "src/fault/fault_injector.h"
 #include "src/mip/home_agent.h"
 #include "src/mip/mobile_host.h"
+#include "src/mobility/mobility_driver.h"
 #include "src/node/node.h"
 #include "src/repl/ha_replication.h"
 #include "src/sim/simulator.h"
@@ -126,6 +128,16 @@ class Testbed {
   // the address, e.g. WiredAttachment(50) -> 36.8.0.50).
   MobileHost::Attachment WiredAttachment(uint32_t host_index = 50);
   MobileHost::Attachment WirelessAttachment(uint32_t host_index = 50);
+
+  // Mobility-driver bindings for the two foreign media: the wired cells map
+  // onto net8 (mh_eth) and the radio cells onto radio134 (mh_radio). The
+  // injector must already be installed on the matching medium; `quality`
+  // defaults differ per medium (short-range clean wired cells, longer-range
+  // radio cells).
+  MobilityDriver::MediumBinding WiredMobilityBinding(FaultInjector* injector,
+                                                     uint32_t host_index = 50);
+  MobilityDriver::MediumBinding RadioMobilityBinding(FaultInjector* injector,
+                                                     uint32_t host_index = 50);
 
   // Moves the MH's Ethernet cable: detach from its current segment, attach
   // to `medium` (nullptr = unplugged).

@@ -12,7 +12,8 @@ see:
                             seeded msn::Rng (src/util/rng.h).
   layering/upward-include   Includes must follow the layer DAG
                             util -> net,sim -> telemetry -> link -> node ->
-                            mip,dhcp,tcplite -> tracing,fault -> topo.
+                            mip,dhcp,tcplite -> tracing,fault -> mobility ->
+                            topo.
                             (Lower layers never include higher ones; peers at
                             the same rank never include each other.)
   header/guard              Headers use an include guard named after their
@@ -78,8 +79,9 @@ LAYER_RANK = {
     "repl": 6,
     "tracing": 6,
     "fault": 6,
-    "topo": 7,
-    "check": 8,
+    "mobility": 7,
+    "topo": 8,
+    "check": 9,
 }
 
 # (rule-id, repo-relative path) pairs exempted wholesale. Prefer inline
@@ -124,8 +126,8 @@ METRIC_PIECE_RE = re.compile(r"^[a-z0-9_.]*$")
 # subsystem starts exporting metrics (the check fuzzer's oracles are the most
 # recent addition).
 METRIC_NAMESPACES = {
-    "check", "dev", "fault", "ha", "ip", "link", "mh", "packet", "pool", "repl",
-    "tcp",
+    "check", "dev", "fault", "ha", "ip", "link", "mh", "mobility", "packet",
+    "pool", "repl", "tcp",
 }
 
 # A parameter position: `(` or `,` then an (optionally const) bare
@@ -313,7 +315,8 @@ class Linter:
                 self._report(path, rel, lineno, "layering/upward-include",
                              f"src/{layer}/ (rank {my_rank}) must not include src/{dep}/ "
                              f"(rank {dep_rank}); the DAG flows util -> net,sim -> telemetry "
-                             "-> link -> node -> mip,dhcp,tcplite -> tracing,fault -> topo",
+                             "-> link -> node -> mip,dhcp,tcplite -> repl,tracing,fault "
+                             "-> mobility -> topo -> check",
                              allows)
 
     def _check_header_guard(self, path, rel, text, code, allows):

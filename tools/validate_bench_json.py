@@ -22,8 +22,8 @@ METRIC_TYPES = {"counter", "gauge", "histogram"}
 # every exported metric name must start with ("check" covers the fuzzer's
 # oracle metrics).
 METRIC_NAMESPACES = {
-    "check", "dev", "fault", "ha", "ip", "link", "mh", "packet", "pool", "repl",
-    "tcp",
+    "check", "dev", "fault", "ha", "ip", "link", "mh", "mobility", "packet",
+    "pool", "repl", "tcp",
 }
 HISTOGRAM_FIELDS = ("count", "sum", "mean", "min", "max", "p50", "p95", "p99")
 SUMMARY_BASE_FIELDS = ("count", "mean", "stddev", "min", "max")
