@@ -25,6 +25,7 @@
 #include "src/node/udp.h"
 #include "src/telemetry/export.h"
 #include "src/topo/testbed.h"
+#include "src/util/assert.h"
 #include "src/util/stats.h"
 
 namespace msn {
@@ -94,7 +95,7 @@ void RunCell(Cell& cell, uint64_t seed, BenchReport* report) {
 
   uint64_t received = 0;
   UdpSocket sink(tb.mh->stack());
-  sink.Bind(6001);
+  MSN_CHECK(sink.Bind(6001));
   sink.SetReceiveHandler([&](const std::vector<uint8_t>& data, const UdpSocket::Metadata& meta) {
     (void)data;
     (void)meta;
@@ -102,7 +103,7 @@ void RunCell(Cell& cell, uint64_t seed, BenchReport* report) {
   });
   uint64_t sent = 0;
   UdpSocket source(tb.ch->stack());
-  source.Bind(6000);
+  MSN_CHECK(source.Bind(6000));
   PeriodicTask probes(tb.sim, kProbeInterval, [&] {
     ++sent;
     source.SendTo(Testbed::HomeAddress(), 6001, {0xca, 0xfe});

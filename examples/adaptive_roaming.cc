@@ -18,6 +18,7 @@
 #include "src/node/udp.h"
 #include "src/topo/testbed.h"
 #include "src/tracing/pcap.h"
+#include "src/util/assert.h"
 
 using namespace msn;
 
@@ -32,14 +33,14 @@ int main() {
 
   // Telemetry sink on the correspondent.
   UdpSocket sink(tb.ch->stack());
-  sink.Bind(5555);
+  MSN_CHECK(sink.Bind(5555));
   uint64_t received = 0;
   sink.SetReceiveHandler(
       [&](const std::vector<uint8_t>&, const UdpSocket::Metadata&) { ++received; });
 
   // Telemetry source on the mobile host (unbound socket: home role).
   UdpSocket reporter(tb.mh->stack());
-  reporter.Bind(0);
+  MSN_CHECK(reporter.Bind(0));
   Duration report_interval = Milliseconds(100);
   uint64_t reports_sent = 0;
   std::unique_ptr<PeriodicTask> report_task;

@@ -18,6 +18,7 @@
 #include "src/mobility/mobility_driver.h"
 #include "src/node/udp.h"
 #include "src/topo/testbed.h"
+#include "src/util/assert.h"
 
 using namespace msn;
 
@@ -69,12 +70,12 @@ int main() {
   // Correspondent streams at the home address throughout the walk.
   uint64_t received = 0;
   UdpSocket sink(tb.mh->stack());
-  sink.Bind(6001);
+  MSN_CHECK(sink.Bind(6001));
   sink.SetReceiveHandler(
       [&](const std::vector<uint8_t>&, const UdpSocket::Metadata&) { ++received; });
   uint64_t sent = 0;
   UdpSocket source(tb.ch->stack());
-  source.Bind(6000);
+  MSN_CHECK(source.Bind(6000));
   PeriodicTask stream(tb.sim, Milliseconds(100), [&] {
     ++sent;
     source.SendTo(Testbed::HomeAddress(), 6001, std::vector<uint8_t>(64, 0x51));

@@ -40,10 +40,10 @@ struct RunResult {
 
 // Executes `spec` against a fresh testbed. The spec is taken as-is (callers
 // that edit event lists should NormalizeSpec first).
-RunResult RunScenario(const ScenarioSpec& spec, const RunOptions& options = {});
+[[nodiscard]] RunResult RunScenario(const ScenarioSpec& spec, const RunOptions& options = {});
 
 // GenerateScenario + RunScenario.
-RunResult FuzzOne(uint64_t seed, const RunOptions& options = {});
+[[nodiscard]] RunResult FuzzOne(uint64_t seed, const RunOptions& options = {});
 
 }  // namespace msn
 

@@ -104,7 +104,8 @@ void AppendKvF(std::string& out, const char* key, double value) {
 // Splits "key=value" and parses the value as double; returns false (and sets
 // `error`) on malformed input or unknown keys (strictness keeps replay files
 // honest about typos).
-bool ParseKv(const std::string& token, std::map<std::string, double>& kv, std::string* error) {
+[[nodiscard]] bool ParseKv(const std::string& token, std::map<std::string, double>& kv,
+                           std::string* error) {
   const size_t eq = token.find('=');
   if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size()) {
     if (error != nullptr) {
@@ -135,7 +136,7 @@ double TakeKv(std::map<std::string, double>& kv, const std::string& key, double 
   return v;
 }
 
-std::optional<MovementScript::Kind> MoveKindFromName(const std::string& name) {
+[[nodiscard]] std::optional<MovementScript::Kind> MoveKindFromName(const std::string& name) {
   for (MovementScript::Kind kind :
        {MovementScript::Kind::kGoHome, MovementScript::Kind::kWiredCold,
         MovementScript::Kind::kWiredHot, MovementScript::Kind::kWirelessCold,
@@ -147,7 +148,7 @@ std::optional<MovementScript::Kind> MoveKindFromName(const std::string& name) {
   return std::nullopt;
 }
 
-std::optional<MobilitySpec::Model> MobilityModelFromName(const std::string& name) {
+[[nodiscard]] std::optional<MobilitySpec::Model> MobilityModelFromName(const std::string& name) {
   for (MobilitySpec::Model model : {MobilitySpec::Model::kWaypoint, MobilitySpec::Model::kTrace,
                                     MobilitySpec::Model::kGroup}) {
     if (name == MobilitySpec::ModelName(model)) {
@@ -157,7 +158,7 @@ std::optional<MobilitySpec::Model> MobilityModelFromName(const std::string& name
   return std::nullopt;
 }
 
-std::optional<FaultMedium> FaultMediumFromName(const std::string& name) {
+[[nodiscard]] std::optional<FaultMedium> FaultMediumFromName(const std::string& name) {
   for (FaultMedium medium : {FaultMedium::kHome, FaultMedium::kWired, FaultMedium::kRadio}) {
     if (name == FaultMediumName(medium)) {
       return medium;

@@ -37,7 +37,8 @@ struct ShrinkResult {
 
 // `max_runs` bounds total scenario executions. If `failing` does not actually
 // fail, returns it unshrunk with runs == 1 and an empty oracle.
-ShrinkResult ShrinkScenario(const ScenarioSpec& failing, const RunOptions& options = {},
+[[nodiscard]] ShrinkResult ShrinkScenario(const ScenarioSpec& failing,
+                                          const RunOptions& options = {},
                             int max_runs = 120);
 
 }  // namespace msn

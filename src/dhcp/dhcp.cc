@@ -1,4 +1,5 @@
 #include "src/dhcp/dhcp.h"
+#include "src/util/assert.h"
 
 #include <algorithm>
 #include <array>
@@ -60,7 +61,7 @@ DhcpServer::DhcpServer(Node& node, Config config) : node_(node), config_(config)
     free_list_.push_back(config_.subnet.HostAt(config_.first_host_index + i));
   }
   socket_ = std::make_unique<UdpSocket>(node_.stack());
-  socket_->Bind(kDhcpServerPort);
+  MSN_CHECK(socket_->Bind(kDhcpServerPort)) << "dhcp server port";
   socket_->SetReceiveHandler(
       [this](const std::vector<uint8_t>& data, const UdpSocket::Metadata& meta) {
         OnDatagram(data, meta);
@@ -192,7 +193,7 @@ void DhcpServer::OnDatagram(const std::vector<uint8_t>& data, const UdpSocket::M
 DhcpClient::DhcpClient(Node& node, NetDevice* device, Config config)
     : node_(node), device_(device), config_(config) {
   socket_ = std::make_unique<UdpSocket>(node_.stack());
-  socket_->Bind(kDhcpClientPort);
+  MSN_CHECK(socket_->Bind(kDhcpClientPort)) << "dhcp client port";
   socket_->SetReceiveHandler(
       [this](const std::vector<uint8_t>& data, const UdpSocket::Metadata& meta) {
         OnDatagram(data, meta);

@@ -98,7 +98,7 @@ class FaultInjector {
     CounterRef corruptions;
   };
 
-  FaultVerdict OnFrame(LinkDevice* target, EthernetFrame& frame);
+  [[nodiscard]] FaultVerdict OnFrame(LinkDevice* target, EthernetFrame& frame);
 
   Simulator& sim_;
   BroadcastMedium& medium_;

@@ -11,7 +11,6 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/net/frame.h"
@@ -113,6 +112,11 @@ class BroadcastMedium {
   Simulator& sim_;
   std::string name_;
   MediumParams params_;
+  // Attachment-ordered vector, deliberately not a hash container: broadcast
+  // delivery (and the per-receiver random-loss/fault draws it triggers)
+  // walks this in order, so traversal order is part of the deterministic
+  // replay contract. msn_analyze's determinism/unordered-iteration rule
+  // exists to keep containers like this one insertion-ordered or sorted.
   std::vector<LinkDevice*> devices_;
   FaultHook fault_hook_;
   DropTap drop_tap_;

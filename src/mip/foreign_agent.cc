@@ -1,4 +1,5 @@
 #include "src/mip/foreign_agent.h"
+#include "src/util/assert.h"
 
 #include "src/mip/mobile_host.h"
 #include "src/util/logging.h"
@@ -7,7 +8,7 @@ namespace msn {
 
 ForeignAgent::ForeignAgent(Node& node, Config config) : node_(node), config_(config) {
   socket_ = std::make_unique<UdpSocket>(node_.stack());
-  socket_->Bind(kMipRegistrationPort);
+  MSN_CHECK(socket_->Bind(kMipRegistrationPort)) << "fa registration port";
   socket_->SetReceiveHandler(
       [this](const std::vector<uint8_t>& data, const UdpSocket::Metadata& meta) {
         OnRegistrationTraffic(data, meta);
@@ -252,7 +253,7 @@ void DiscoverAndAttachViaForeignAgent(MobileHost& mobile, NetDevice* device, Dur
 AgentAdvertisementListener::AgentAdvertisementListener(Node& node, Handler handler)
     : handler_(std::move(handler)) {
   socket_ = std::make_unique<UdpSocket>(node.stack());
-  socket_->Bind(kMipRegistrationPort);
+  MSN_CHECK(socket_->Bind(kMipRegistrationPort)) << "fa relay registration port";
   socket_->SetReceiveHandler(
       [this](const std::vector<uint8_t>& data, const UdpSocket::Metadata& meta) {
         auto adv = AgentAdvertisement::Parse(data);

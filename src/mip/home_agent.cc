@@ -37,7 +37,7 @@ HomeAgent::HomeAgent(Node& node, Config config)
 
   // Registration service socket.
   socket_ = std::make_unique<UdpSocket>(node_.stack());
-  socket_->Bind(kMipRegistrationPort);
+  MSN_CHECK(socket_->Bind(kMipRegistrationPort)) << "ha registration port";
   socket_->BindSourceAddress(config_.address);
   socket_->SetReceiveHandler(
       [this](const std::vector<uint8_t>& data, const UdpSocket::Metadata& meta) {

@@ -1,4 +1,5 @@
 #include "src/mip/mobile_host.h"
+#include "src/util/assert.h"
 
 #include <algorithm>
 #include <utility>
@@ -55,7 +56,7 @@ MobileHost::MobileHost(Node& node, Config config) : node_(node), config_(config)
   // Registration endpoint: one UDP socket whose bound source follows the
   // current care-of address (local-role traffic, exempt from mobility).
   reg_socket_ = std::make_unique<UdpSocket>(node_.stack());
-  reg_socket_->Bind(0);
+  MSN_CHECK(reg_socket_->Bind(0)) << "mh registration ephemeral port";
   reg_socket_->SetReceiveHandler(
       [this](const std::vector<uint8_t>& data, const UdpSocket::Metadata& meta) {
         OnRegistrationDatagram(data, meta);

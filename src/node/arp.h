@@ -103,6 +103,11 @@ class ArpService {
 
   Simulator& sim_;
   IpStack& stack_;
+  // Hash maps are safe here only because nothing traverses them: lookups are
+  // point queries (find/erase) and expiry is checked lazily per lookup, so
+  // bucket order can never reach the wire. Any future sweep (cache aging,
+  // pending-timeout scan) must use sorted traversal — msn_analyze's
+  // determinism/unordered-iteration rule flags the loop if one appears.
   std::unordered_map<Ipv4Address, CacheEntry> cache_;
   std::unordered_map<Ipv4Address, PendingResolution> pending_;
   // Proxy set keyed by (device, ip); a HA typically proxies on one interface.

@@ -74,7 +74,11 @@ void Pinger::OnIcmp(const Ipv4Header& header, const IcmpMessage& msg) {
       have_seq = outstanding_.find(seq) != outstanding_.end();
     }
     if (!have_seq) {
-      // Fall back to the oldest outstanding probe.
+      // Fall back to the oldest outstanding probe; ties go to the lowest
+      // sequence number. The strict `<` over a seq-ordered map pins that:
+      // when this was an unordered_map, two probes sent in the same event
+      // could complete in hash-bucket order, which leaks into the
+      // triangle-probe state machine and breaks same-seed reproducibility.
       if (outstanding_.empty()) {
         return;
       }

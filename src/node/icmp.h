@@ -9,7 +9,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "src/net/address.h"
@@ -65,7 +65,12 @@ class Pinger {
   uint16_t echo_id_;
   uint16_t next_seq_ = 1;
   Ipv4Address source_;
-  std::unordered_map<uint16_t, Outstanding> outstanding_;
+  // std::map, not unordered_map: OnIcmp's oldest-probe fallback traverses
+  // this container, and which probe it completes is protocol-visible (the
+  // triangle-probe state machine reacts to it). Seq-ordered traversal keeps
+  // same-seed runs byte-identical; msn_analyze's
+  // determinism/unordered-iteration rule guards against regressing this.
+  std::map<uint16_t, Outstanding> outstanding_;
 };
 
 }  // namespace msn

@@ -234,7 +234,7 @@ class IpStack {
 
   // --- UDP socket table (used by UdpSocket) -----------------------------------
 
-  bool BindUdpSocket(uint16_t port, UdpSocket* socket);
+  [[nodiscard]] bool BindUdpSocket(uint16_t port, UdpSocket* socket);
   void UnbindUdpSocket(uint16_t port, UdpSocket* socket);
   uint16_t AllocateEphemeralPort();
 
@@ -294,7 +294,8 @@ class IpStack {
   // Destination MAC when it is known without link traffic (forced, broadcast,
   // loopback, ARP cache hit); nullopt means the caller must go through
   // ArpService::Resolve.
-  std::optional<MacAddress> ResolveDstMacFast(NetDevice* device, Ipv4Address next_hop,
+  [[nodiscard]] std::optional<MacAddress> ResolveDstMacFast(NetDevice* device,
+                                                            Ipv4Address next_hop,
                                               std::optional<MacAddress> force_dst_mac);
   // Wraps one wire image in a link frame and hands it to the device.
   // msn-lint: allow(perf/frame-by-value) — ownership sink; callers move.
@@ -325,6 +326,11 @@ class IpStack {
   bool send_redirects_ = false;
   bool accept_redirects_ = true;
   std::map<IpProto, ProtocolHandler> protocol_handlers_;
+  // Hash maps are safe here only because nothing traverses them: delivery and
+  // port allocation are point queries by port/id, and per-port fan-out order
+  // comes from the inner vector (bind order), never from bucket order. A
+  // future all-ports sweep must use sorted traversal — msn_analyze's
+  // determinism/unordered-iteration rule flags the loop if one appears.
   std::unordered_map<uint16_t, std::vector<UdpSocket*>> udp_sockets_;
   std::unordered_map<uint16_t, std::function<void(const Ipv4Header&, const IcmpMessage&)>>
       echo_listeners_;

@@ -44,7 +44,7 @@ class UdpSocket {
 
   // Binds a local port; 0 picks an ephemeral port. Returns false if no port
   // could be allocated.
-  bool Bind(uint16_t port);
+  [[nodiscard]] bool Bind(uint16_t port);
   // Pins the source address (marks this socket mobile-aware / local-role).
   void BindSourceAddress(Ipv4Address addr) { bound_src_ = addr; }
   Ipv4Address bound_source() const { return bound_src_; }

@@ -1,4 +1,5 @@
 #include "src/repl/ha_replication.h"
+#include "src/util/assert.h"
 
 #include <algorithm>
 #include <utility>
@@ -31,7 +32,7 @@ HaReplicationLink::HaReplicationLink(HomeAgent& ha, Config config)
   UpdateLagGauge();
 
   socket_ = std::make_unique<UdpSocket>(ha_.node().stack());
-  socket_->Bind(config_.port);
+  MSN_CHECK(socket_->Bind(config_.port)) << "sync port " << config_.port;
   socket_->BindSourceAddress(config_.self);
   socket_->SetReceiveHandler(
       [this](const std::vector<uint8_t>& data, const UdpSocket::Metadata& meta) {

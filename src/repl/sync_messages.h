@@ -33,7 +33,8 @@ enum class SyncMessageType : uint8_t {
 };
 
 // First byte of a sync datagram, if it names a known type.
-std::optional<SyncMessageType> PeekSyncMessageType(const std::vector<uint8_t>& bytes);
+[[nodiscard]] std::optional<SyncMessageType> PeekSyncMessageType(
+    const std::vector<uint8_t>& bytes);
 
 // Periodic liveness + progress beacon. `seq` is the sender's highest sent
 // mutation sequence number this epoch (0 before the first mutation), which
@@ -48,7 +49,7 @@ struct SyncHeartbeat {
   uint64_t seq = 0;
 
   [[nodiscard]] std::vector<uint8_t> Serialize() const;
-  static std::optional<SyncHeartbeat> Parse(const std::vector<uint8_t>& bytes);
+  [[nodiscard]] static std::optional<SyncHeartbeat> Parse(const std::vector<uint8_t>& bytes);
   [[nodiscard]] std::string ToString() const;
 };
 
@@ -64,7 +65,7 @@ struct SyncMutation {
   BindingMutation mutation;
 
   [[nodiscard]] std::vector<uint8_t> Serialize() const;
-  static std::optional<SyncMutation> Parse(const std::vector<uint8_t>& bytes);
+  [[nodiscard]] static std::optional<SyncMutation> Parse(const std::vector<uint8_t>& bytes);
   [[nodiscard]] std::string ToString() const;
 };
 
@@ -78,7 +79,7 @@ struct SyncAck {
   uint64_t seq = 0;
 
   [[nodiscard]] std::vector<uint8_t> Serialize() const;
-  static std::optional<SyncAck> Parse(const std::vector<uint8_t>& bytes);
+  [[nodiscard]] static std::optional<SyncAck> Parse(const std::vector<uint8_t>& bytes);
 };
 
 // A standby asking the primary for a full snapshot (gap detected, or fresh
@@ -90,7 +91,8 @@ struct SyncSnapshotRequest {
   uint64_t epoch = 0;
 
   [[nodiscard]] std::vector<uint8_t> Serialize() const;
-  static std::optional<SyncSnapshotRequest> Parse(const std::vector<uint8_t>& bytes);
+  [[nodiscard]] static std::optional<SyncSnapshotRequest> Parse(
+      const std::vector<uint8_t>& bytes);
 };
 
 // Full-state anti-entropy: the complete binding table plus identification
@@ -110,7 +112,7 @@ struct SyncSnapshot {
   HaBindingState state;
 
   [[nodiscard]] std::vector<uint8_t> Serialize() const;
-  static std::optional<SyncSnapshot> Parse(const std::vector<uint8_t>& bytes);
+  [[nodiscard]] static std::optional<SyncSnapshot> Parse(const std::vector<uint8_t>& bytes);
   [[nodiscard]] std::string ToString() const;
 };
 

@@ -1,4 +1,5 @@
 #include "src/tracing/probe.h"
+#include "src/util/assert.h"
 
 #include "src/util/byte_buffer.h"
 
@@ -6,7 +7,7 @@ namespace msn {
 
 ProbeEchoServer::ProbeEchoServer(Node& node, uint16_t port) {
   socket_ = std::make_unique<UdpSocket>(node.stack());
-  socket_->Bind(port);
+  MSN_CHECK(socket_->Bind(port)) << "probe sink port " << port;
   socket_->SetReceiveHandler(
       [this](const std::vector<uint8_t>& data, const UdpSocket::Metadata& meta) {
         ++echoes_sent_;
@@ -16,7 +17,7 @@ ProbeEchoServer::ProbeEchoServer(Node& node, uint16_t port) {
 
 ProbeSender::ProbeSender(Node& node, Config config) : node_(node), config_(config) {
   socket_ = std::make_unique<UdpSocket>(node_.stack());
-  socket_->Bind(0);
+  MSN_CHECK(socket_->Bind(0)) << "probe source ephemeral port";
   socket_->SetReceiveHandler(
       [this](const std::vector<uint8_t>& data, const UdpSocket::Metadata& meta) {
         (void)meta;

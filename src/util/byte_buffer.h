@@ -75,7 +75,9 @@ class ByteReader {
  private:
   bool Ensure(size_t n);
 
-  const uint8_t* data_;
+  // ByteReader is a transient stack-scoped parsing view; callers guarantee
+  // the source buffer outlives it (class comment above).
+  const uint8_t* data_;  // msn-analyze: allow(lifetime/packet-span)
   size_t len_;
   size_t pos_ = 0;
   bool ok_ = true;

@@ -152,7 +152,7 @@ TEST_F(AuthFixture, ForgedRegistrationCannotStealTraffic) {
   attacker.ConfigureInterface(adev, "36.8.0.66/16");
   attacker.AddDefaultRoute(Testbed::RouterOn8(), adev);
   UdpSocket socket(attacker.stack());
-  socket.Bind(0);
+  ASSERT_TRUE(socket.Bind(0));
 
   RegistrationRequest forged;
   forged.flags = kMipFlagDecapsulateSelf;
@@ -196,7 +196,7 @@ TEST_F(AuthFixture, MobileHostIgnoresForgedReply) {
   forged.home_address = Testbed::HomeAddress();
   forged.identification = 424242;
   UdpSocket socket(tb_->ch->stack());
-  socket.Bind(0);
+  ASSERT_TRUE(socket.Bind(0));
   socket.SendTo(Ipv4Address(36, 8, 0, 50), kMipRegistrationPort, forged.Serialize());
   tb_->RunFor(Seconds(2));
   EXPECT_TRUE(tb_->mobile->registered());

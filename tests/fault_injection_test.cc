@@ -77,7 +77,7 @@ TEST_F(FaultInjectionFixture, BurstLossDropsFramesAndIsAccountedAsFault) {
 TEST_F(FaultInjectionFixture, CorruptionIsCaughtByChecksums) {
   Build();
   UdpSocket server(tb_->ch->stack());
-  server.Bind(7777);
+  ASSERT_TRUE(server.Bind(7777));
   uint64_t received = 0;
   server.SetReceiveHandler(
       [&](const std::vector<uint8_t>&, const UdpSocket::Metadata&) { ++received; });

@@ -178,7 +178,7 @@ TEST(HaCrashAccountingTest, CrashedAgentCountsItsDrops) {
 
   // Prime the path so the CH->home flow is established, then crash.
   UdpSocket probe(tb.ch->stack());
-  probe.Bind(5600);
+  ASSERT_TRUE(probe.Bind(5600));
   probe.SendTo(Testbed::HomeAddress(), 5601, {1, 2, 3});
   tb.RunFor(Seconds(1));
 

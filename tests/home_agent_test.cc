@@ -5,6 +5,7 @@
 #include "src/mip/home_agent.h"
 #include "src/node/udp.h"
 #include "src/topo/testbed.h"
+#include "src/util/assert.h"
 
 namespace msn {
 namespace {
@@ -28,7 +29,7 @@ class HomeAgentFixture : public ::testing::Test {
     prober_->AddDefaultRoute(Testbed::RouterOn135(), dev_);
 
     socket_ = std::make_unique<UdpSocket>(prober_->stack());
-    socket_->Bind(0);
+    MSN_CHECK(socket_->Bind(0)) << "test socket";
     socket_->SetReceiveHandler(
         [this](const std::vector<uint8_t>& data, const UdpSocket::Metadata&) {
           last_reply_ = RegistrationReply::Parse(data);

@@ -319,6 +319,106 @@ TEST_F(StackFixture, ConcurrentPingersDemultiplex) {
   EXPECT_EQ(done, 2);
 }
 
+// A destination-unreachable error whose embedded echo request names a seq the
+// pinger no longer (or never) tracked falls back to the oldest outstanding
+// probe, ties broken by lowest seq. Regression for an iteration-order leak:
+// outstanding_ was an unordered_map, so with two probes sent in the same
+// event the completed seq depended on hash-bucket order (found by
+// msn_analyze's determinism/unordered-iteration rule).
+TEST_F(StackFixture, StaleUnreachableFallsBackToOldestProbeLowestSeq) {
+  Pinger pinger(a_.stack());
+  std::vector<std::pair<uint16_t, bool>> completions;  // (seq, admin_prohibited)
+  auto record = [&](const Pinger::Result& r) {
+    completions.emplace_back(r.seq, r.admin_prohibited);
+  };
+  // Two probes to silent hosts, sent in the same event => identical sent_at.
+  pinger.Ping(Ipv4Address(10, 0, 0, 80), Seconds(10), record);
+  pinger.Ping(Ipv4Address(10, 0, 0, 81), Seconds(10), record);
+
+  // A router-style unreachable that embeds one of our echo requests but a
+  // stale sequence number (777): the pinger cannot match it and must fall
+  // back deterministically.
+  IcmpMessage err;
+  err.type = IcmpType::kDestinationUnreachable;
+  err.code = static_cast<uint8_t>(IcmpUnreachableCode::kAdminProhibited);
+  Ipv4Header offending;
+  offending.protocol = IpProto::kIcmp;
+  offending.src = Ipv4Address(10, 0, 0, 2);
+  offending.dst = Ipv4Address(10, 0, 0, 80);
+  ByteWriter w;
+  offending.Serialize(w);
+  w.WriteU8(static_cast<uint8_t>(IcmpType::kEchoRequest));
+  w.WriteU8(0);
+  w.WriteU16(0);  // Inner checksum (not verified inside error payloads).
+  w.WriteU16(pinger.echo_id());
+  w.WriteU16(777);  // Stale seq: matches no outstanding probe.
+  err.payload = w.Take();
+  sim_.Schedule(Seconds(1), [&] { b_.stack().SendIcmp(Ipv4Address(10, 0, 0, 2), err); });
+
+  sim_.RunFor(Seconds(2));
+  // Exactly the first probe (oldest, lowest seq among the tie) completed.
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_EQ(completions[0].first, 1);
+  EXPECT_TRUE(completions[0].second);
+  EXPECT_EQ(pinger.outstanding(), 1);
+
+  sim_.RunFor(Seconds(10));  // The survivor times out normally.
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_EQ(completions[1].first, 2);
+  EXPECT_FALSE(completions[1].second);
+}
+
+// Same-seed byte-identical check for the scenario above: two independent runs
+// must produce the same completion log, byte for byte. Guards the fuzzer's
+// replay/shrinking contract (DESIGN.md §13) against probe-completion order
+// regressing into a hash-order dependency.
+TEST(PingerDeterminismTest, StaleErrorFallbackIsByteIdenticalAcrossRuns) {
+  auto run_once = [] {
+    Simulator sim(1234);
+    BroadcastMedium seg(sim, "seg0", EthernetMediumParams());
+    Node a(sim, "a"), b(sim, "b");
+    EthernetDevice* a_dev = a.AddEthernet("eth0", &seg);
+    EthernetDevice* b_dev = b.AddEthernet("eth0", &seg);
+    a_dev->ForceUp();
+    b_dev->ForceUp();
+    a.ConfigureInterface(a_dev, "10.0.0.2/24");
+    b.ConfigureInterface(b_dev, "10.0.0.3/24");
+
+    Pinger pinger(a.stack());
+    std::string log;
+    auto record = [&](const Pinger::Result& r) {
+      log += "t=" + std::to_string(sim.Now().nanos()) + " seq=" + std::to_string(r.seq) +
+             " admin=" + std::to_string(r.admin_prohibited) + ";";
+    };
+    pinger.Ping(Ipv4Address(10, 0, 0, 80), Seconds(10), record);
+    pinger.Ping(Ipv4Address(10, 0, 0, 81), Seconds(10), record);
+
+    IcmpMessage err;
+    err.type = IcmpType::kDestinationUnreachable;
+    err.code = static_cast<uint8_t>(IcmpUnreachableCode::kAdminProhibited);
+    Ipv4Header offending;
+    offending.protocol = IpProto::kIcmp;
+    offending.src = Ipv4Address(10, 0, 0, 2);
+    offending.dst = Ipv4Address(10, 0, 0, 80);
+    ByteWriter w;
+    offending.Serialize(w);
+    w.WriteU8(static_cast<uint8_t>(IcmpType::kEchoRequest));
+    w.WriteU8(0);
+    w.WriteU16(0);
+    w.WriteU16(pinger.echo_id());
+    w.WriteU16(777);
+    err.payload = w.Take();
+    sim.Schedule(Seconds(1), [&] { b.stack().SendIcmp(Ipv4Address(10, 0, 0, 2), err); });
+    sim.RunFor(Seconds(15));
+    return log;
+  };
+  const std::string first = run_once();
+  const std::string second = run_once();
+  EXPECT_EQ(first, second);
+  // The stale error must complete seq 1 (oldest tie, lowest seq) first.
+  EXPECT_EQ(first.find("seq=1 admin=1"), first.find("seq="));
+}
+
 // --- Broadcast ----------------------------------------------------------------------
 
 TEST_F(StackFixture, LimitedBroadcastReachesSegment) {

@@ -15,8 +15,8 @@ sys.path.insert(0, str(REPO_ROOT / "tools"))
 import msn_lint  # noqa: E402
 
 
-def run_lint(root: Path, paths=("src",)):
-    return msn_lint.lint_paths(root, list(paths))
+def run_lint(root: Path, paths=("src",), with_retired=False):
+    return msn_lint.lint_paths(root, list(paths), with_retired=with_retired)
 
 
 def rules_of(violations):
@@ -45,54 +45,64 @@ class MsnLintTest(unittest.TestCase):
         self.tree = FixtureTree()
         self.addCleanup(self.tree.cleanup)
 
-    # --- determinism/wall-clock ---------------------------------------------
+    # --- determinism/wall-clock (retired; fallback behind --with-retired) ---
 
     def test_wall_clock_flagged(self):
         self.tree.write("src/node/bad.cc", "void f() { long t = time(nullptr); (void)t; }\n")
-        self.assertEqual(rules_of(run_lint(self.tree.root)), ["determinism/wall-clock"])
+        self.assertEqual(rules_of(run_lint(self.tree.root, with_retired=True)),
+                         ["determinism/wall-clock"])
 
     def test_chrono_clocks_flagged(self):
         self.tree.write("src/node/bad.cc",
                         "auto t = std::chrono::steady_clock::now();\n"
                         "auto u = std::chrono::system_clock::now();\n")
-        self.assertEqual(rules_of(run_lint(self.tree.root)),
+        self.assertEqual(rules_of(run_lint(self.tree.root, with_retired=True)),
                          ["determinism/wall-clock", "determinism/wall-clock"])
 
     def test_wall_clock_in_comment_not_flagged(self):
         self.tree.write("src/node/ok.cc",
                         "// Never call time(nullptr) here; the sim clock rules.\n"
                         "int f();\n")
-        self.assertEqual(run_lint(self.tree.root), [])
+        self.assertEqual(run_lint(self.tree.root, with_retired=True), [])
 
     def test_wall_clock_allowlisted_inline(self):
         self.tree.write("src/node/ok.cc",
                         "long t = time(nullptr);  // msn-lint: allow(determinism/wall-clock)\n")
-        self.assertEqual(run_lint(self.tree.root), [])
+        self.assertEqual(run_lint(self.tree.root, with_retired=True), [])
 
     def test_identifier_suffix_time_not_flagged(self):
         self.tree.write("src/node/ok.cc", "set_bring_up_time(d); auto x = bring_up_time();\n")
+        self.assertEqual(run_lint(self.tree.root, with_retired=True), [])
+
+    def test_retired_rules_skipped_by_default(self):
+        # msn_analyze owns the determinism rules now; the default lint run
+        # must not double-report them.
+        self.tree.write("src/node/bad.cc",
+                        "long t = time(nullptr);\n"
+                        "int a = std::rand();\n")
         self.assertEqual(run_lint(self.tree.root), [])
 
-    # --- determinism/ambient-rng --------------------------------------------
+    # --- determinism/ambient-rng (retired; fallback behind --with-retired) --
 
     def test_std_rand_and_random_device_flagged(self):
         self.tree.write("src/link/bad.cc",
                         "int a = std::rand();\n"
                         "std::random_device rd;\n"
                         "std::mt19937 gen(42);\n")
-        self.assertEqual(rules_of(run_lint(self.tree.root)), ["determinism/ambient-rng"] * 3)
+        self.assertEqual(rules_of(run_lint(self.tree.root, with_retired=True)),
+                         ["determinism/ambient-rng"] * 3)
 
     def test_msn_rng_not_flagged(self):
         self.tree.write("src/link/ok.cc",
                         '#include "src/util/rng.h"\n'
                         "double d = rng_.UniformDouble();\n")
-        self.assertEqual(run_lint(self.tree.root), [])
+        self.assertEqual(run_lint(self.tree.root, with_retired=True), [])
 
     def test_rng_allow_comment_on_previous_line(self):
         self.tree.write("src/link/ok.cc",
                         "// msn-lint: allow(determinism/ambient-rng)\n"
                         "std::mt19937 gen(seed);\n")
-        self.assertEqual(run_lint(self.tree.root), [])
+        self.assertEqual(run_lint(self.tree.root, with_retired=True), [])
 
     # --- layering/upward-include --------------------------------------------
 
@@ -260,24 +270,63 @@ class MsnLintTest(unittest.TestCase):
         self.tree.write("src/node/bad.cc", "long t = time(nullptr);\n")
         tool = REPO_ROOT / "tools" / "msn_lint.py"
         proc = subprocess.run(
-            [sys.executable, str(tool), "--root", str(self.tree.root), "src"],
+            [sys.executable, str(tool), "--root", str(self.tree.root),
+             "--with-retired", "src"],
             capture_output=True, text=True)
         self.assertEqual(proc.returncode, 1)
         self.assertIn("[determinism/wall-clock]", proc.stdout)
 
-        clean = subprocess.run(
+        # Without --with-retired the same fixture is clean: the determinism
+        # rules now live in msn_analyze.
+        default = subprocess.run(
+            [sys.executable, str(tool), "--root", str(self.tree.root), "src"],
+            capture_output=True, text=True)
+        self.assertEqual(default.returncode, 0)
+
+        single = subprocess.run(
             [sys.executable, str(tool), "--root", str(self.tree.root),
-             "src/node/bad.cc"], capture_output=True, text=True)
-        self.assertEqual(clean.returncode, 1)
+             "--with-retired", "src/node/bad.cc"], capture_output=True, text=True)
+        self.assertEqual(single.returncode, 1)
 
         missing = subprocess.run(
             [sys.executable, str(tool), "--root", str(self.tree.root), "nope/"],
             capture_output=True, text=True)
         self.assertEqual(missing.returncode, 2)
 
+    def test_list_rules_marks_retired(self):
+        tool = REPO_ROOT / "tools" / "msn_lint.py"
+        proc = subprocess.run([sys.executable, str(tool), "--list-rules"],
+                              capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0)
+        for rule in msn_lint.RETIRED_RULES:
+            line = next(l for l in proc.stdout.splitlines() if l.startswith(rule))
+            self.assertIn("retired -> msn_analyze", line)
+
+    # --- docstring DAG stays in sync with the table --------------------------
+
+    def test_dag_text_matches_layer_rank_table(self):
+        # LAYER_DAG_TEXT (used in the layering error message) must be exactly
+        # LAYER_RANK rendered rank by rank.
+        ranks = sorted(set(msn_lint.LAYER_RANK.values()))
+        self.assertEqual(ranks, list(range(len(ranks))), "ranks must be dense")
+        groups = [{l for l, r in msn_lint.LAYER_RANK.items() if r == rank}
+                  for rank in ranks]
+        parsed = [set(part.split(",")) for part in
+                  msn_lint.LAYER_DAG_TEXT.split(" -> ")]
+        self.assertEqual(parsed, groups)
+
+    def test_docstring_dag_matches_layer_rank_table(self):
+        # The module docstring wraps the DAG across lines; normalize
+        # whitespace and require the canonical text verbatim.
+        flat = " ".join(msn_lint.__doc__.split())
+        self.assertIn(msn_lint.LAYER_DAG_TEXT, flat,
+                      "msn_lint.py's docstring DAG drifted from LAYER_RANK — "
+                      "update the layering/upward-include description")
+
     def test_repo_src_is_clean(self):
-        # The real tree must stay lint-clean; this is the same gate CI runs.
-        self.assertEqual(run_lint(REPO_ROOT, ["src"]), [])
+        # The real tree must stay lint-clean (retired fallback rules
+        # included); this is the same gate CI runs, plus some.
+        self.assertEqual(run_lint(REPO_ROOT, ["src"], with_retired=True), [])
 
 
 if __name__ == "__main__":

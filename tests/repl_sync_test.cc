@@ -221,7 +221,7 @@ TEST(SyncChannelTest, OutOfOrderMutationHealsThroughSnapshot) {
   forged.mutation.lifetime_sec = 30;
   forged.mutation.identification = 424242;
   UdpSocket spoof(tb.router->stack());
-  spoof.Bind(4500);
+  ASSERT_TRUE(spoof.Bind(4500));
   spoof.SendTo(Testbed::BackupHaAddress(), kHaSyncPort, forged.Serialize());
   tb.RunFor(Seconds(2));
 

@@ -4,16 +4,10 @@
 Machine-checks the invariants the codebase is built on but a compiler cannot
 see:
 
-  determinism/wall-clock    No wall-clock or OS time source in src/ — all time
-                            flows from the simulator clock (src/sim/time.h),
-                            which is what makes same-seed runs byte-identical.
-  determinism/ambient-rng   No std::rand / std::random_device / <random>
-                            engines in src/ — all randomness flows from the
-                            seeded msn::Rng (src/util/rng.h).
   layering/upward-include   Includes must follow the layer DAG
                             util -> net,sim -> telemetry -> link -> node ->
-                            mip,dhcp,tcplite -> tracing,fault -> mobility ->
-                            topo.
+                            mip,dhcp,tcplite -> repl,tracing,fault ->
+                            mobility -> topo -> check.
                             (Lower layers never include higher ones; peers at
                             the same rank never include each other.)
   header/guard              Headers use an include guard named after their
@@ -31,6 +25,21 @@ see:
                             refcounts (and can later COW-copy) the packet
                             buffer; intentional ownership sinks carry an
                             inline allow stating so.
+
+Retired rules (owned by tools/msn_analyze.py, kept here as a fallback)
+
+  determinism/wall-clock    No wall-clock or OS time source in src/ — all time
+                            flows from the simulator clock (src/sim/time.h),
+                            which is what makes same-seed runs byte-identical.
+  determinism/ambient-rng   No std::rand / std::random_device / <random>
+                            engines in src/ — all randomness flows from the
+                            seeded msn::Rng (src/util/rng.h).
+
+  These two moved to msn_analyze's AST backend, which resolves the actual
+  callee and so also catches aliases, typedefs, and using-declarations the
+  regexes here cannot see. They no longer run by default; `--with-retired`
+  re-enables the regex versions as a degraded fallback (msn_analyze's own
+  lexical fallback reuses these exact regexes when libclang is absent).
 
 Suppressing a finding
   Inline: append `// msn-lint: allow(<rule-id>)` to the offending line (or
@@ -63,6 +72,17 @@ RULES = {
     "telemetry/metric-name": "metric name is not a lowercase <subsystem>.<noun> dot-path",
     "perf/frame-by-value": "EthernetFrame/Packet parameter taken by value",
 }
+
+# Rules that migrated to tools/msn_analyze.py's AST backend (which resolves
+# real callees through aliases/typedefs). Skipped by default; --with-retired
+# runs the regex versions here as a degraded fallback.
+RETIRED_RULES = {"determinism/wall-clock", "determinism/ambient-rng"}
+
+# Human-readable rendering of LAYER_RANK, used in the docstring and the
+# layering error message. tests/msn_lint_test.py asserts it matches the table.
+LAYER_DAG_TEXT = ("util -> net,sim -> telemetry -> link -> node -> "
+                  "mip,dhcp,tcplite -> repl,tracing,fault -> mobility -> "
+                  "topo -> check")
 
 # Layer ranks; a file may include only from strictly lower ranks or its own
 # directory. Keep in sync with DESIGN.md §11's DAG diagram.
@@ -238,8 +258,9 @@ def guard_name_for(rel_path: Path) -> str:
 
 
 class Linter:
-    def __init__(self, root: Path):
+    def __init__(self, root: Path, with_retired: bool = False):
         self.root = root
+        self.with_retired = with_retired
         self.violations: list[Violation] = []
 
     def _report(self, path: Path, rel: Path, line: int, rule: str, message: str,
@@ -262,7 +283,8 @@ class Linter:
         layer = rel.parts[1] if in_src and len(rel.parts) > 2 else None
 
         if in_src:
-            self._check_determinism(path, rel, code, allows)
+            if self.with_retired:
+                self._check_determinism(path, rel, code, allows)
             self._check_frame_by_value(path, rel, code, allows)
         if layer is not None:
             # Raw text: include paths live inside string literals, which the
@@ -314,9 +336,7 @@ class Linter:
             elif dep != layer and dep_rank >= my_rank:
                 self._report(path, rel, lineno, "layering/upward-include",
                              f"src/{layer}/ (rank {my_rank}) must not include src/{dep}/ "
-                             f"(rank {dep_rank}); the DAG flows util -> net,sim -> telemetry "
-                             "-> link -> node -> mip,dhcp,tcplite -> repl,tracing,fault "
-                             "-> mobility -> topo -> check",
+                             f"(rank {dep_rank}); the DAG flows {LAYER_DAG_TEXT}",
                              allows)
 
     def _check_header_guard(self, path, rel, text, code, allows):
@@ -413,8 +433,9 @@ def collect_files(root: Path, paths: list[str]) -> list[Path]:
     return files
 
 
-def lint_paths(root: Path, paths: list[str]) -> list[Violation]:
-    linter = Linter(root)
+def lint_paths(root: Path, paths: list[str],
+               with_retired: bool = False) -> list[Violation]:
+    linter = Linter(root, with_retired=with_retired)
     for f in collect_files(root, paths):
         linter.lint_file(f)
     return linter.violations
@@ -428,15 +449,21 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--root", default=str(Path(__file__).resolve().parent.parent),
                         help="repository root (for layer/guard path derivation)")
     parser.add_argument("--list-rules", action="store_true", help="print the rule catalog")
+    parser.add_argument("--with-retired", action="store_true",
+                        help="also run rules retired to tools/msn_analyze.py "
+                             "(degraded regex fallback)")
     args = parser.parse_args(argv)
 
     if args.list_rules:
         for rule, desc in sorted(RULES.items()):
-            print(f"{rule:26} {desc}")
+            retired = "  [retired -> msn_analyze; --with-retired runs fallback]" \
+                if rule in RETIRED_RULES else ""
+            print(f"{rule:26} {desc}{retired}")
         return 0
 
     try:
-        violations = lint_paths(Path(args.root), args.paths or ["src"])
+        violations = lint_paths(Path(args.root), args.paths or ["src"],
+                                with_retired=args.with_retired)
     except FileNotFoundError as e:
         print(f"msn_lint: no such path: {e}", file=sys.stderr)
         return 2
