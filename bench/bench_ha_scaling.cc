@@ -2,18 +2,34 @@
 // registration process is small, and the home agent should be able to deal
 // with a large number of mobile hosts simultaneously."
 //
-// We quantify that claim: N mobile hosts attach to a foreign network at the
-// same instant and all register with one home agent, whose registration
-// daemon processes requests serially (~1.48 ms each). We report registration
-// completion latency (mean / p95 / max) and the HA's effective throughput as
-// N grows.
+// Fleet-scale version of that claim (DESIGN.md §17): a synthetic registrant
+// fleet (RegistrationLoadGenerator — one node, one socket, ~40 bytes per
+// client) offers registrations to one home agent at a controlled arrival
+// rate. Three question sets:
+//
+//  * Sweep: with the sharded/batched pipeline, does per-request processing
+//    latency stay flat as the registrant count N grows to 100k+, as long as
+//    the offered rate stays below the saturation knee?
+//  * Knee: where is that knee? Analytically, a shard drains batch_max
+//    requests per (ha_batch_fixed + batch_max * ha_batch_item), so
+//    knee = shards * batch_max / (fixed + batch_max * item); the overload
+//    rows verify the agent actually sheds rather than collapses past it.
+//  * Overload: at 2x the knee, the classic serial daemon's queue grows
+//    without bound (completion latency is censored by client give-up), while
+//    admission control sheds load statelessly and the shed clients converge
+//    via backoff — bounded completion latency, high completion ratio.
+//
+// Censoring is reported honestly: every row carries registered / clients
+// (the completion ratio) and a `censored` flag; latency stats cover only the
+// clients that completed, so a censored row's latencies are a lower bound.
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/link/link_device.h"
 #include "src/mip/home_agent.h"
-#include "src/mip/mobile_host.h"
+#include "src/mip/reg_load.h"
 #include "src/node/node.h"
 #include "src/telemetry/export.h"
 #include "src/util/stats.h"
@@ -21,36 +37,63 @@
 namespace msn {
 namespace {
 
-struct ScalingResult {
-  int n = 0;
-  int registered = 0;
-  double mean_ms = 0;
-  double p95_ms = 0;
-  double max_ms = 0;
-  double ha_processing_mean_ms = 0;
-  double throughput_per_sec = 0;
+struct RunConfig {
+  uint32_t clients = 1000;
+  uint32_t shards = 1;
+  uint32_t batch_max = 1;
+  uint32_t admission_limit = 0;  // 0 = unbounded queues (classic daemon).
+  double offered_per_sec = 1000;
+  Duration horizon = Seconds(60);
+  uint64_t seed = 8000;
 };
 
-ScalingResult RunScale(int n, uint64_t seed, BenchReport* report) {
+struct RunResult {
+  uint32_t clients = 0;
+  uint64_t registered = 0;
+  bool censored = false;
+  double completion_ratio = 0;
+  double achieved_per_sec = 0;
+  double completion_mean_ms = 0;
+  double completion_p95_ms = 0;
+  double completion_p99_ms = 0;
+  double completion_max_ms = 0;
+  double ha_processing_mean_ms = 0;
+  double ha_processing_p99_ms = 0;
+  RegistrationLoadGenerator::Stats load;
+  HomeAgent::Counters ha;
+  RunningStats completion_stats;
+  std::vector<double> completion_samples;
+};
+
+// The saturation knee in registrations/sec for a given pipeline shape,
+// from the calibration means (see header comment).
+double KneeRegsPerSec(const Calibration& cal, uint32_t shards, uint32_t batch_max) {
+  const double fixed_ms = batch_max > 1 ? cal.ha_batch_fixed.mean.ToMillisF()
+                                        : cal.ha_processing.mean.ToMillisF();
+  const double item_ms = batch_max > 1 ? cal.ha_batch_item.mean.ToMillisF() : 0.0;
+  const double batch_ms = fixed_ms + item_ms * static_cast<double>(batch_max);
+  return static_cast<double>(shards) * static_cast<double>(batch_max) / batch_ms * 1000.0;
+}
+
+RunResult RunLoad(const RunConfig& rc, BenchReport* report) {
   // Declared before every component so it outlives them all.
   MetricsRegistry metrics;
-  Simulator sim(seed);
+  Simulator sim(rc.seed);
   BroadcastMedium net135(sim, "net135", EthernetMediumParams(), &metrics);
   BroadcastMedium net8(sim, "net8", EthernetMediumParams(), &metrics);
 
-  // Router + home agent (Pentium 90 class).
+  // Router + home agent. Unlike the paper-faithful benches, the transport is
+  // deliberately transparent — no kernel pipeline delays, gigabit links — so
+  // the registration pipeline inside HomeAgent (whose costs are calibrated
+  // internally: queueing, batching, ha_processing) is the only bottleneck
+  // the rows can show. The classic 10 Mbps shared wire saturates at ~15k
+  // small frames/sec, well below the sharded knee this bench must reach.
   Node router(sim, "router", &metrics);
-  IpStack::DelayParams router_delays;
-  router_delays.send_mean = MillisecondsF(0.55);
-  router_delays.send_jitter = MillisecondsF(0.06);
-  router_delays.deliver_mean = MillisecondsF(0.55);
-  router_delays.deliver_jitter = MillisecondsF(0.06);
-  router_delays.forward_mean = MillisecondsF(0.25);
-  router_delays.forward_jitter = MillisecondsF(0.04);
-  router.stack().set_delay_params(router_delays);
   router.stack().set_forwarding_enabled(true);
   EthernetDevice* r135 = router.AddEthernet("eth135", &net135);
   EthernetDevice* r8 = router.AddEthernet("eth8", &net8);
+  r135->set_bandwidth_bps(1'000'000'000);
+  r8->set_bandwidth_bps(1'000'000'000);
   r135->ForceUp();
   r8->ForceUp();
   router.ConfigureInterface(r135, "36.135.0.1/16");
@@ -59,132 +102,209 @@ ScalingResult RunScale(int n, uint64_t seed, BenchReport* report) {
   HomeAgent::Config ha_config;
   ha_config.address = Ipv4Address(36, 135, 0, 1);
   ha_config.home_device = r135;
-  ha_config.home_subnet = Subnet::MustParse("36.135.0.0/16");
+  // A /8 home subnet: 100k+ distinct home addresses do not fit the classic
+  // 36.135/16 (65534 hosts), so the fleet claims homes from 36.100.0.0 up.
+  ha_config.home_subnet = Subnet::MustParse("36.0.0.0/8");
   ha_config.metrics = &metrics;
+  ha_config.num_shards = rc.shards;
+  ha_config.batch_max = rc.batch_max;
+  ha_config.admission_queue_limit = rc.admission_limit;
   HomeAgent ha(router, ha_config);
 
-  // N mobile hosts, already on the foreign segment, all registering at t=1s.
-  // Only the first host reports into the shared registry — "mh.*" names are
-  // per-component, and one instrumented host is representative.
-  IpStack::DelayParams host_delays;
-  host_delays.send_mean = MillisecondsF(1.0);
-  host_delays.send_jitter = MillisecondsF(0.12);
-  host_delays.deliver_mean = MillisecondsF(1.0);
-  host_delays.deliver_jitter = MillisecondsF(0.12);
+  // The registrant fleet shares one host on the foreign segment; client-side
+  // stack costs are deliberately zero so the rows isolate HA behavior.
+  Node load_node(sim, "fleet", &metrics);
+  EthernetDevice* eth = load_node.AddEthernet("eth0", &net8);
+  eth->set_bandwidth_bps(1'000'000'000);
+  eth->ForceUp();
+  load_node.ConfigureInterface(eth, "36.8.0.2/16");
+  load_node.AddDefaultRoute(Ipv4Address(36, 8, 0, 1), eth);
 
-  std::vector<std::unique_ptr<Node>> nodes;
-  std::vector<std::unique_ptr<MobileHost>> mobiles;
-  std::vector<double> latencies_ms;
-  int registered = 0;
-  Time last_done = Time::Zero();
-  const Time start_at = Time::Zero() + Seconds(1);
+  RegistrationLoadGenerator::Config lc;
+  lc.home_agent = Ipv4Address(36, 135, 0, 1);
+  lc.first_home = Ipv4Address(36, 100, 0, 0);
+  lc.count = rc.clients;
+  lc.first_care_of = Ipv4Address(36, 8, 16, 1);
+  lc.start_delay = Seconds(1);
+  lc.interarrival = Duration::FromNanos(static_cast<int64_t>(1e9 / rc.offered_per_sec));
+  RegistrationLoadGenerator load(load_node, lc);
+  load.Start();
 
-  for (int i = 0; i < n; ++i) {
-    auto node = std::make_unique<Node>(sim, "mh" + std::to_string(i));
-    node->stack().set_delay_params(host_delays);
-    EthernetDevice* eth = node->AddEthernet("eth0", &net8);
-    eth->ForceUp();
-
-    MobileHost::Config mc;
-    mc.home_address = Ipv4Address(36, 135, 0, static_cast<uint8_t>(10 + i % 200));
-    // Distinct home addresses across the /16.
-    mc.home_address = Ipv4Address((36u << 24) | (135u << 16) | (10 + static_cast<uint32_t>(i)));
-    mc.home_mask = SubnetMask(16);
-    mc.home_agent = Ipv4Address(36, 135, 0, 1);
-    mc.home_gateway = Ipv4Address(36, 135, 0, 1);
-    mc.home_device = eth;
-    if (i == 0) {
-      mc.metrics = &metrics;
-    }
-    auto mobile = std::make_unique<MobileHost>(*node, mc);
-
-    MobileHost::Attachment att;
-    att.device = eth;
-    att.care_of = Ipv4Address((36u << 24) | (8u << 16) | (100 + static_cast<uint32_t>(i)));
-    att.mask = SubnetMask(16);
-    att.gateway = Ipv4Address(36, 8, 0, 1);
-
-    MobileHost* mobile_raw = mobile.get();
-    sim.ScheduleAt(start_at, [mobile_raw, att, &latencies_ms, &registered, &last_done, &sim,
-                              start_at] {
-      mobile_raw->AttachForeign(att, [&, start_at](bool ok) {
-        if (ok) {
-          ++registered;
-          latencies_ms.push_back((sim.Now() - start_at).ToMillisF());
-          last_done = std::max(last_done, sim.Now());
-        }
-      });
-    });
-
-    nodes.push_back(std::move(node));
-    mobiles.push_back(std::move(mobile));
-  }
-
-  sim.RunFor(Seconds(120));
+  sim.RunFor(rc.horizon);
 
   if (report != nullptr) {
     report->AddMetrics(metrics);
   }
 
-  ScalingResult result;
-  result.n = n;
-  result.registered = registered;
-  RunningStats stats;
-  for (double v : latencies_ms) {
-    stats.Add(v);
-  }
-  result.mean_ms = stats.mean();
-  result.max_ms = stats.max();
-  result.p95_ms = Percentile(latencies_ms, 95);
+  RunResult result;
+  result.clients = rc.clients;
+  result.registered = load.completed();
+  result.censored = result.registered < rc.clients;
+  result.completion_ratio =
+      static_cast<double>(result.registered) / static_cast<double>(rc.clients);
+  result.completion_stats = load.completion_stats_ms();
+  result.completion_samples = load.completion_samples_ms();
+  result.completion_mean_ms = result.completion_stats.mean();
+  result.completion_max_ms = result.completion_stats.max();
+  result.completion_p95_ms = Percentile(result.completion_samples, 95);
+  result.completion_p99_ms = Percentile(result.completion_samples, 99);
   result.ha_processing_mean_ms = ha.processing_stats_ms().mean();
-  const double window_sec = (last_done - start_at).ToSecondsF();
-  result.throughput_per_sec = window_sec > 0 ? registered / window_sec : 0;
+  result.ha_processing_p99_ms = metrics.GetHistogram("ha.processing_ms").Quantile(99);
+  const double window_sec = (load.last_accept_time() - load.first_send_time()).ToSecondsF();
+  result.achieved_per_sec =
+      window_sec > 0 ? static_cast<double>(result.registered) / window_sec : 0;
+  result.load = load.stats();
+  result.ha = ha.counters();
   return result;
+}
+
+void PrintAndRecord(BenchReport& report, const std::string& label, const RunConfig& rc,
+                    const RunResult& r) {
+  std::printf("%-18s %8u %7u %5s %9.3f %12.1f %12.1f %10.2f %10.2f %10.2f %9.2f %9llu %9llu\n",
+              label.c_str(), r.clients, rc.shards, r.censored ? "yes" : "no",
+              r.completion_ratio, rc.offered_per_sec, r.achieved_per_sec,
+              r.completion_mean_ms, r.completion_p99_ms, r.ha_processing_mean_ms,
+              r.ha_processing_p99_ms, static_cast<unsigned long long>(r.ha.admission_denied),
+              static_cast<unsigned long long>(r.load.gave_up));
+  report.AddRow(label, {{"clients", static_cast<int64_t>(r.clients)},
+                        {"shards", static_cast<int64_t>(rc.shards)},
+                        {"batch_max", static_cast<int64_t>(rc.batch_max)},
+                        {"admission_limit", static_cast<int64_t>(rc.admission_limit)},
+                        {"registered", static_cast<int64_t>(r.registered)},
+                        {"censored", static_cast<int64_t>(r.censored ? 1 : 0)},
+                        {"completion_ratio", r.completion_ratio},
+                        {"offered_per_sec", rc.offered_per_sec},
+                        {"achieved_per_sec", r.achieved_per_sec},
+                        {"completion_mean_ms", r.completion_mean_ms},
+                        {"completion_p95_ms", r.completion_p95_ms},
+                        {"completion_p99_ms", r.completion_p99_ms},
+                        {"completion_max_ms", r.completion_max_ms},
+                        {"ha_processing_mean_ms", r.ha_processing_mean_ms},
+                        {"ha_processing_p99_ms", r.ha_processing_p99_ms},
+                        {"admission_denied", static_cast<int64_t>(r.ha.admission_denied)},
+                        {"admission_dropped", static_cast<int64_t>(r.ha.admission_dropped)},
+                        {"admission_superseded",
+                         static_cast<int64_t>(r.ha.admission_superseded)},
+                        {"retransmissions", static_cast<int64_t>(r.load.retransmissions)},
+                        {"gave_up", static_cast<int64_t>(r.load.gave_up)}});
 }
 
 int Main() {
   std::printf("==============================================================\n");
-  std::printf("E5: home agent scalability (paper S4: 'should be able to deal\n");
-  std::printf("with a large number of mobile hosts simultaneously')\n");
-  std::printf("N mobile hosts register at the same instant with one HA\n");
+  std::printf("E5: home agent scalability at fleet scale (DESIGN.md S17)\n");
+  std::printf("Synthetic registrants offer load to one HA at a fixed rate;\n");
+  std::printf("sharded+batched+admission pipeline vs the classic serial daemon\n");
   std::printf("==============================================================\n\n");
 
+  const bool smoke = BenchSmokeMode();
   BenchReport report("ha_scaling",
-                     "E5: one home agent serving N simultaneous registrations");
+                     "E5: fleet-scale HA — sharded binding table, batched pipeline, "
+                     "admission control");
   report.set_seed(8000);
 
-  // The tail of the sweep (200/500) exercises the "large number of mobile
-  // hosts" claim at a scale the pre-zero-copy engine made impractically
-  // slow; per-N seeds are unchanged, so the original rows stay
-  // byte-identical.
-  const std::vector<int> full_sweep = {1, 2, 5, 10, 20, 50, 100, 200, 500};
-  const std::vector<int> smoke_sweep = {1, 5, 20};
-  const std::vector<int>& sweep = BenchSmokeMode() ? smoke_sweep : full_sweep;
-  report.AddParam("max_n", sweep.back());
+  const Calibration cal = Calibration::Default();
+  const uint32_t kShards = 16;
+  const uint32_t kBatchMax = 32;
+  const uint32_t kAdmissionLimit = 64;
+  const double sharded_knee = KneeRegsPerSec(cal, kShards, kBatchMax);
+  const double serial_knee = KneeRegsPerSec(cal, 1, 1);
+  const double overload_rate = 2.0 * sharded_knee;
+  // The sweep offers ~3/4 of the knee: below saturation, where the pipeline
+  // promises flat per-request latency regardless of N.
+  const double sweep_rate = smoke ? 4000.0 : 0.75 * sharded_knee;
+  const double serial_sweep_rate = smoke ? 400.0 : 0.75 * serial_knee;
 
-  std::printf("%5s  %10s  %12s  %12s  %12s  %14s  %12s\n", "N", "registered", "mean ms",
-              "p95 ms", "max ms", "HA proc ms", "regs/sec");
-  for (size_t idx = 0; idx < sweep.size(); ++idx) {
-    const int n = sweep[idx];
-    // Snapshot the registry for the largest sweep point only.
-    const bool capture = idx == sweep.size() - 1;
-    const ScalingResult r =
-        RunScale(n, 8000 + static_cast<uint64_t>(n), capture ? &report : nullptr);
-    std::printf("%5d  %10d  %12.2f  %12.2f  %12.2f  %14.2f  %12.1f\n", r.n, r.registered,
-                r.mean_ms, r.p95_ms, r.max_ms, r.ha_processing_mean_ms,
-                r.throughput_per_sec);
-    report.AddRow("n=" + std::to_string(n),
-                  {{"n", r.n},
-                   {"registered", r.registered},
-                   {"latency_mean_ms", r.mean_ms},
-                   {"latency_p95_ms", r.p95_ms},
-                   {"latency_max_ms", r.max_ms},
-                   {"ha_processing_mean_ms", r.ha_processing_mean_ms},
-                   {"registrations_per_sec", r.throughput_per_sec}});
+  report.AddParam("shards", static_cast<int64_t>(kShards));
+  report.AddParam("batch_max", static_cast<int64_t>(kBatchMax));
+  report.AddParam("admission_limit", static_cast<int64_t>(kAdmissionLimit));
+  report.AddParam("serial_knee_per_sec", serial_knee);
+  report.AddParam("sharded_knee_per_sec", sharded_knee);
+  report.AddParam("overload_rate_per_sec", overload_rate);
+
+  // Serial overload is truncated to fewer clients than the sharded row: at
+  // ~676 regs/sec the full 50k-client backlog would take minutes of simulated
+  // time to even enumerate, and the collapse is unambiguous well before that.
+  const std::vector<uint32_t> serial_ns = smoke ? std::vector<uint32_t>{200}
+                                                : std::vector<uint32_t>{1000, 5000};
+  const std::vector<uint32_t> sharded_ns =
+      smoke ? std::vector<uint32_t>{200, 1000}
+            : std::vector<uint32_t>{1000, 5000, 20000, 50000, 100000};
+  const uint32_t overload_serial_clients = smoke ? 2000 : 20000;
+  const uint32_t overload_sharded_clients = smoke ? 4000 : 50000;
+  const Duration horizon = smoke ? Seconds(40) : Seconds(90);
+  report.AddParam("max_n", static_cast<int64_t>(sharded_ns.back()));
+
+  std::printf("%-18s %8s %7s %5s %9s %12s %12s %10s %10s %10s %9s %9s %9s\n", "row",
+              "clients", "shards", "cens", "ratio", "offered/s", "achieved/s", "comp ms",
+              "comp p99", "proc ms", "proc p99", "adm_deny", "gave_up");
+
+  // Serial daemon below its own knee: flat but forty-times-lower capacity.
+  for (uint32_t n : serial_ns) {
+    RunConfig rc;
+    rc.clients = n;
+    rc.shards = 1;
+    rc.batch_max = 1;
+    rc.admission_limit = 0;
+    rc.offered_per_sec = serial_sweep_rate;
+    rc.horizon = horizon;
+    rc.seed = 8000 + n;
+    const RunResult r = RunLoad(rc, nullptr);
+    PrintAndRecord(report, "serial_n=" + std::to_string(n), rc, r);
   }
-  std::printf("\nShape check: per-request HA processing stays ~1.5 ms, so the HA\n"
-              "sustains hundreds of registrations per second; latency grows only\n"
-              "once simultaneous arrivals queue behind the single daemon.\n\n");
+
+  // Sharded pipeline below the knee: N sweeps to 100k+ with flat latency.
+  RunResult largest_sweep;
+  for (size_t i = 0; i < sharded_ns.size(); ++i) {
+    const uint32_t n = sharded_ns[i];
+    RunConfig rc;
+    rc.clients = n;
+    rc.shards = kShards;
+    rc.batch_max = kBatchMax;
+    rc.admission_limit = kAdmissionLimit;
+    rc.offered_per_sec = sweep_rate;
+    rc.horizon = horizon;
+    rc.seed = 8100 + n;
+    const bool capture = i == sharded_ns.size() - 1;
+    const RunResult r = RunLoad(rc, capture ? &report : nullptr);
+    PrintAndRecord(report, "sharded_n=" + std::to_string(n), rc, r);
+    if (capture) {
+      largest_sweep = r;
+    }
+  }
+
+  // Overload at 2x the sharded knee: serial collapses (queue and completion
+  // latency unbounded, clients censored), admission control sheds and stays
+  // bounded.
+  RunConfig serial_overload;
+  serial_overload.clients = overload_serial_clients;
+  serial_overload.shards = 1;
+  serial_overload.batch_max = 1;
+  serial_overload.admission_limit = 0;
+  serial_overload.offered_per_sec = overload_rate;
+  serial_overload.horizon = horizon;
+  serial_overload.seed = 8200;
+  const RunResult serial_r = RunLoad(serial_overload, nullptr);
+  PrintAndRecord(report, "overload_serial", serial_overload, serial_r);
+
+  RunConfig sharded_overload;
+  sharded_overload.clients = overload_sharded_clients;
+  sharded_overload.shards = kShards;
+  sharded_overload.batch_max = kBatchMax;
+  sharded_overload.admission_limit = kAdmissionLimit;
+  sharded_overload.offered_per_sec = overload_rate;
+  sharded_overload.horizon = horizon;
+  sharded_overload.seed = 8300;
+  const RunResult sharded_r = RunLoad(sharded_overload, nullptr);
+  PrintAndRecord(report, "overload_sharded", sharded_overload, sharded_r);
+
+  report.AddSummary("completion_ms", "ms", largest_sweep.completion_samples);
+  report.AddSummary("overload_completion_sharded_ms", "ms", sharded_r.completion_samples);
+
+  std::printf("\nShape check: below the knee the sharded pipeline's processing p99\n"
+              "stays flat while N sweeps to %u; at 2x the knee the serial daemon's\n"
+              "completion latency is censored by client give-up while admission\n"
+              "control keeps it bounded (shed clients converge via backoff).\n\n",
+              sharded_ns.back());
 
   const std::string path = report.WriteFile();
   std::printf("report: %s\n", path.empty() ? "WRITE FAILED" : path.c_str());

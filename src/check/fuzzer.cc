@@ -7,6 +7,7 @@
 #include "src/check/traffic.h"
 #include "src/fault/fault_schedule.h"
 #include "src/mip/movement_detector.h"
+#include "src/mip/reg_load.h"
 #include "src/mobility/mobility_driver.h"
 #include "src/topo/scenario.h"
 
@@ -85,6 +86,13 @@ RunResult RunScenario(const ScenarioSpec& spec, const RunOptions& options) {
   cfg.external_ch = spec.external_ch;
   cfg.with_backup_ha = spec.backup_ha;
   cfg.mh_lifetime_sec = spec.lifetime_sec;
+  if (spec.overload.enabled) {
+    // The overload stanza owns the HA's pipeline shape (DESIGN.md §17);
+    // without it the classic serial daemon is under test.
+    cfg.ha_shards = spec.overload.shards;
+    cfg.ha_batch_max = spec.overload.batch_max;
+    cfg.ha_admission_limit = spec.overload.queue_limit;
+  }
   // Calibrated mid-90s kernel delays triple the event count without changing
   // any protocol decision the oracles check; run in the fast timing regime.
   cfg.realistic_delays = false;
@@ -106,6 +114,37 @@ RunResult RunScenario(const ScenarioSpec& spec, const RunOptions& options) {
   };
 
   tb.StartMobileAtHome();
+
+  // Fleet overload: a burst of synthetic registration clients on the visited
+  // wired net, with home addresses in a 36.135.7.x block well clear of the
+  // testbed's scripted hosts. Shed clients back off and re-try until
+  // accepted, so by the settling window the whole fleet has converged.
+  std::unique_ptr<Node> fleet_node;
+  std::unique_ptr<RegistrationLoadGenerator> fleet;
+  if (spec.overload.enabled) {
+    fleet_node = std::make_unique<Node>(tb.sim, "fleet", &tb.metrics);
+    EthernetDevice* fleet_dev = fleet_node->AddEthernet("eth0", tb.net8.get());
+    fleet_dev->ForceUp();
+    fleet_node->ConfigureInterface(fleet_dev, "36.8.7.250/16");
+    fleet_node->AddDefaultRoute(Testbed::RouterOn8(), fleet_dev);
+
+    RegistrationLoadGenerator::Config lc;
+    lc.home_agent = tb.home_agent_address();
+    lc.first_home = Ipv4Address(36, 135, 7, 1);
+    lc.count = spec.overload.clients;
+    lc.first_care_of = Ipv4Address(36, 8, 7, 1);
+    lc.care_of_span = 250;
+    lc.lifetime_sec = 600;  // Outlives the run: fleet bindings never expire.
+    lc.start_delay = spec.overload.start;
+    lc.interarrival = Duration::FromNanos(spec.overload.window.nanos() /
+                                          std::max<uint32_t>(spec.overload.clients, 1));
+    // Generous budget: an HA outage or a burst-loss profile can swallow a few
+    // timeouts in a row, and backoff grows toward the 8 s cap long before ten
+    // tries run out — so only a real protocol bug leaves a client given up.
+    lc.max_retransmits = 10;
+    fleet = std::make_unique<RegistrationLoadGenerator>(*fleet_node, lc);
+    fleet->Start();
+  }
 
   TrafficHarness traffic(tb, spec);
   MovementScript script(tb);
@@ -173,6 +212,9 @@ RunResult RunScenario(const ScenarioSpec& spec, const RunOptions& options) {
   OracleSuite oracles(tb, spec, traffic, media);
   if (mobility != nullptr) {
     oracles.AttachMobility(mobility.get());
+  }
+  if (fleet != nullptr) {
+    oracles.AttachFleet(fleet.get());
   }
   PeriodicTask tick(tb.sim, OracleSuite::kTickInterval, [&oracles] { oracles.OnTick(); });
   tick.Start();

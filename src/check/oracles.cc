@@ -4,6 +4,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "src/mip/reg_load.h"
+
 namespace msn {
 namespace {
 
@@ -152,6 +154,13 @@ OracleSuite::OracleSuite(Testbed& testbed, const ScenarioSpec& spec,
       noisy_.push_back({profile_start[m] - kPreEventMargin, spec_.duration});
     }
   }
+  if (spec_.overload.enabled) {
+    // The registration burst plus the shed clients' capped backoff (8 s):
+    // while the fleet converges, the MH's own control traffic may be shed
+    // too, so probe loss in this span is explainable.
+    noisy_.push_back({spec_.overload.start - kPreEventMargin,
+                      spec_.overload.start + spec_.overload.window + Seconds(10)});
+  }
   std::sort(noisy_.begin(), noisy_.end(),
             [](const NoisyWindow& a, const NoisyWindow& b) { return a.from < b.from; });
 }
@@ -237,17 +246,20 @@ void OracleSuite::OnTick() {
     }
   }
 
-  // binding-table: one mobile host => each agent holds at most one binding,
-  // and every exported bindings gauge tracks its agent's table exactly.
+  // binding-table: one mobile host (plus, on overload runs, at most one
+  // binding per fleet client) => each agent's table is bounded, and every
+  // exported bindings gauge tracks its agent's table exactly.
   ++report_.checks;
+  const size_t max_bindings =
+      1 + (spec_.overload.enabled ? spec_.overload.clients : 0);
   for (const HomeAgent* agent : {tb_.home_agent.get(), tb_.backup_agent.get()}) {
     if (agent == nullptr) {
       continue;
     }
-    if (agent->binding_count() > 1) {
+    if (agent->binding_count() > max_bindings) {
       char buf[64];
-      std::snprintf(buf, sizeof(buf), "%zu bindings for one mobile host",
-                    agent->binding_count());
+      std::snprintf(buf, sizeof(buf), "%zu bindings for %zu registrant(s)",
+                    agent->binding_count(), max_bindings);
       report_.Add("binding-table", buf);
     }
     const std::string gauge_name = agent->config().metric_prefix + "bindings";
@@ -257,6 +269,8 @@ void OracleSuite::OnTick() {
                                        " != binding table size");
     }
   }
+
+  ShardOracles();
 
   // split-brain (live): outside noisy windows at most one agent may serve the
   // home binding. Mid-fault a promoted backup is allowed to race the failing
@@ -317,6 +331,34 @@ void OracleSuite::OnTick() {
     }
   } else {
     CloseQuietStretch(now - kTickInterval);
+  }
+}
+
+void OracleSuite::ShardOracles() {
+  // shard-consistency: the sharded table's internal invariants (every binding
+  // and queued request in the shard its home hashes to, queue indexes in step
+  // with queues) hold at every instant, and each shard's bindings gauge
+  // agrees with its table. Unconditional — no fault or movement can excuse a
+  // broken shard map.
+  ++report_.checks;
+  for (const HomeAgent* agent : {tb_.home_agent.get(), tb_.backup_agent.get()}) {
+    if (agent == nullptr) {
+      continue;
+    }
+    if (std::string err = agent->ShardConsistencyError(); !err.empty()) {
+      report_.Add("shard-consistency", err);
+    }
+    for (size_t s = 0; s < agent->shard_count(); ++s) {
+      const std::string gauge_name =
+          agent->config().metric_prefix + "shard." + std::to_string(s) + ".bindings";
+      if (const auto gauge = tb_.metrics.ReadValue(gauge_name);
+          gauge.has_value() &&
+          *gauge != static_cast<double>(agent->ShardBindingCount(s))) {
+        report_.Add("shard-consistency", gauge_name + " gauge " +
+                                             FormatMetricValue(*gauge) +
+                                             " != shard table size");
+      }
+    }
   }
 }
 
@@ -499,12 +541,54 @@ void OracleSuite::CounterOracles() {
   }
 }
 
+void OracleSuite::FleetOracles() {
+  if (fleet_ == nullptr || !settles_) {
+    return;
+  }
+  const RegistrationLoadGenerator::Stats& stats = fleet_->stats();
+  const uint64_t terminal = stats.accepted + stats.gave_up + stats.denied_other;
+
+  // Ledger: by the settling window every client has converged — accepted, or
+  // (only explicably) given up or terminally denied. A shortfall means some
+  // client is wedged mid-backoff: a stuck shard queue or a lost-forever
+  // registration, i.e. the admission path broke convergence.
+  ++report_.checks;
+  if (terminal != fleet_->client_count()) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "fleet ledger: %" PRIu64 " of %u clients terminal "
+                  "(%" PRIu64 " accepted, %" PRIu64 " gave up, %" PRIu64 " denied)",
+                  terminal, fleet_->client_count(), stats.accepted, stats.gave_up,
+                  stats.denied_other);
+    report_.Add("fleet-convergence", buf);
+  }
+  // Without faults every request is answered — accepted or admission-denied,
+  // neither of which consumes the retransmit budget. The silent-drop path can
+  // eat a few timeouts during the burst, but nowhere near the whole budget.
+  if (spec_.faults.empty() && stats.gave_up > 0) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "%" PRIu64 " client(s) gave up with no faults scheduled", stats.gave_up);
+    report_.Add("fleet-convergence", buf);
+  }
+  // Fresh identifications per send mean the HA never sees a replayed id unless
+  // the scenario duplicates frames; any other terminal denial is a bug.
+  if (!SpecInjectsDuplicates(spec_) && stats.denied_other > 0) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "%" PRIu64 " client(s) terminally denied without duplicate injection",
+                  stats.denied_other);
+    report_.Add("fleet-convergence", buf);
+  }
+}
+
 void OracleSuite::Finish() {
   OnTick();  // One last live sample at the final instant.
   CloseQuietStretch(tb_.sim.Now());
   FinalStateOracles();
   TrafficOracles();
   CounterOracles();
+  FleetOracles();
 
   // split-brain (per-epoch ledger): tunnel traffic for the home binding must
   // have come from exactly one agent in each epoch — even across partitions

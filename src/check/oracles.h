@@ -35,6 +35,14 @@
 //                       coverage for a long continuous stretch, the MH must
 //                       not stay unable to communicate: motion plus
 //                       signal-driven handoff always finds a way back.
+//   shard-consistency   the sharded binding table's internal invariants hold
+//                       (every binding and queued request lives in the shard
+//                       its home address hashes to), and each shard's
+//                       exported bindings gauge tracks its table exactly.
+//   fleet-convergence   (overload runs) every synthetic registration client
+//                       reaches a terminal state, none gives up on a
+//                       fault-free run, and none is terminally denied unless
+//                       the scenario injected duplicate frames.
 #ifndef MSN_SRC_CHECK_ORACLES_H_
 #define MSN_SRC_CHECK_ORACLES_H_
 
@@ -51,6 +59,8 @@
 #include "src/topo/testbed.h"
 
 namespace msn {
+
+class RegistrationLoadGenerator;
 
 struct OracleReport {
   struct Violation {
@@ -97,6 +107,10 @@ class OracleSuite {
   // see per-cell link quality. Call before Begin().
   void AttachMobility(const MobilityDriver* driver) { mobility_ = driver; }
 
+  // Overload runs: attach the registration fleet so the fleet-convergence
+  // oracle can audit its terminal ledger. Call before Begin().
+  void AttachFleet(const RegistrationLoadGenerator* fleet) { fleet_ = fleet; }
+
   // Marks the movement-script start time: spec event offsets are interpreted
   // relative to it. Call immediately before MovementScript::Run().
   void Begin();
@@ -122,9 +136,11 @@ class OracleSuite {
   [[nodiscard]] bool InNoisyWindow(Duration offset) const;
   void CloseQuietStretch(Time end);
   void CheckQuietProbeLoss();
+  void ShardOracles();
   void FinalStateOracles();
   void TrafficOracles();
   void CounterOracles();
+  void FleetOracles();
 
   Testbed& tb_;
   ScenarioSpec spec_;
@@ -150,6 +166,9 @@ class OracleSuite {
   const MobilityDriver* mobility_ = nullptr;
   int covered_ticks_ = 0;
   int disconnected_ticks_ = 0;
+
+  // fleet-convergence (overload runs): the synthetic registration fleet.
+  const RegistrationLoadGenerator* fleet_ = nullptr;
 };
 
 }  // namespace msn

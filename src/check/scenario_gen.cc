@@ -6,6 +6,8 @@
 #include <map>
 #include <sstream>
 
+#include "src/mip/calibration.h"
+
 namespace msn {
 namespace {
 
@@ -244,6 +246,14 @@ std::string ScenarioSpec::ToString() const {
     AppendKv(out, "pause_ms", static_cast<uint64_t>(mobility.max_pause.millis()));
     out += '\n';
   }
+  if (overload.enabled) {
+    std::snprintf(buf, sizeof(buf),
+                  "overload shards=%u batch_max=%u queue_limit=%u clients=%u "
+                  "start_ms=%" PRId64 " window_ms=%" PRId64 "\n",
+                  overload.shards, overload.batch_max, overload.queue_limit,
+                  overload.clients, overload.start.millis(), overload.window.millis());
+    out += buf;
+  }
   std::snprintf(buf, sizeof(buf), "duration_ms %" PRId64 "\n", duration.millis());
   out += buf;
   for (const MoveEventSpec& m : moves) {
@@ -387,6 +397,25 @@ std::optional<ScenarioSpec> ScenarioSpec::Parse(const std::string& text, std::st
       spec.mobility.max_pause = Milliseconds(static_cast<int64_t>(TakeKv(kv, "pause_ms", 2000)));
       if (!kv.empty()) {
         return fail("unknown mobility key: " + kv.begin()->first);
+      }
+      continue;
+    }
+    if (word == "overload") {
+      std::string token;
+      while (ls >> token) {
+        if (!ParseKv(token, kv, error)) {
+          return std::nullopt;
+        }
+      }
+      spec.overload.enabled = true;
+      spec.overload.shards = static_cast<uint32_t>(TakeKv(kv, "shards", 4));
+      spec.overload.batch_max = static_cast<uint32_t>(TakeKv(kv, "batch_max", 8));
+      spec.overload.queue_limit = static_cast<uint32_t>(TakeKv(kv, "queue_limit", 16));
+      spec.overload.clients = static_cast<uint32_t>(TakeKv(kv, "clients", 60));
+      spec.overload.start = Milliseconds(static_cast<int64_t>(TakeKv(kv, "start_ms", 4000)));
+      spec.overload.window = Milliseconds(static_cast<int64_t>(TakeKv(kv, "window_ms", 5000)));
+      if (!kv.empty()) {
+        return fail("unknown overload key: " + kv.begin()->first);
       }
       continue;
     }
@@ -664,6 +693,39 @@ ScenarioSpec GenerateScenario(uint64_t seed) {
     spec.traffic.probe_triangle = false;
   }
 
+  // --- Fleet overload ------------------------------------------------------
+  // A slice of classic scripted runs adds a registration-client burst against
+  // a sharded, admission-controlled HA (DESIGN.md §17). Its own substream, so
+  // pre-overload aspects of every seed are untouched. Skipped under mobility
+  // (whose timeline the stanza would fight) and replicated topologies (the
+  // fleet targets one stationary primary).
+  Rng ovl_rng = root.Fork("overload");
+  if (!spec.mobility.enabled && !spec.backup_ha && ovl_rng.Bernoulli(0.25)) {
+    OverloadSpec& ovl = spec.overload;
+    ovl.enabled = true;
+    ovl.shards = static_cast<uint32_t>(ovl_rng.UniformInt(uint64_t{1}, uint64_t{8}));
+    ovl.batch_max = static_cast<uint32_t>(ovl_rng.UniformInt(uint64_t{1}, uint64_t{16}));
+    ovl.queue_limit = static_cast<uint32_t>(ovl_rng.UniformInt(uint64_t{8}, uint64_t{64}));
+    // Enough clients that an above-knee burst can push a shard queue past
+    // the admission limit (shedding needs clients * (1 - knee/rate) to reach
+    // the limit) before the burst ends.
+    ovl.clients = static_cast<uint32_t>(ovl_rng.UniformInt(uint64_t{50}, uint64_t{400}));
+    ovl.start = Milliseconds(
+        static_cast<int64_t>(ovl_rng.UniformInt(uint64_t{3000}, uint64_t{8000})));
+    // Burst span: the offered rate (clients / window) is drawn relative to
+    // the drawn pipeline's saturation knee (DESIGN.md §17), so a healthy
+    // slice of these bursts genuinely exceeds capacity and exercises the
+    // admission shed path, while the rest probe the under-the-knee regime.
+    const Calibration cal = Calibration::Default();
+    const double batch_s =
+        cal.ha_batch_fixed.mean.ToSecondsF() +
+        static_cast<double>(ovl.batch_max) * cal.ha_batch_item.mean.ToSecondsF();
+    const double knee_per_s = static_cast<double>(ovl.shards * ovl.batch_max) / batch_s;
+    const double load_factor = ovl_rng.UniformDouble(0.5, 3.0);
+    ovl.window = std::clamp(SecondsF(ovl.clients / (load_factor * knee_per_s)),
+                            Milliseconds(20), Seconds(8));
+  }
+
   return NormalizeSpec(spec);
 }
 
@@ -673,6 +735,23 @@ ScenarioSpec NormalizeSpec(const ScenarioSpec& spec) {
   // Replicated topologies put the HA pair on dedicated home-network hosts.
   if (out.backup_ha) {
     out.ha_on_router = false;
+  }
+
+  // Overload burst: clamped to the generator's ranges, and its whole window
+  // (plus the shed clients' capped backoff) must clear well before the
+  // settling move so the terminal oracles judge a converged fleet. Mobility
+  // and replicated runs drop the stanza entirely.
+  if (out.overload.enabled) {
+    if (out.mobility.enabled || out.backup_ha) {
+      out.overload = OverloadSpec{};
+    } else {
+      out.overload.shards = std::clamp(out.overload.shards, uint32_t{1}, uint32_t{8});
+      out.overload.batch_max = std::clamp(out.overload.batch_max, uint32_t{1}, uint32_t{16});
+      out.overload.queue_limit = std::clamp(out.overload.queue_limit, uint32_t{8}, uint32_t{64});
+      out.overload.clients = std::clamp(out.overload.clients, uint32_t{1}, uint32_t{500});
+      out.overload.start = std::clamp(out.overload.start, kFaultStartMin, Seconds(8));
+      out.overload.window = std::clamp(out.overload.window, Milliseconds(20), Seconds(8));
+    }
   }
 
   // Mobility scenarios canonicalize to the shape the generator emits: one

@@ -92,6 +92,23 @@ struct MobilitySpec {
   static const char* ModelName(Model model);
 };
 
+// Fleet-overload knob (DESIGN.md §17): a burst of synthetic registration
+// clients hammers the home agent — configured with the stanza's shard /
+// batch / admission-limit knobs — while the classic scripted run plays out.
+// Shed clients back off (denials do not consume their retransmit budget) and
+// must all converge once the burst clears, well before the settling window.
+// Disabled under mobility and replicated topologies: the load generator
+// targets a single stationary primary.
+struct OverloadSpec {
+  bool enabled = false;
+  uint32_t shards = 4;       // HomeAgent::Config::num_shards.
+  uint32_t batch_max = 8;    // HomeAgent::Config::batch_max.
+  uint32_t queue_limit = 16; // HomeAgent::Config::admission_queue_limit.
+  uint32_t clients = 60;     // Synthetic registration clients.
+  Duration start = Seconds(4);   // First client send.
+  Duration window = Seconds(5);  // Client start times spread over this span.
+};
+
 struct ScenarioSpec {
   uint64_t seed = 1;
 
@@ -106,6 +123,7 @@ struct ScenarioSpec {
 
   TrafficSpec traffic;
   MobilitySpec mobility;
+  OverloadSpec overload;
   std::vector<MoveEventSpec> moves;
   std::vector<FaultEventSpec> faults;
   // Total scripted run length (movement/fault offsets share its origin).

@@ -38,6 +38,12 @@ struct Calibration {
   // HA: validate request, install binding + proxy ARP, build reply.
   // Paper: 1.48 ms between receiving the request and sending the reply.
   StepCost ha_processing{MillisecondsF(1.48), MillisecondsF(0.12)};
+  // HA batched registration pipeline (DESIGN.md §17): a burst of queued
+  // requests pays one fixed dequeue/reply-flush overhead plus a per-request
+  // marginal cost. Defaults are anchored so fixed + item == the serial
+  // 1.48 ms — a two-request batch already amortizes the fixed share.
+  StepCost ha_batch_fixed{MillisecondsF(0.90), MillisecondsF(0.08)};
+  StepCost ha_batch_item{MillisecondsF(0.58), MillisecondsF(0.05)};
   // MH: apply the accepted registration (mobility state, policy table).
   StepCost post_registration{MillisecondsF(0.8), MillisecondsF(0.1)};
 

@@ -10,6 +10,8 @@ namespace msn {
 
 HomeAgent::HomeAgent(Node& node, Config config)
     : node_(node), config_(std::move(config)), role_(config_.initial_role) {
+  config_.num_shards = std::clamp(config_.num_shards, uint32_t{1}, kMaxShards);
+  config_.batch_max = std::max(config_.batch_max, uint32_t{1});
   MetricsRegistry* metrics = config_.metrics;
   if (metrics == nullptr) {
     owned_metrics_ = std::make_unique<MetricsRegistry>();
@@ -30,9 +32,21 @@ HomeAgent::HomeAgent(Node& node, Config config)
   counters_.tunnel_drops_crashed = metrics->GetCounterRef(p + "tunnel_drops_crashed");
   counters_.bindings_wiped = metrics->GetCounterRef(p + "bindings_wiped");
   counters_.resync_denials = metrics->GetCounterRef(p + "resync_denials");
+  counters_.admission_denied = metrics->GetCounterRef(p + "admission.denied");
+  counters_.admission_dropped = metrics->GetCounterRef(p + "admission.dropped");
+  counters_.admission_superseded = metrics->GetCounterRef(p + "admission.superseded");
   bindings_gauge_ = &metrics->GetGauge(p + "bindings");
   role_gauge_ = &metrics->GetGauge(p + "role");
   processing_histogram_ = &metrics->GetHistogram(p + "processing_ms");
+  batch_size_histogram_ = &metrics->GetHistogram(p + "batch_size");
+  shards_.resize(config_.num_shards);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const std::string sp = p + "shard." + std::to_string(i) + ".";
+    shards_[i].queue_depth_gauge = &metrics->GetGauge(sp + "queue_depth");
+    shards_[i].bindings_gauge = &metrics->GetGauge(sp + "bindings");
+    shards_[i].processed = metrics->GetCounterRef(sp + "processed");
+    shards_[i].batches = metrics->GetCounterRef(sp + "batches");
+  }
   SetRoleGauge();
 
   // Registration service socket.
@@ -76,9 +90,99 @@ HomeAgent::HomeAgent(Node& node, Config config)
 HomeAgent::~HomeAgent() {
   node_.stack().ClearRouteLookupOverride();
   if (config_.home_device != nullptr) {
-    for (const auto& [home, binding] : bindings_) {
+    for (Ipv4Address home : SortedBoundHomes()) {
       node_.stack().arp().RemoveProxyEntry(config_.home_device, home);
     }
+  }
+}
+
+size_t HomeAgent::ShardIndexOf(Ipv4Address home_address) const {
+  // Knuth multiplicative hash on the raw address; deterministic across
+  // platforms (no std::hash).
+  const uint32_t mixed = home_address.value() * 2654435761u;
+  return (mixed >> 16) % shards_.size();
+}
+
+HomeAgent::Shard& HomeAgent::ShardOf(Ipv4Address home_address) {
+  return shards_[ShardIndexOf(home_address)];
+}
+
+const HomeAgent::Shard& HomeAgent::ShardOf(Ipv4Address home_address) const {
+  return shards_[ShardIndexOf(home_address)];
+}
+
+size_t HomeAgent::binding_count() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.bindings.size();
+  }
+  return total;
+}
+
+size_t HomeAgent::ShardBindingCount(size_t shard_index) const {
+  return shards_[shard_index].bindings.size();
+}
+
+size_t HomeAgent::ShardQueueDepth(size_t shard_index) const {
+  return shards_[shard_index].queue.size();
+}
+
+std::string HomeAgent::ShardConsistencyError() const {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = shards_[i];
+    for (const auto& [home, binding] : shard.bindings) {
+      if (ShardIndexOf(home) != i) {
+        return home.ToString() + " stored in shard " + std::to_string(i) +
+               " but hashes to shard " + std::to_string(ShardIndexOf(home));
+      }
+      if (binding.home_address != home) {
+        return "binding keyed by " + home.ToString() + " names " +
+               binding.home_address.ToString();
+      }
+    }
+    if (shard.queued_by_home.size() != shard.queue.size()) {
+      return "shard " + std::to_string(i) + " queue index holds " +
+             std::to_string(shard.queued_by_home.size()) + " entries for " +
+             std::to_string(shard.queue.size()) + " queued requests";
+    }
+    for (const auto& [home, slot] : shard.queued_by_home) {
+      if (ShardIndexOf(home) != i) {
+        return home.ToString() + " queued in shard " + std::to_string(i) +
+               " but hashes to shard " + std::to_string(ShardIndexOf(home));
+      }
+      if (slot == nullptr || slot->request.home_address != home) {
+        return "queue index for " + home.ToString() + " points at a stale slot";
+      }
+    }
+  }
+  return std::string();
+}
+
+std::vector<Ipv4Address> HomeAgent::SortedBoundHomes() const {
+  std::vector<Ipv4Address> homes;
+  homes.reserve(binding_count());
+  for (const Shard& shard : shards_) {
+    for (const auto& [home, binding] : shard.bindings) {
+      homes.push_back(home);
+    }
+  }
+  std::sort(homes.begin(), homes.end());
+  return homes;
+}
+
+void HomeAgent::SetGlobalBindingsGauge() {
+  bindings_gauge_->Set(static_cast<double>(binding_count()));
+}
+
+void HomeAgent::FlushShardQueues(CounterRef& drop_counter) {
+  for (Shard& shard : shards_) {
+    for (size_t i = 0; i < shard.queue.size(); ++i) {
+      ++drop_counter;
+    }
+    shard.queue.clear();
+    shard.queued_by_home.clear();
+    shard.denials_in_window = 0;
+    shard.queue_depth_gauge->Set(0.0);
   }
 }
 
@@ -106,16 +210,21 @@ HomeAgent::Counters HomeAgent::counters() const {
   c.tunnel_drops_crashed = counters_.tunnel_drops_crashed;
   c.bindings_wiped = counters_.bindings_wiped;
   c.resync_denials = counters_.resync_denials;
+  c.admission_denied = counters_.admission_denied;
+  c.admission_dropped = counters_.admission_dropped;
+  c.admission_superseded = counters_.admission_superseded;
   return c;
 }
 
 bool HomeAgent::HasBinding(Ipv4Address home_address) const {
-  return bindings_.find(home_address) != bindings_.end();
+  const Shard& shard = ShardOf(home_address);
+  return shard.bindings.find(home_address) != shard.bindings.end();
 }
 
 std::optional<HomeAgent::Binding> HomeAgent::GetBinding(Ipv4Address home_address) const {
-  auto it = bindings_.find(home_address);
-  if (it == bindings_.end()) {
+  const Shard& shard = ShardOf(home_address);
+  auto it = shard.bindings.find(home_address);
+  if (it == shard.bindings.end()) {
     return std::nullopt;
   }
   return it->second;
@@ -128,8 +237,9 @@ std::optional<RouteDecision> HomeAgent::RouteOverride(const RouteQuery& query) {
   if (role_ != HaRole::kPrimary) {
     return std::nullopt;
   }
-  auto it = bindings_.find(query.dst);
-  if (it == bindings_.end()) {
+  const Shard& shard = ShardOf(query.dst);
+  auto it = shard.bindings.find(query.dst);
+  if (it == shard.bindings.end()) {
     return std::nullopt;
   }
   RouteDecision decision;
@@ -140,8 +250,9 @@ std::optional<RouteDecision> HomeAgent::RouteOverride(const RouteQuery& query) {
 }
 
 void HomeAgent::EncapsulateAndTunnel(const Ipv4Header& inner, const Packet& inner_wire) {
-  auto it = bindings_.find(inner.dst);
-  if (it == bindings_.end()) {
+  Shard& shard = ShardOf(inner.dst);
+  auto it = shard.bindings.find(inner.dst);
+  if (it == shard.bindings.end()) {
     ++counters_.tunnel_drops_no_binding;
     return;
   }
@@ -163,19 +274,24 @@ void HomeAgent::BeginOutage(HaOutageKind kind) {
   switch (kind) {
     case HaOutageKind::kService:
       MSN_WARN("mip-ha", "%s: outage begins", node_.name().c_str());
+      // Queued-but-unprocessed requests die with the daemon's service; the
+      // MH retransmit machinery recovers, exactly as for in-flight frames.
+      FlushShardQueues(counters_.requests_dropped_outage);
       return;
     case HaOutageKind::kDaemonRestart:
       MSN_WARN("mip-ha", "%s: outage begins (daemon restart: soft state wiped)",
                node_.name().c_str());
+      FlushShardQueues(counters_.requests_dropped_outage);
       WipeSoftState();
       return;
     case HaOutageKind::kFailStop:
       MSN_WARN("mip-ha", "%s: outage begins (fail-stop crash)", node_.name().c_str());
       crashed_ = true;
+      FlushShardQueues(counters_.requests_dropped_crashed);
       // The dead host answers no ARP; stale neighbor caches keep sending
       // frames its way for a while, and those show up as tunnel_drops_crashed
       // because the bindings themselves are kept until rejoin.
-      for (const auto& [home, binding] : bindings_) {
+      for (Ipv4Address home : SortedBoundHomes()) {
         RemoveServingArpState(home);
       }
       return;
@@ -204,13 +320,8 @@ void HomeAgent::EndOutage() {
 
 void HomeAgent::WipeSoftState() {
   applying_peer_state_ = true;
-  // Snapshot the keys first — RemoveBinding mutates bindings_.
-  std::vector<Ipv4Address> homes;
-  homes.reserve(bindings_.size());
-  for (const auto& [home, binding] : bindings_) {
-    homes.push_back(home);
-  }
-  for (Ipv4Address home : homes) {
+  // Snapshot the keys first — RemoveBinding mutates the shard tables.
+  for (Ipv4Address home : SortedBoundHomes()) {
     resync_required_.insert(home);
     ++counters_.bindings_wiped;
     RemoveBinding(home, /*expired=*/false);
@@ -222,13 +333,13 @@ void HomeAgent::WipeSoftState() {
 void HomeAgent::Promote(uint64_t epoch) {
   MSN_WARN("mip-ha", "%s: promoted to primary (epoch %llu -> %llu, %zu bindings)",
            node_.name().c_str(), static_cast<unsigned long long>(epoch_),
-           static_cast<unsigned long long>(epoch), bindings_.size());
+           static_cast<unsigned long long>(epoch), binding_count());
   role_ = HaRole::kPrimary;
   epoch_ = epoch;
   SetRoleGauge();
   // Pull home-subnet traffic here: proxy ARP plus a gratuitous announcement
   // for every mirrored binding.
-  for (const auto& [home, binding] : bindings_) {
+  for (Ipv4Address home : SortedBoundHomes()) {
     InstallServingArpState(home);
   }
 }
@@ -240,7 +351,9 @@ void HomeAgent::StepDown(uint64_t epoch) {
   role_ = HaRole::kStandby;
   epoch_ = epoch;
   SetRoleGauge();
-  for (const auto& [home, binding] : bindings_) {
+  // Anything still queued belongs to the new primary now.
+  FlushShardQueues(counters_.requests_dropped_standby);
+  for (Ipv4Address home : SortedBoundHomes()) {
     RemoveServingArpState(home);
   }
 }
@@ -270,8 +383,10 @@ void HomeAgent::ApplyMutation(const BindingMutation& mutation) {
       binding.identification = mutation.identification;
       binding.registered_at = node_.sim().Now();
       binding.decapsulates_self = mutation.decapsulates_self;
-      bindings_[mutation.home_address] = binding;
-      bindings_gauge_->Set(static_cast<double>(bindings_.size()));
+      Shard& shard = ShardOf(mutation.home_address);
+      shard.bindings[mutation.home_address] = binding;
+      shard.bindings_gauge->Set(static_cast<double>(shard.bindings.size()));
+      SetGlobalBindingsGauge();
       last_identification_[mutation.home_address] = mutation.identification;
       resync_required_.erase(mutation.home_address);
       ScheduleExpiry(mutation.home_address, binding.expires);
@@ -295,8 +410,11 @@ void HomeAgent::ApplyMutation(const BindingMutation& mutation) {
 HaBindingState HomeAgent::SnapshotState() const {
   HaBindingState state;
   const Time now = node_.sim().Now();
-  state.bindings.reserve(bindings_.size());
-  for (const auto& [home, binding] : bindings_) {
+  state.bindings.reserve(binding_count());
+  // Shard-merged and address-sorted, preserving the documented snapshot
+  // order regardless of the shard layout (peers may shard differently).
+  for (Ipv4Address home : SortedBoundHomes()) {
+    const auto& binding = ShardOf(home).bindings.at(home);
     HaBindingState::Entry entry;
     entry.home_address = home;
     entry.care_of = binding.care_of;
@@ -317,12 +435,7 @@ HaBindingState HomeAgent::SnapshotState() const {
 
 void HomeAgent::AdoptState(const HaBindingState& state) {
   applying_peer_state_ = true;
-  std::vector<Ipv4Address> homes;
-  homes.reserve(bindings_.size());
-  for (const auto& [home, binding] : bindings_) {
-    homes.push_back(home);
-  }
-  for (Ipv4Address home : homes) {
+  for (Ipv4Address home : SortedBoundHomes()) {
     RemoveBinding(home, /*expired=*/false);
   }
   last_identification_.clear();
@@ -337,13 +450,15 @@ void HomeAgent::AdoptState(const HaBindingState& state) {
     binding.identification = entry.identification;
     binding.registered_at = node_.sim().Now();
     binding.decapsulates_self = entry.decapsulates_self;
-    bindings_[entry.home_address] = binding;
+    Shard& shard = ShardOf(entry.home_address);
+    shard.bindings[entry.home_address] = binding;
+    shard.bindings_gauge->Set(static_cast<double>(shard.bindings.size()));
     ScheduleExpiry(entry.home_address, binding.expires);
     if (serving()) {
       InstallServingArpState(entry.home_address);
     }
   }
-  bindings_gauge_->Set(static_cast<double>(bindings_.size()));
+  SetGlobalBindingsGauge();
   // The replica's identification history supersedes the from-scratch resync:
   // a recovering agent that adopted a snapshot needs no one-shot denial.
   resync_required_.clear();
@@ -394,25 +509,117 @@ void HomeAgent::OnRegistrationDatagram(const std::vector<uint8_t>& data,
     ++counters_.registrations_denied;
     return;  // Cannot even name the mobile host; drop silently.
   }
-  // The registration daemon is a single server: requests queue behind the
-  // one being processed. Processing takes the calibrated HA cost (the
-  // paper's measured 1.48 ms).
+  // Admission front end (DESIGN.md §17). Everything here is stateless and
+  // cheap — no authentication, no identification lookup — so an overloaded
+  // agent sheds work at parse cost instead of collapsing under it.
   const Time arrival = node_.sim().Now();
-  const Time start = std::max(arrival, busy_until_);
-  const Duration cost = config_.calibration.ha_processing.Draw(node_.sim().rng());
-  busy_until_ = start + cost;
-  const double processing_ms = (busy_until_ - arrival).ToMillisF();
-  processing_stats_ms_.Add(processing_ms);
-  processing_histogram_->Record(processing_ms);
-  // The daemon dequeues the request at `start`, updates kernel state
-  // (binding, route, proxy ARP) promptly, and sends the reply once the full
-  // processing cost has elapsed. Installing the binding early keeps the
-  // packet-loss window short (paper: the loss interval ends when the HA
-  // registers the new care-of address, not when the reply reaches the MH).
-  const Time reply_at = busy_until_;
-  node_.sim().ScheduleAt(start, [this, request = *request, meta, reply_at] {
-    ProcessRequest(request, meta, reply_at);
-  });
+  Shard& shard = ShardOf(request->home_address);
+  auto queued = shard.queued_by_home.find(request->home_address);
+  if (queued != shard.queued_by_home.end()) {
+    // Retransmit-aware supersede: a newer copy from the same mobile host
+    // replaces its stale queued copy in place, so a slow queue never burns
+    // a batch slot answering a request the MH has already given up on.
+    ++counters_.admission_superseded;
+    if (request->identification >= queued->second->request.identification) {
+      queued->second->request = *request;
+      queued->second->meta = meta;
+      queued->second->arrival = arrival;
+    }
+    return;
+  }
+  const size_t depth = shard.queue.size();
+  if (config_.admission_queue_limit > 0) {
+    const uint32_t drop_limit = config_.admission_drop_limit > 0
+                                    ? config_.admission_drop_limit
+                                    : 2 * config_.admission_queue_limit;
+    if (depth + shard.denials_in_window >= drop_limit) {
+      // Past the point where even a denial is worth sending: replies cost
+      // socket work, so each daemon pass grants a bounded denial budget —
+      // a flood cannot turn the agent into a full-time denial server.
+      ++counters_.admission_dropped;
+      return;
+    }
+    if (depth >= config_.admission_queue_limit) {
+      // Explicit shed: an unauthenticated "insufficient resources" reply
+      // sent before any per-MH work, telling the MH to back off and retry.
+      ++shard.denials_in_window;
+      ++counters_.admission_denied;
+      RegistrationReply reply;
+      reply.home_address = request->home_address;
+      reply.home_agent = config_.address;
+      reply.identification = request->identification;
+      reply.lifetime_sec = 0;
+      reply.code = MipReplyCode::kDeniedInsufficientResources;
+      SendReply(reply, meta.src, meta.src_port);
+      return;
+    }
+  }
+  shard.queue.push_back(PendingRequest{*request, meta, arrival});
+  shard.queued_by_home[request->home_address] = &shard.queue.back();
+  shard.queue_depth_gauge->Set(static_cast<double>(shard.queue.size()));
+  ScheduleShardBatch(ShardIndexOf(request->home_address));
+}
+
+void HomeAgent::ScheduleShardBatch(size_t shard_index) {
+  Shard& shard = shards_[shard_index];
+  if (shard.batch_scheduled || shard.queue.empty()) {
+    return;
+  }
+  shard.batch_scheduled = true;
+  const Time start = std::max(node_.sim().Now(), shard.busy_until);
+  node_.sim().ScheduleAt(start, [this, shard_index] { RunShardBatch(shard_index); });
+}
+
+void HomeAgent::RunShardBatch(size_t shard_index) {
+  Shard& shard = shards_[shard_index];
+  shard.batch_scheduled = false;
+  if (crashed_ || !service_available_ || role_ != HaRole::kPrimary) {
+    // The state transition that got us here already flushed the queues into
+    // the matching dropped counter; a stale batch event must not process.
+    return;
+  }
+  if (shard.queue.empty()) {
+    return;
+  }
+  shard.denials_in_window = 0;  // Each daemon pass refreshes the denial budget.
+  // Drain up to batch_max queued requests in one go. A burst pays one fixed
+  // dequeue/reply-flush overhead plus a per-request marginal cost; a batch
+  // of one draws the classic serial ha_processing cost so the uncontended
+  // path is calibrated identically to the paper's measurement.
+  const size_t batch = std::min<size_t>(config_.batch_max, shard.queue.size());
+  Rng& rng = node_.sim().rng();
+  Duration cost;
+  if (batch == 1) {
+    cost = config_.calibration.ha_processing.Draw(rng);
+  } else {
+    cost = config_.calibration.ha_batch_fixed.Draw(rng);
+    for (size_t i = 0; i < batch; ++i) {
+      cost = cost + config_.calibration.ha_batch_item.Draw(rng);
+    }
+  }
+  shard.busy_until = node_.sim().Now() + cost;
+  const Time reply_at = shard.busy_until;
+  ++shard.batches;
+  batch_size_histogram_->Record(static_cast<double>(batch));
+  for (size_t i = 0; i < batch; ++i) {
+    PendingRequest pending = shard.queue.front();
+    shard.queue.pop_front();
+    shard.queued_by_home.erase(pending.request.home_address);
+    ++shard.processed;
+    const double processing_ms = (reply_at - pending.arrival).ToMillisF();
+    processing_stats_ms_.Add(processing_ms);
+    processing_histogram_->Record(processing_ms);
+    // Kernel state (binding, route, proxy ARP) updates promptly at dequeue;
+    // the reply goes out once the batch's full processing cost has elapsed.
+    // Installing the binding early keeps the packet-loss window short
+    // (paper: the loss interval ends when the HA registers the new care-of
+    // address, not when the reply reaches the MH).
+    ProcessRequest(pending.request, pending.meta, reply_at);
+  }
+  shard.queue_depth_gauge->Set(static_cast<double>(shard.queue.size()));
+  if (!shard.queue.empty()) {
+    ScheduleShardBatch(shard_index);
+  }
 }
 
 void HomeAgent::ProcessRequest(const RegistrationRequest& request,
@@ -500,12 +707,13 @@ void HomeAgent::ProcessRequest(const RegistrationRequest& request,
 void HomeAgent::InstallBinding(const RegistrationRequest& request,
                                uint16_t granted_lifetime_sec) {
   const Ipv4Address home = request.home_address;
-  auto it = bindings_.find(home);
+  Shard& shard = ShardOf(home);
+  auto it = shard.bindings.find(home);
   const Ipv4Address old_care_of =
-      it != bindings_.end() ? it->second.care_of : Ipv4Address::Any();
+      it != shard.bindings.end() ? it->second.care_of : Ipv4Address::Any();
 
   const bool old_was_foreign_agent =
-      it != bindings_.end() && !it->second.decapsulates_self;
+      it != shard.bindings.end() && !it->second.decapsulates_self;
 
   Binding binding;
   binding.home_address = home;
@@ -522,8 +730,9 @@ void HomeAgent::InstallBinding(const RegistrationRequest& request,
   MSN_CHECK(config_.home_subnet.Contains(home))
       << home.ToString() << " outside " << config_.home_subnet.ToString();
   MSN_ASSERT(!binding.care_of.IsAny()) << "registration with an empty care-of address";
-  bindings_[home] = binding;
-  bindings_gauge_->Set(static_cast<double>(bindings_.size()));
+  shard.bindings[home] = binding;
+  shard.bindings_gauge->Set(static_cast<double>(shard.bindings.size()));
+  SetGlobalBindingsGauge();
 
   // Previous-FA notification: late tunnel packets still headed to the old
   // foreign agent can be forwarded to the new care-of address.
@@ -559,13 +768,15 @@ void HomeAgent::InstallBinding(const RegistrationRequest& request,
 }
 
 void HomeAgent::RemoveBinding(Ipv4Address home_address, bool expired) {
-  auto it = bindings_.find(home_address);
-  if (it == bindings_.end()) {
+  Shard& shard = ShardOf(home_address);
+  auto it = shard.bindings.find(home_address);
+  if (it == shard.bindings.end()) {
     return;
   }
   const Ipv4Address old_care_of = it->second.care_of;
-  bindings_.erase(it);
-  bindings_gauge_->Set(static_cast<double>(bindings_.size()));
+  shard.bindings.erase(it);
+  shard.bindings_gauge->Set(static_cast<double>(shard.bindings.size()));
+  SetGlobalBindingsGauge();
   RemoveServingArpState(home_address);
   if (expired) {
     ++counters_.bindings_expired;
@@ -585,8 +796,9 @@ void HomeAgent::RemoveBinding(Ipv4Address home_address, bool expired) {
 
 void HomeAgent::ScheduleExpiry(Ipv4Address home_address, Time expires) {
   node_.sim().ScheduleAt(expires, [this, home_address, expires] {
-    auto it = bindings_.find(home_address);
-    if (it == bindings_.end() || it->second.expires > expires) {
+    const Shard& shard = ShardOf(home_address);
+    auto it = shard.bindings.find(home_address);
+    if (it == shard.bindings.end() || it->second.expires > expires) {
       return;  // Removed or refreshed meanwhile.
     }
     RemoveBinding(home_address, /*expired=*/true);

@@ -13,9 +13,22 @@
 //  * answers registration requests on UDP port 434, including deregistration
 //    when the mobile host returns home.
 //
-// Request processing is serialized through a single logical server (the
-// paper's user-level daemon), which is what the HA-scalability benchmark
-// measures.
+// Registration processing (DESIGN.md §17): the paper's single user-level
+// daemon is generalized into a sharded, batched registration server. The
+// binding table is split across `num_shards` logical shards keyed by a hash
+// of the home address; each shard has its own request queue and daemon
+// (per-shard busy window in sim-time), so shards drain independently. A
+// shard's daemon dequeues up to `batch_max` requests per pass and amortizes
+// the fixed per-pass cost (dequeue, context, reply flush) across the burst;
+// a single queued request pays exactly the paper's serial 1.48 ms, keeping
+// the calibrated uncontended path identical to the classic daemon. In front
+// of the queues sits an admission filter: once a shard's queue depth crosses
+// `admission_queue_limit`, new arrivals are denied statelessly
+// (kDeniedInsufficientResources, before any authentication or identification
+// work), and once queue depth plus the denials already issued this daemon
+// pass reach `admission_drop_limit` even the denial is skipped. A
+// retransmit of a request that is still queued supersedes the stale copy in
+// place instead of growing the queue.
 //
 // Replication (DESIGN.md §14): a home agent can be deployed as one of a
 // primary/standby pair. The primary emits every locally-originated binding
@@ -28,6 +41,7 @@
 #ifndef MSN_SRC_MIP_HOME_AGENT_H_
 #define MSN_SRC_MIP_HOME_AGENT_H_
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -134,7 +148,26 @@ class HomeAgent {
     // Metric namespace; the backup of a replicated pair uses "ha.backup." so
     // both agents can share one registry.
     std::string metric_prefix = "ha.";
+    // Logical shards of the binding table / registration pipeline, keyed by
+    // a hash of the home address. Clamped to [1, kMaxShards]. Per-shard
+    // accounting lands under "<metric_prefix>shard.<i>.*".
+    uint32_t num_shards = 1;
+    // Max requests a shard's daemon dequeues per batch pass (>= 1). A batch
+    // of one pays the serial ha_processing cost; larger batches pay
+    // ha_batch_fixed once plus ha_batch_item per request.
+    uint32_t batch_max = 8;
+    // Admission control: deny statelessly (kDeniedInsufficientResources,
+    // before authentication) once a shard's queue holds this many requests.
+    // 0 disables admission control (unbounded queues).
+    uint32_t admission_queue_limit = 0;
+    // Past this pressure even the denial is skipped (silent drop): pressure
+    // is queue depth plus denials already issued since the shard's daemon
+    // last ran, so a flood cannot make the agent spend all its time sending
+    // denials. 0 derives 2 * admission_queue_limit.
+    uint32_t admission_drop_limit = 0;
   };
+
+  static constexpr uint32_t kMaxShards = 64;
 
   struct Binding {
     Ipv4Address home_address;
@@ -172,6 +205,14 @@ class HomeAgent {
     // Post-restart registrations denied once with kDeniedIdentificationMismatch
     // to re-anchor the replay window.
     uint64_t resync_denials = 0;
+    // Admission control: requests denied statelessly with
+    // kDeniedInsufficientResources (queue over admission_queue_limit).
+    uint64_t admission_denied = 0;
+    // Requests dropped without even a denial (queue over admission_drop_limit).
+    uint64_t admission_dropped = 0;
+    // Retransmits that superseded a stale queued copy of the same home's
+    // request instead of growing the queue.
+    uint64_t admission_superseded = 0;
   };
 
   // Observer for binding changes; `new_care_of` is Any() on removal.
@@ -239,7 +280,15 @@ class HomeAgent {
 
   [[nodiscard]] bool HasBinding(Ipv4Address home_address) const;
   [[nodiscard]] std::optional<Binding> GetBinding(Ipv4Address home_address) const;
-  size_t binding_count() const { return bindings_.size(); }
+  size_t binding_count() const;
+  // Shard introspection for the fuzzer's shard-consistency oracle.
+  size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] size_t ShardBindingCount(size_t shard_index) const;
+  [[nodiscard]] size_t ShardQueueDepth(size_t shard_index) const;
+  // Empty string when every shard invariant holds: each binding lives in the
+  // shard its home address hashes to, and each shard's queue index matches
+  // its queue exactly.
+  [[nodiscard]] std::string ShardConsistencyError() const;
   Counters counters() const;
   const Config& config() const { return config_; }
   Node& node() { return node_; }
@@ -270,7 +319,52 @@ class HomeAgent {
     CounterRef tunnel_drops_crashed;
     CounterRef bindings_wiped;
     CounterRef resync_denials;
+    CounterRef admission_denied;
+    CounterRef admission_dropped;
+    CounterRef admission_superseded;
   };
+
+  // One queued registration awaiting its shard's daemon. A retransmit for
+  // the same home address overwrites this slot in place (supersede).
+  struct PendingRequest {
+    RegistrationRequest request;
+    UdpSocket::Metadata meta;
+    Time arrival;
+  };
+
+  // One logical shard: its slice of the binding table, its request queue,
+  // and its daemon's busy window. std::deque keeps references to queued
+  // elements stable across push_back, which the supersede index relies on.
+  struct Shard {
+    std::map<Ipv4Address, Binding> bindings;
+    std::deque<PendingRequest> queue;
+    // home address -> queued slot, for retransmit supersede. Entries are
+    // erased as their slot is dequeued.
+    std::map<Ipv4Address, PendingRequest*> queued_by_home;
+    Time busy_until = Time::Zero();
+    bool batch_scheduled = false;
+    // Denials issued since the shard's daemon last ran a batch. The denial
+    // reply budget is per daemon pass: once depth + denials_in_window
+    // crosses the drop limit, further arrivals are shed silently.
+    uint32_t denials_in_window = 0;
+    Gauge* queue_depth_gauge = nullptr;  // "<prefix>shard.<i>.queue_depth"
+    Gauge* bindings_gauge = nullptr;     // "<prefix>shard.<i>.bindings"
+    CounterRef processed;                // "<prefix>shard.<i>.processed"
+    CounterRef batches;                  // "<prefix>shard.<i>.batches"
+  };
+
+  [[nodiscard]] size_t ShardIndexOf(Ipv4Address home_address) const;
+  Shard& ShardOf(Ipv4Address home_address);
+  const Shard& ShardOf(Ipv4Address home_address) const;
+  // All bound home addresses, sorted (shard-merged); preserves the classic
+  // single-table iteration order for promote/step-down/wipe/snapshot.
+  [[nodiscard]] std::vector<Ipv4Address> SortedBoundHomes() const;
+  // Drops every queued request (outage, crash, step-down), counting each
+  // against `drop_counter`.
+  void FlushShardQueues(CounterRef& drop_counter);
+  void ScheduleShardBatch(size_t shard_index);
+  void RunShardBatch(size_t shard_index);
+  void SetGlobalBindingsGauge();
 
   void OnRegistrationDatagram(const std::vector<uint8_t>& data, const UdpSocket::Metadata& meta);
   void ProcessRequest(const RegistrationRequest& request, const UdpSocket::Metadata& meta,
@@ -296,9 +390,12 @@ class HomeAgent {
   std::unique_ptr<UdpSocket> socket_;
   VirtualInterface* vif_ = nullptr;  // Owned by the node.
   std::unique_ptr<IpIpTunnelEndpoint> tunnel_;
-  std::map<Ipv4Address, Binding> bindings_;
+  // The binding table, sharded by hash of home address. shards_.size() is
+  // fixed at construction, so Shard pointers/references stay valid.
+  std::vector<Shard> shards_;
   // Highest identification seen per home address; survives deregistration to
-  // reject replays.
+  // reject replays. Kept as one table: it is touched only on the (batched)
+  // registration path, never on the per-packet datapath.
   std::map<Ipv4Address, uint64_t> last_identification_;
   std::set<Ipv4Address> authorized_;
   std::map<Ipv4Address, MipAuthKey> auth_keys_;
@@ -309,9 +406,10 @@ class HomeAgent {
   bool applying_peer_state_ = false;
   std::unique_ptr<MetricsRegistry> owned_metrics_;  // Fallback when unbound.
   LiveCounters counters_;
-  Gauge* bindings_gauge_ = nullptr;            // "<prefix>bindings"
+  Gauge* bindings_gauge_ = nullptr;            // "<prefix>bindings" (all shards)
   Gauge* role_gauge_ = nullptr;                // "<prefix>role" (1 = primary)
   Histogram* processing_histogram_ = nullptr;  // "<prefix>processing_ms"
+  Histogram* batch_size_histogram_ = nullptr;  // "<prefix>batch_size"
   // False inside a scheduled outage window; requests are dropped unreplied.
   bool service_available_ = true;
   // True between a fail-stop crash and its rejoin.
@@ -322,8 +420,6 @@ class HomeAgent {
   // Home addresses whose first post-restart registration must be denied once
   // to resynchronize identifications.
   std::set<Ipv4Address> resync_required_;
-  // The registration daemon handles one request at a time.
-  Time busy_until_ = Time::Zero();
   RunningStats processing_stats_ms_;
 };
 

@@ -18,6 +18,8 @@ const char* MipReplyCodeName(MipReplyCode code) {
       return "denied: lifetime too long";
     case MipReplyCode::kDeniedUnknownHomeAddress:
       return "denied: unknown home address";
+    case MipReplyCode::kDeniedInsufficientResources:
+      return "denied: insufficient resources";
     case MipReplyCode::kDeniedBadAuthenticator:
       return "denied: bad authenticator";
     case MipReplyCode::kDeniedIdentificationMismatch:

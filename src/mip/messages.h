@@ -50,6 +50,10 @@ enum class MipReplyCode : uint8_t {
   kDeniedMalformed = 70,
   kDeniedLifetimeTooLong = 69,
   kDeniedUnknownHomeAddress = 128,
+  // Admission control: the HA's front end shed this request before doing any
+  // authentication or identification work (queue over threshold). Explicitly
+  // "try again later", so the MH backs off and retries instead of failing.
+  kDeniedInsufficientResources = 130,
   kDeniedBadAuthenticator = 131,
   kDeniedIdentificationMismatch = 133,
 };

@@ -23,6 +23,7 @@ MobileHost::MobileHost(Node& node, Config config) : node_(node), config_(config)
   counters_.bindings_lost = metrics->GetCounterRef("mh.bindings_lost");
   counters_.recoveries = metrics->GetCounterRef("mh.recoveries");
   counters_.resyncs = metrics->GetCounterRef("mh.resyncs");
+  counters_.admission_backoffs = metrics->GetCounterRef("mh.admission_backoffs");
   counters_.duplicate_replies_dropped = metrics->GetCounterRef("mh.duplicate_replies_dropped");
   counters_.stale_replies_dropped = metrics->GetCounterRef("mh.stale_replies_dropped");
   counters_.packets_tunneled_out = metrics->GetCounterRef("mh.packets_tunneled_out");
@@ -80,6 +81,7 @@ MobileHost::Counters MobileHost::counters() const {
   c.bindings_lost = counters_.bindings_lost;
   c.recoveries = counters_.recoveries;
   c.resyncs = counters_.resyncs;
+  c.admission_backoffs = counters_.admission_backoffs;
   c.duplicate_replies_dropped = counters_.duplicate_replies_dropped;
   c.stale_replies_dropped = counters_.stale_replies_dropped;
   c.packets_tunneled_out = counters_.packets_tunneled_out;
@@ -433,6 +435,25 @@ void MobileHost::OnRegistrationDatagram(const std::vector<uint8_t>& data,
       MSN_WARN("mip-mh", "%s: identification mismatch from HA; resyncing",
                node_.name().c_str());
       SendRegistrationRequest(generation, in_flight_deregistration_);
+      return;
+    }
+    if (reply->code == MipReplyCode::kDeniedInsufficientResources &&
+        config_.retry_on_insufficient_resources) {
+      // The HA's admission filter shed us under load — an explicit "try
+      // again later", not a verdict on this registration. Back off with the
+      // decorrelated-jitter schedule and retry; deliberately does not
+      // consume retransmits_left_, so a shed host converges once the
+      // overload clears instead of exhausting its budget mid-storm.
+      ++counters_.admission_backoffs;
+      MSN_DEBUG("mip-mh", "%s: admission-denied by HA; backing off",
+                node_.name().c_str());
+      retransmit_event_ = node_.sim().Schedule(
+          NextRetransmitDelay(), [this, generation] {
+            if (generation != attach_generation_) {
+              return;
+            }
+            SendRegistrationRequest(generation, in_flight_deregistration_);
+          });
       return;
     }
     ++counters_.registrations_denied;

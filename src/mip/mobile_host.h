@@ -71,6 +71,12 @@ class MobileHost {
     // window desynced), immediately re-register with a fresh identification
     // instead of failing the attach.
     bool resync_on_identification_mismatch = true;
+    // On a kDeniedInsufficientResources reply (the HA's admission filter
+    // shed the request under load, DESIGN.md §17), back off and retry with
+    // the decorrelated-jitter schedule instead of failing the attach. These
+    // retries do not consume the max_retransmits budget — the HA explicitly
+    // said "try again later", so the host converges once the load clears.
+    bool retry_on_insufficient_resources = true;
     // Replicated-HA failover (DESIGN.md §14): when set, a run of unanswered
     // registration sends to the active home agent makes the host switch to
     // this backup (and back, alternating) before the next retransmit. The
@@ -140,6 +146,9 @@ class MobileHost {
     uint64_t recoveries = 0;
     // Re-registrations triggered by kDeniedIdentificationMismatch.
     uint64_t resyncs = 0;
+    // Backoff-and-retry rounds triggered by kDeniedInsufficientResources
+    // (the HA's admission filter shed the request under load).
+    uint64_t admission_backoffs = 0;
     // Replies discarded because their identification was already accepted.
     uint64_t duplicate_replies_dropped = 0;
     // Replies discarded as stale (identification matches no outstanding or
@@ -236,6 +245,7 @@ class MobileHost {
     CounterRef bindings_lost;
     CounterRef recoveries;
     CounterRef resyncs;
+    CounterRef admission_backoffs;
     CounterRef duplicate_replies_dropped;
     CounterRef stale_replies_dropped;
     CounterRef packets_tunneled_out;

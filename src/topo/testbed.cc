@@ -84,6 +84,9 @@ void Testbed::BuildRouter() {
     ha_config.home_subnet = HomeSubnet();
     ha_config.calibration = config_.calibration;
     ha_config.metrics = &metrics;
+    ha_config.num_shards = config_.ha_shards;
+    ha_config.batch_max = config_.ha_batch_max;
+    ha_config.admission_queue_limit = config_.ha_admission_limit;
     home_agent = std::make_unique<HomeAgent>(*router, ha_config);
   } else {
     ha_host = std::make_unique<Node>(sim, "ha-host", &metrics);
@@ -104,6 +107,9 @@ void Testbed::BuildRouter() {
     ha_config.home_subnet = HomeSubnet();
     ha_config.calibration = config_.calibration;
     ha_config.metrics = &metrics;
+    ha_config.num_shards = config_.ha_shards;
+    ha_config.batch_max = config_.ha_batch_max;
+    ha_config.admission_queue_limit = config_.ha_admission_limit;
     home_agent = std::make_unique<HomeAgent>(*ha_host, ha_config);
 
     if (config_.with_backup_ha) {
@@ -126,6 +132,9 @@ void Testbed::BuildRouter() {
       backup_config.metrics = &metrics;
       backup_config.metric_prefix = "ha.backup.";
       backup_config.initial_role = HaRole::kStandby;
+      backup_config.num_shards = config_.ha_shards;
+      backup_config.batch_max = config_.ha_batch_max;
+      backup_config.admission_queue_limit = config_.ha_admission_limit;
       backup_agent = std::make_unique<HomeAgent>(*backup_ha_host, backup_config);
 
       // Sync links, one per agent. Takeover timeouts are staggered so the

@@ -54,6 +54,12 @@ struct TestbedConfig {
   bool with_dhcp = true;
   Calibration calibration = Calibration::Default();
   uint16_t mh_lifetime_sec = 300;
+  // HA registration pipeline knobs (DESIGN.md §17), applied to every agent
+  // the testbed builds (primary and backup alike). Defaults keep the classic
+  // serial single-shard daemon with unbounded queues.
+  uint32_t ha_shards = 1;
+  uint32_t ha_batch_max = 8;
+  uint32_t ha_admission_limit = 0;
 };
 
 class Testbed {

@@ -80,6 +80,36 @@ TEST(CheckFuzzTest, CleanRunIsDeterministic) {
   EXPECT_EQ(a.report.ToString(), b.report.ToString());
 }
 
+TEST(CheckFuzzTest, OverloadStanzaShedsAndConverges) {
+  // The overload stanza draws its offered rate relative to the drawn
+  // pipeline's knee, so among a window of generated overload seeds at least
+  // one burst must genuinely exceed capacity and trip the admission filter —
+  // while every such run still passes its oracles (the fleet converges).
+  uint64_t overload_runs = 0;
+  uint64_t shed_runs = 0;
+  for (uint64_t seed = 1; seed <= 60 && shed_runs == 0; ++seed) {
+    const ScenarioSpec spec = GenerateScenario(seed);
+    if (!spec.overload.enabled) {
+      continue;
+    }
+    ++overload_runs;
+    uint64_t denied = 0;
+    RunOptions options;
+    options.instrument = [&](Testbed& tb) {
+      tb.sim.Schedule(spec.duration - Milliseconds(1), [&denied, &tb] {
+        denied = tb.home_agent->counters().admission_denied;
+      });
+    };
+    const RunResult result = RunScenario(spec, options);
+    EXPECT_FALSE(result.failed()) << "seed " << seed << "\n" << result.FailureReport();
+    if (denied > 0) {
+      shed_runs = 1;
+    }
+  }
+  EXPECT_GT(overload_runs, 0u) << "no generated seed enabled the overload stanza";
+  EXPECT_EQ(shed_runs, 1u) << "no overload burst ever tripped the admission filter";
+}
+
 // A hand-built scenario with deliberately more events than the failure
 // needs, so the shrinker has something to earn. The host ends away from
 // home on the visited wired net with a short registration lifetime.

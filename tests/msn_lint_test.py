@@ -207,6 +207,22 @@ class MsnLintTest(unittest.TestCase):
                         'auto& b = reg.GetCounterRef("check." + oracle);\n')
         self.assertEqual(run_lint(self.tree.root), [])
 
+    def test_registered_subnamespaces_ok(self):
+        self.tree.write("src/mip/ok.cc",
+                        'auto& a = reg.GetCounter("ha.admission.denied");\n'
+                        'auto& b = reg.GetGauge("ha.shard.0.queue_depth");\n'
+                        'auto& c = reg.GetCounterRef("ha.backup.shard.15.processed");\n')
+        self.assertEqual(run_lint(self.tree.root), [])
+
+    def test_digit_segment_outside_indexed_prefix_flagged(self):
+        self.tree.write("src/mip/bad.cc",
+                        'auto& a = reg.GetGauge("ip.queue.0.depth");\n'
+                        'auto& b = reg.GetCounter("ha.shard.0");\n'
+                        'auto& c = reg.GetCounter("ha.shard.x.processed");\n'
+                        'auto& d = reg.GetGauge("ha.shard.0.1.depth");\n')
+        self.assertEqual(rules_of(run_lint(self.tree.root)),
+                         ["telemetry/metric-name"] * 4)
+
     # --- perf/frame-by-value ------------------------------------------------
 
     def test_frame_by_value_flagged(self):

@@ -16,7 +16,7 @@ Two kinds of checks, keyed off how msn-bench-v1 serializes values:
     row granularity.
 
   * Performance: every baseline summary must exist in the candidate, and
-    its mean may not regress by more than --tolerance (default 15%). The
+    its mean may not regress by more than --tolerance (default 10%). The
     direction of "worse" comes from the summary unit: time-like and
     count-like units (ns, ms, copies, ...) regress upward, throughput-like
     units (pps, eps, ...) regress downward. A zero baseline mean for a
@@ -119,9 +119,9 @@ def main(argv):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="checked-in baseline BENCH json")
     parser.add_argument("candidate", help="freshly produced BENCH json")
-    parser.add_argument("--tolerance", type=float, default=0.15,
+    parser.add_argument("--tolerance", type=float, default=0.10,
                         help="allowed fractional mean regression "
-                             "(default 0.15 = 15%%)")
+                             "(default 0.10 = 10%%)")
     parser.add_argument("--zero-slack", type=float, default=1.0,
                         help="allowed absolute mean when a lower-is-better "
                              "baseline mean is zero (default 1.0)")

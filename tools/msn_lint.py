@@ -150,6 +150,31 @@ METRIC_NAMESPACES = {
     "pool", "repl", "tcp",
 }
 
+# Registered sub-namespaces (mirrored in tools/validate_bench_json.py).
+# Indexed prefixes name one instance per numeric index: the segment right
+# after the prefix must be all digits, followed by at least one noun segment
+# ("ha.shard.3.bindings"). All-digit segments anywhere else are rejected —
+# an unregistered "<ns>.<noun>.<i>.x" family silently explodes metric
+# cardinality, so per-instance families must be registered here first.
+INDEXED_METRIC_SUBNAMESPACES = {
+    "ha.shard.", "ha.backup.shard.",
+}
+# Flat sub-namespaces: documented multi-metric families with no index.
+FLAT_METRIC_SUBNAMESPACES = {
+    "ha.admission.", "ha.backup.admission.",
+}
+
+
+def metric_numeric_segments_ok(name: str) -> bool:
+    """True when every all-digit segment of `name` sits exactly at the index
+    position of a registered indexed sub-namespace."""
+    for prefix in INDEXED_METRIC_SUBNAMESPACES:
+        if name.startswith(prefix):
+            index, _, noun = name[len(prefix):].partition(".")
+            return (index.isdigit() and noun != "" and
+                    not any(seg.isdigit() for seg in noun.split(".")))
+    return not any(seg.isdigit() for seg in name.split("."))
+
 # A parameter position: `(` or `,` then an (optionally const) bare
 # EthernetFrame/Packet followed directly by a parameter name. References,
 # rvalue references, and pointers break the match by construction, so
@@ -417,6 +442,12 @@ class Linter:
                                  f'"{literal}" — namespace '
                                  f'"{literal.split(".", 1)[0]}" is not registered '
                                  "in METRIC_NAMESPACES", allows)
+                elif not metric_numeric_segments_ok(literal):
+                    self._report(path, rel, lineno, "telemetry/metric-name",
+                                 f'"{literal}" — all-digit segments are only '
+                                 "allowed at the index position of a registered "
+                                 "indexed sub-namespace "
+                                 "(INDEXED_METRIC_SUBNAMESPACES)", allows)
 
 
 def collect_files(root: Path, paths: list[str]) -> list[Path]:

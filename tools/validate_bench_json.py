@@ -25,6 +25,26 @@ METRIC_NAMESPACES = {
     "check", "dev", "fault", "ha", "ip", "link", "mh", "mobility", "packet",
     "pool", "repl", "tcp",
 }
+# Mirror of the sub-namespace registries in tools/msn_lint.py. Indexed
+# prefixes name one instance per numeric index ("ha.shard.3.bindings"):
+# the segment after the prefix must be all digits, followed by at least one
+# noun segment. All-digit segments anywhere else are rejected so that
+# per-instance metric families must be registered before they are exported.
+INDEXED_METRIC_SUBNAMESPACES = {
+    "ha.shard.", "ha.backup.shard.",
+}
+FLAT_METRIC_SUBNAMESPACES = {
+    "ha.admission.", "ha.backup.admission.",
+}
+
+
+def metric_numeric_segments_ok(name):
+    for prefix in INDEXED_METRIC_SUBNAMESPACES:
+        if name.startswith(prefix):
+            index, _, noun = name[len(prefix):].partition(".")
+            return (index.isdigit() and noun != "" and
+                    not any(seg.isdigit() for seg in noun.split(".")))
+    return not any(seg.isdigit() for seg in name.split("."))
 HISTOGRAM_FIELDS = ("count", "sum", "mean", "min", "max", "p50", "p95", "p99")
 SUMMARY_BASE_FIELDS = ("count", "mean", "stddev", "min", "max")
 
@@ -94,6 +114,10 @@ def check_metric(metric, path):
     require(name.split(".", 1)[0] in METRIC_NAMESPACES, path,
             f"metric '{name}' namespace {name.split('.', 1)[0]!r} is not one of "
             f"{sorted(METRIC_NAMESPACES)}")
+    require(metric_numeric_segments_ok(name), path,
+            f"metric '{name}' has an all-digit segment outside the index "
+            "position of a registered indexed sub-namespace "
+            f"({sorted(INDEXED_METRIC_SUBNAMESPACES)})")
     mtype = metric.get("type")
     require(mtype in METRIC_TYPES, path,
             f"metric '{name}' has unknown type {mtype!r}")
