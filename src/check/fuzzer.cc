@@ -226,6 +226,9 @@ RunResult RunScenario(const ScenarioSpec& spec, const RunOptions& options) {
   oracles.Begin();
   script.Run(spec.duration);
   oracles.Finish();
+  if (options.on_complete) {
+    options.on_complete(tb);
+  }
 
   RunResult result;
   result.spec = spec;

@@ -21,6 +21,10 @@ struct RunOptions {
   // (inject a bug) and prove the oracles catch it; the hook is deliberately
   // not part of the scenario, so shrinking preserves it across candidates.
   std::function<void(Testbed&)> instrument;
+  // Invoked after the run finished (oracles done, testbed still alive).
+  // The differential datapath tests use this to snapshot end-state metrics
+  // before the testbed is torn down.
+  std::function<void(Testbed&)> on_complete;
 };
 
 struct RunResult {

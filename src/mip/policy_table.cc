@@ -24,10 +24,12 @@ void MobilePolicyTable::Set(const Subnet& dest, MobilePolicy policy, bool verifi
     if (e.dest == dest) {
       e.policy = policy;
       e.verified = verified;
+      NotifyChanged();
       return;
     }
   }
   entries_.push_back(Entry{dest, policy, verified, 0});
+  NotifyChanged();
 }
 
 bool MobilePolicyTable::Remove(const Subnet& dest) {
@@ -35,10 +37,20 @@ bool MobilePolicyTable::Remove(const Subnet& dest) {
   entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
                                 [&dest](const Entry& e) { return e.dest == dest; }),
                  entries_.end());
-  return entries_.size() != before;
+  const bool removed = entries_.size() != before;
+  if (removed) {
+    NotifyChanged();
+  }
+  return removed;
 }
 
-void MobilePolicyTable::Clear() { entries_.clear(); }
+void MobilePolicyTable::Clear() {
+  const bool changed = !entries_.empty();
+  entries_.clear();
+  if (changed) {
+    NotifyChanged();
+  }
+}
 
 const MobilePolicyTable::Entry* MobilePolicyTable::Match(Ipv4Address dst) const {
   const Entry* best = nullptr;
@@ -49,6 +61,10 @@ const MobilePolicyTable::Entry* MobilePolicyTable::Match(Ipv4Address dst) const 
     }
   }
   return best;
+}
+
+MobilePolicyTable::Entry* MobilePolicyTable::MatchEntry(Ipv4Address dst) {
+  return const_cast<Entry*>(Match(dst));
 }
 
 MobilePolicy MobilePolicyTable::Lookup(Ipv4Address dst) {

@@ -1,0 +1,10 @@
+#include "src/net/datapath_tuning.h"
+
+namespace msn {
+
+DatapathTuning& GlobalDatapathTuning() {
+  static DatapathTuning tuning;
+  return tuning;
+}
+
+}  // namespace msn

@@ -1,0 +1,52 @@
+// Process-global switches for the burst datapath (DESIGN.md §18).
+//
+// Every knob here is a pure optimization: flipping one must never change a
+// packet trace, a counter the models export, or a protocol decision — only
+// how much work the engine does to produce them. That contract is enforced
+// by tests/datapath_diff_test.cc, which replays fuzz-corpus scenarios with
+// the whole block forced on vs off and diffs frame traces byte for byte.
+//
+// Globals (not per-node config) on purpose: the toggles exist for the
+// differential harness and for bisecting perf regressions, not as a
+// deployment surface, and a single switch point keeps the on/off sweep in
+// benches and tests one assignment.
+#ifndef MSN_SRC_NET_DATAPATH_TUNING_H_
+#define MSN_SRC_NET_DATAPATH_TUNING_H_
+
+#include <cstddef>
+
+namespace msn {
+
+struct DatapathTuning {
+  // Per-node LPM/MPT result cache in front of IpStack::RouteLookup
+  // (src/node/flow_cache.h). Invalidation contract: DESIGN.md §18.
+  bool flow_cache = true;
+  // Entries per node before the deterministic full clear.
+  size_t flow_cache_capacity = 1024;
+
+  // Drain further zero-serialization-delay frames inline from a device
+  // queue after a transmit completes, instead of scheduling one completion
+  // event per frame. Frames with a real serialization time never coalesce —
+  // their completion timestamps differ by construction.
+  bool device_burst = true;
+  // Frames drained per completion event before yielding to the engine.
+  size_t device_burst_max = 32;
+
+  // Run a zero-delay pipeline continuation (forward -> send, rx deliver)
+  // immediately when the event engine has nothing else pending at the
+  // current timestamp — provably order-identical (Simulator::NextEventTime
+  // guard), and skips even the immediate-lane push/pop.
+  bool inline_pipeline = true;
+
+  // Restore the defaults above (the differential harness toggles the whole
+  // block off, runs, then calls this).
+  void Reset() { *this = DatapathTuning{}; }
+};
+
+// The process-wide tuning block. Single-threaded simulator: mutate freely
+// between runs, never from inside a callback mid-run.
+DatapathTuning& GlobalDatapathTuning();
+
+}  // namespace msn
+
+#endif  // MSN_SRC_NET_DATAPATH_TUNING_H_

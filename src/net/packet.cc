@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <cstring>
+#include <utility>
 
+#include "src/net/packet_arena.h"
 #include "src/util/assert.h"
 #include "src/util/buffer_pool.h"
 
@@ -10,26 +12,72 @@ namespace msn {
 
 Packet::Stats Packet::stats_;
 
-// One block of wire bytes. The vector is returned to the pool (capacity
-// intact) when the last Packet referencing it goes away.
-struct Packet::Storage {
-  explicit Storage(std::vector<uint8_t> b, BufferPool* p = nullptr)
-      : bytes(std::move(b)), pool(p) {}
-  Storage(const Storage&) = delete;
-  Storage& operator=(const Storage&) = delete;
-  ~Storage() {
-    if (pool != nullptr) {
-      pool->Release(std::move(bytes));
-    }
+void Packet::Unref() {
+  PacketStorage* s = storage_;
+  storage_ = nullptr;
+  if (s == nullptr || --s->refs != 0) {
+    return;
   }
+  if (s->arena != nullptr) {
+    s->arena->Recycle(s);
+    return;
+  }
+  if (s->pool != nullptr) {
+    s->pool->Release(std::move(s->bytes));
+  }
+  delete s;
+}
 
-  std::vector<uint8_t> bytes;
-  BufferPool* pool = nullptr;
-};
+Packet::Packet(const Packet& other)
+    : storage_(other.storage_), offset_(other.offset_), len_(other.len_) {
+  if (storage_ != nullptr) {
+    ++storage_->refs;
+  }
+}
+
+Packet& Packet::operator=(const Packet& other) {
+  if (this == &other) {
+    return *this;
+  }
+  if (other.storage_ != nullptr) {
+    ++other.storage_->refs;
+  }
+  Unref();
+  storage_ = other.storage_;
+  offset_ = other.offset_;
+  len_ = other.len_;
+  return *this;
+}
+
+Packet::Packet(Packet&& other) noexcept
+    : storage_(other.storage_), offset_(other.offset_), len_(other.len_) {
+  other.storage_ = nullptr;
+  other.offset_ = 0;
+  other.len_ = 0;
+}
+
+Packet& Packet::operator=(Packet&& other) noexcept {
+  if (this == &other) {
+    return *this;
+  }
+  Unref();
+  storage_ = other.storage_;
+  offset_ = other.offset_;
+  len_ = other.len_;
+  other.storage_ = nullptr;
+  other.offset_ = 0;
+  other.len_ = 0;
+  return *this;
+}
+
+Packet::~Packet() { Unref(); }
 
 Packet::Packet(std::vector<uint8_t> bytes) {
   len_ = bytes.size();
-  storage_ = std::make_shared<Storage>(std::move(bytes));
+  auto* storage = new PacketStorage;
+  storage->bytes = std::move(bytes);
+  storage->refs = 1;
+  storage_ = storage;
   ++stats_.allocations;
 }
 
@@ -37,10 +85,9 @@ Packet::Packet(std::initializer_list<uint8_t> bytes)
     : Packet(std::vector<uint8_t>(bytes)) {}
 
 Packet Packet::Allocate(size_t size, size_t headroom) {
-  BufferPool& pool = DefaultBufferPool();
-  auto storage = std::make_shared<Storage>(pool.Acquire(headroom + size), &pool);
+  PacketStorage* storage = DefaultPacketArena().Acquire(headroom + size);
   ++stats_.allocations;
-  return Packet(std::move(storage), headroom, size);
+  return Packet(storage, headroom, size);
 }
 
 Packet Packet::Copy(std::span<const uint8_t> bytes, size_t headroom) {
@@ -53,12 +100,19 @@ Packet Packet::Copy(std::span<const uint8_t> bytes, size_t headroom) {
 }
 
 const uint8_t* Packet::Base() const {
-  return storage_ ? storage_->bytes.data() : nullptr;
+  return storage_ != nullptr ? storage_->bytes.data() : nullptr;
+}
+
+long Packet::storage_use_count() const {
+  return storage_ != nullptr ? static_cast<long>(storage_->refs) : 0;
 }
 
 Packet Packet::Slice(size_t pos, size_t count) const {
   MSN_ASSERT(pos <= len_ && count <= len_ - pos)
       << "slice [" << pos << ", +" << count << ") out of packet of " << len_ << " bytes";
+  if (storage_ != nullptr) {
+    ++storage_->refs;
+  }
   return Packet(storage_, offset_ + pos, count);
 }
 
@@ -70,7 +124,7 @@ uint8_t* Packet::MutableData() {
   if (storage_ == nullptr) {
     return nullptr;
   }
-  if (storage_.use_count() > 1) {
+  if (storage_->refs > 1) {
     Isolate(offset_, /*shared=*/true);
   }
   return storage_->bytes.data() + offset_;
@@ -80,7 +134,7 @@ void Packet::Prepend(std::span<const uint8_t> bytes) {
   if (bytes.empty()) {
     return;
   }
-  const bool unique = storage_ != nullptr && storage_.use_count() == 1;
+  const bool unique = storage_ != nullptr && storage_->refs == 1;
   if (!unique || offset_ < bytes.size()) {
     Isolate(bytes.size() + kDefaultHeadroom, storage_ != nullptr && !unique);
   }
@@ -101,8 +155,7 @@ void Packet::TrimTo(size_t n) {
 }
 
 void Packet::Isolate(size_t headroom, bool shared) {
-  BufferPool& pool = DefaultBufferPool();
-  auto storage = std::make_shared<Storage>(pool.Acquire(headroom + len_), &pool);
+  PacketStorage* storage = DefaultPacketArena().Acquire(headroom + len_);
   ++stats_.allocations;
   if (len_ > 0) {
     std::memcpy(storage->bytes.data() + headroom, data(), len_);
@@ -111,7 +164,8 @@ void Packet::Isolate(size_t headroom, bool shared) {
   if (shared) {
     ++stats_.cow_breaks;
   }
-  storage_ = std::move(storage);
+  Unref();
+  storage_ = storage;
   offset_ = headroom;
 }
 

@@ -16,6 +16,11 @@
 // `const Packet&` can be passed around freely: readers can alias, writers
 // pay for isolation. Single-threaded by design, like the rest of the core.
 //
+// Storage is an intrusively ref-counted PacketStorage node recycled through
+// the PacketArena (src/net/packet_arena.h): no shared_ptr control block, no
+// atomics, and no per-packet BufferPool traffic — the pool is touched once
+// per arena slab, not once per packet.
+//
 // Accounting: every deep byte copy made by this class is counted in
 // Stats::copies (with the shared-storage subset in Stats::cow_breaks); the
 // bench regression gate watches copies-per-hop on the forwarding path.
@@ -26,12 +31,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <initializer_list>
-#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 namespace msn {
+
+struct PacketStorage;
 
 class Packet {
  public:
@@ -47,6 +53,13 @@ class Packet {
   };
 
   Packet() = default;
+
+  // Manual refcount discipline over the intrusive storage node.
+  Packet(const Packet& other);
+  Packet& operator=(const Packet& other);
+  Packet(Packet&& other) noexcept;
+  Packet& operator=(Packet&& other) noexcept;
+  ~Packet();
 
   // Adopts an existing vector as storage — zero-copy. Implicit so existing
   // `frame.payload = Serialize()` producer sites keep working.
@@ -102,7 +115,7 @@ class Packet {
 
   static const Stats& stats() { return stats_; }
   static void ResetStatsForTest() { stats_ = Stats{}; }
-  long storage_use_count() const { return storage_ ? storage_.use_count() : 0; }
+  long storage_use_count() const;
 
   std::string ToString() const;  // "Packet(20+1480B, hr=40, refs=2)"
 
@@ -112,20 +125,22 @@ class Packet {
   }
 
  private:
-  struct Storage;
-
-  Packet(std::shared_ptr<Storage> storage, size_t offset, size_t len)
-      : storage_(std::move(storage)), offset_(offset), len_(len) {}
+  // Adopts `storage` along with the reference the caller already holds (no
+  // refcount bump).
+  Packet(PacketStorage* storage, size_t offset, size_t len)
+      : storage_(storage), offset_(offset), len_(len) {}
 
   const uint8_t* Base() const;
-  // Replaces storage_ with a unique pool-backed copy of the visible bytes,
+  // Drops this packet's reference, recycling the node when it was the last.
+  void Unref();
+  // Replaces storage_ with a unique arena-backed copy of the visible bytes,
   // keeping kDefaultHeadroom in front. `shared` routes the copy to the right
   // stats bucket.
   void Isolate(size_t headroom, bool shared);
 
   static Stats stats_;
 
-  std::shared_ptr<Storage> storage_;
+  PacketStorage* storage_ = nullptr;
   size_t offset_ = 0;
   size_t len_ = 0;
 };

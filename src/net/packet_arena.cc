@@ -1,0 +1,81 @@
+#include "src/net/packet_arena.h"
+
+#include <utility>
+
+namespace msn {
+
+PacketArena::PacketArena(BufferPool& pool, size_t max_free)
+    : pool_(pool), max_free_(max_free) {}
+
+PacketArena::~PacketArena() { Trim(); }
+
+void PacketArena::Refill() {
+  ++stats_.refills;
+  std::vector<std::vector<uint8_t>> bufs;
+  pool_.AcquireBatch(pool_.block_bytes(), kSlabNodes, bufs);
+  free_.reserve(free_.size() + bufs.size());
+  for (auto& buf : bufs) {
+    auto* node = new PacketStorage;
+    node->bytes = std::move(buf);
+    node->pool = &pool_;
+    node->arena = this;
+    ++stats_.node_allocs;
+    free_.push_back(node);
+  }
+  stats_.free_nodes = free_.size();
+}
+
+PacketStorage* PacketArena::Acquire(size_t size) {
+  if (size > pool_.block_bytes()) {
+    auto* node = new PacketStorage;
+    node->bytes = pool_.Acquire(size);  // Oversize path: plain allocation.
+    node->pool = &pool_;
+    node->refs = 1;
+    ++stats_.node_allocs;
+    return node;
+  }
+  if (free_.empty()) {
+    Refill();
+  }
+  PacketStorage* node = free_.back();
+  free_.pop_back();
+  stats_.free_nodes = free_.size();
+  node->bytes.resize(size);
+  node->refs = 1;
+  ++stats_.recycled;
+  return node;
+}
+
+void PacketArena::Recycle(PacketStorage* node) {
+  if (node->bytes.capacity() != pool_.block_bytes() || free_.size() >= max_free_) {
+    pool_.Release(std::move(node->bytes));
+    delete node;
+    return;
+  }
+  free_.push_back(node);
+  stats_.free_nodes = free_.size();
+}
+
+void PacketArena::Trim() {
+  if (free_.empty()) {
+    return;
+  }
+  ++stats_.drains;
+  std::vector<std::vector<uint8_t>> bufs;
+  bufs.reserve(free_.size());
+  for (PacketStorage* node : free_) {
+    bufs.push_back(std::move(node->bytes));
+    delete node;
+  }
+  free_.clear();
+  free_.shrink_to_fit();
+  stats_.free_nodes = 0;
+  pool_.ReleaseBatch(bufs);
+}
+
+PacketArena& DefaultPacketArena() {
+  static PacketArena* arena = new PacketArena(DefaultBufferPool());
+  return *arena;
+}
+
+}  // namespace msn

@@ -1,0 +1,52 @@
+#include "src/node/flow_cache.h"
+
+#include <utility>
+
+namespace msn {
+
+FlowCache::FlowCache(size_t capacity, MetricsRegistry& metrics,
+                     const std::string& node_name)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  const std::string prefix = "flow_cache." + node_name + ".";
+  hits_counter_ = metrics.GetCounterRef(prefix + "hits");
+  misses_counter_ = metrics.GetCounterRef(prefix + "misses");
+  invalidations_counter_ = metrics.GetCounterRef(prefix + "invalidations");
+}
+
+FlowCache::~FlowCache() = default;
+
+const FlowCache::Value* FlowCache::Find(Ipv4Address dst, bool forwarding) {
+  auto it = map_.find(Key(dst, forwarding));
+  if (it == map_.end()) {
+    ++misses_;
+    ++misses_counter_;
+    return nullptr;
+  }
+  if (it->second.generation != generation_) {
+    // Orphaned by an invalidation since it was stored; reclaim in place.
+    map_.erase(it);
+    ++misses_;
+    ++misses_counter_;
+    return nullptr;
+  }
+  ++hits_;
+  ++hits_counter_;
+  return &it->second.value;
+}
+
+void FlowCache::Insert(Ipv4Address dst, bool forwarding, Value value) {
+  if (map_.size() >= capacity_) {
+    // Deterministic eviction: drop everything rather than pick a victim by
+    // bucket order.
+    map_.clear();
+  }
+  map_[Key(dst, forwarding)] = Entry{std::move(value), generation_};
+}
+
+void FlowCache::Invalidate() {
+  ++generation_;
+  ++invalidations_;
+  ++invalidations_counter_;
+}
+
+}  // namespace msn

@@ -13,6 +13,8 @@ uint16_t g_next_echo_id = 1;
 
 }  // namespace
 
+void Pinger::ResetEchoIdAllocator() { g_next_echo_id = 1; }
+
 Pinger::Pinger(IpStack& stack) : stack_(stack), echo_id_(g_next_echo_id++) {
   if (g_next_echo_id == 0) {
     g_next_echo_id = 1;

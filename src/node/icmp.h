@@ -51,6 +51,12 @@ class Pinger {
   uint16_t echo_id() const { return echo_id_; }
   int outstanding() const { return static_cast<int>(outstanding_.size()); }
 
+  // Rewinds the process-global echo-id allocator. The testbed calls this as
+  // it boots so echo identifiers on the wire depend only on the scenario,
+  // not on how many simulations ran earlier in the process (the differential
+  // datapath tests compare wire bytes across whole runs).
+  static void ResetEchoIdAllocator();
+
  private:
   struct Outstanding {
     Time sent_at;

@@ -5,12 +5,35 @@
 
 #include "src/link/net_device.h"
 #include "src/net/checksum.h"
+#include "src/net/datapath_tuning.h"
+#include "src/node/flow_cache.h"
 #include "src/node/udp.h"
 #include "src/util/assert.h"
 #include "src/util/byte_buffer.h"
 #include "src/util/logging.h"
 
 namespace msn {
+
+namespace {
+
+// Inline dispatch for internal zero-delay pipeline stages. When the stage
+// completes at the current instant and nothing else is due at this instant,
+// the scheduled continuation would be the very next event popped — running it
+// inline is order-identical and skips the event-queue round trip, which is
+// most of the per-packet cost in calibration-free runs. Any same-time event
+// pending, or any nonzero delay, falls back to the scheduler. Never used for
+// the first SendDatagram stage: applications observe that asynchrony.
+template <typename Fn>
+void DispatchStage(Simulator& sim, Time fire, Fn&& fn) {
+  if (GlobalDatapathTuning().inline_pipeline && fire == sim.Now() &&
+      sim.NextEventTime() > sim.Now()) {
+    std::forward<Fn>(fn)();
+    return;
+  }
+  sim.ScheduleAt(fire, std::forward<Fn>(fn));
+}
+
+}  // namespace
 
 IpStack::IpStack(Simulator& sim, std::string node_name, MetricsRegistry* metrics)
     : sim_(sim), node_name_(std::move(node_name)),
@@ -40,6 +63,11 @@ IpStack::IpStack(Simulator& sim, std::string node_name, MetricsRegistry* metrics
   counters_.fragments_sent = metrics->GetCounterRef(prefix + "fragments_sent");
   counters_.drop_fragmentation_needed =
       metrics->GetCounterRef(prefix + "drop_fragmentation_needed");
+  flow_cache_ = std::make_unique<FlowCache>(GlobalDatapathTuning().flow_cache_capacity,
+                                            *metrics, node_name_);
+  // Route changes of any provenance (ifconfig, redirects, tests poking
+  // routes() directly) orphan cached decisions without the mutator's help.
+  routes_.SetChangeListener([this] { InvalidateFlowCache(); });
 }
 
 IpStack::~IpStack() = default;
@@ -86,6 +114,9 @@ void IpStack::RemoveInterface(NetDevice* device) {
                                      return e.device == device;
                                    }),
                     interfaces_.end());
+  // The route listener may not have fired (device had no routes), but cached
+  // decisions can still point at the vanished device.
+  InvalidateFlowCache();
 }
 
 IpStack::InterfaceEntry* IpStack::FindInterface(NetDevice* device) {
@@ -184,12 +215,22 @@ bool IpStack::IsBroadcastFor(Ipv4Address addr) const {
 
 // --- Routing -------------------------------------------------------------------
 
-std::optional<RouteDecision> IpStack::RouteLookup(const RouteQuery& query) {
+std::optional<RouteDecision> IpStack::LookupUncached(const RouteQuery& query,
+                                                     CounterRef*& policy_counter,
+                                                     uint64_t*& policy_hits) {
+  policy_counter = nullptr;
+  policy_hits = nullptr;
   // The mobility hook: the paper's enhanced ip_rt_route() consults the Mobile
   // Policy Table first and falls through to the normal table.
   if (route_override_) {
     if (auto decision = route_override_(query)) {
-      return decision;
+      policy_counter = decision->policy_counter;
+      policy_hits = decision->policy_hits;
+      if (!decision->defer_to_table) {
+        return decision;
+      }
+      // kDirect local role: the policy accounting sticks, the forwarding
+      // answer comes from the normal table below.
     }
   }
   auto entry = routes_.Lookup(query.dst);
@@ -206,8 +247,70 @@ std::optional<RouteDecision> IpStack::RouteLookup(const RouteQuery& query) {
   } else {
     decision.src = GetInterfaceAddress(entry->device).value_or(Ipv4Address::Any());
   }
+  decision.policy_counter = policy_counter;
+  decision.policy_hits = policy_hits;
   return decision;
 }
+
+std::optional<RouteDecision> IpStack::RouteLookup(const RouteQuery& query) {
+  CounterRef* policy_counter = nullptr;
+  uint64_t* policy_hits = nullptr;
+  // Only destination-determined queries may use the cache: forwarded packets
+  // never consult src_hint, and for local sends the mobile-host override's
+  // local-role exemption branches on it — those are answered under the
+  // canonical src_hint = Any and the bound source substituted on the way
+  // out, while non-Any local queries (override-exempt by definition) go
+  // straight to the tables.
+  const bool eligible = GlobalDatapathTuning().flow_cache &&
+                        (query.forwarding || query.src_hint.IsAny());
+  std::optional<RouteDecision> decision;
+  if (!eligible) {
+    decision = LookupUncached(query, policy_counter, policy_hits);
+  } else if (const FlowCache::Value* hit =
+                 flow_cache_->Find(query.dst, query.forwarding)) {
+    decision = hit->decision;
+    policy_counter = hit->policy_counter;
+    policy_hits = hit->policy_hits;
+    if (decision && !query.src_hint.IsAny()) {
+      decision->src = query.src_hint;
+    }
+  } else {
+    RouteQuery canonical = query;
+    canonical.src_hint = Ipv4Address::Any();
+    decision = LookupUncached(canonical, policy_counter, policy_hits);
+    flow_cache_->Insert(query.dst, query.forwarding,
+                        FlowCache::Value{decision, policy_counter, policy_hits});
+    if (decision && !query.src_hint.IsAny()) {
+      decision->src = query.src_hint;
+    }
+  }
+  // Per-packet policy accounting happens here — once per non-advisory query,
+  // identically for cached and uncached answers.
+  if (!query.advisory) {
+    if (policy_counter != nullptr) {
+      ++*policy_counter;
+    }
+    if (policy_hits != nullptr) {
+      ++*policy_hits;
+    }
+  }
+  if (decision) {
+    decision->defer_to_table = false;
+  }
+  return decision;
+}
+
+std::optional<RouteDecision> IpStack::RouteLookupUncached(const RouteQuery& query) {
+  CounterRef* policy_counter = nullptr;
+  uint64_t* policy_hits = nullptr;
+  auto decision = LookupUncached(query, policy_counter, policy_hits);
+  if (decision) {
+    decision->defer_to_table = false;
+  }
+  return decision;
+}
+
+void IpStack::InvalidateFlowCache() { flow_cache_->Invalidate(); }
 
 // --- Delay model ------------------------------------------------------------------
 
@@ -460,8 +563,8 @@ void IpStack::InjectReceivedPacket(const Ipv4Header& header, Packet wire, NetDev
       }
       const Time fire =
           PipelineDelay(deliver_pipe_busy_, delays_.deliver_mean, delays_.deliver_jitter);
-      sim_.ScheduleAt(fire, [this, whole_header = whole->header,
-                             payload = Packet(std::move(whole->payload)), ingress, link_src] {
+      DispatchStage(sim_, fire, [this, whole_header = whole->header,
+                                 payload = Packet(std::move(whole->payload)), ingress, link_src] {
         Deliver(whole_header, payload, ingress, link_src);
       });
       return;
@@ -470,10 +573,10 @@ void IpStack::InjectReceivedPacket(const Ipv4Header& header, Packet wire, NetDev
     // and deliver a zero-copy view of the payload bytes.
     const Time fire =
         PipelineDelay(deliver_pipe_busy_, delays_.deliver_mean, delays_.deliver_jitter);
-    sim_.ScheduleAt(
-        fire, [this, header, payload = wire.Slice(Ipv4Header::kSize,
-                                                  wire.size() - Ipv4Header::kSize),
-               ingress, link_src] { Deliver(header, payload, ingress, link_src); });
+    DispatchStage(
+        sim_, fire, [this, header, payload = wire.Slice(Ipv4Header::kSize,
+                                                        wire.size() - Ipv4Header::kSize),
+                     ingress, link_src] { Deliver(header, payload, ingress, link_src); });
     return;
   }
   if (forwarding_enabled_) {
@@ -546,7 +649,7 @@ void IpStack::Forward(Ipv4Header header, Packet wire, NetDevice* ingress) {
   ++counters_.datagrams_forwarded;
   const Time fire =
       PipelineDelay(forward_pipe_busy_, delays_.forward_mean, delays_.forward_jitter);
-  sim_.ScheduleAt(fire, [this, header, wire = std::move(wire)]() mutable {
+  DispatchStage(sim_, fire, [this, header, wire = std::move(wire)]() mutable {
     DoSend(header, std::move(wire), /*forwarding=*/true, SendOptions{});
   });
 }

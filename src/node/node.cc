@@ -13,6 +13,8 @@ uint32_t g_next_mac_id = 1;
 
 MacAddress Node::AllocateMac() { return MacAddress::FromId(g_next_mac_id++); }
 
+void Node::ResetMacAllocator() { g_next_mac_id = 1; }
+
 Node::Node(Simulator& sim, std::string name, MetricsRegistry* metrics)
     : sim_(sim), name_(std::move(name)), metrics_(metrics),
       stack_(std::make_unique<IpStack>(sim, name_, metrics)) {}

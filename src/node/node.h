@@ -50,6 +50,11 @@ class Node {
 
   // Fresh MAC address unique across the process.
   static MacAddress AllocateMac();
+  // Rewinds the MAC allocator. The testbed calls this as it boots so a
+  // scenario's wire bytes (ARP payloads embed MACs) are identical no matter
+  // how many testbeds ran earlier in the process — the differential datapath
+  // tests compare such traces across runs.
+  static void ResetMacAllocator();
 
  private:
   void RegisterDeviceGauges(NetDevice* device);

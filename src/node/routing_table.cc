@@ -17,7 +17,10 @@ std::string RouteEntry::ToString() const {
   return buf;
 }
 
-void RoutingTable::Add(const RouteEntry& entry) { entries_.push_back(entry); }
+void RoutingTable::Add(const RouteEntry& entry) {
+  entries_.push_back(entry);
+  NotifyChanged();
+}
 
 size_t RoutingTable::Remove(const Subnet& dest, NetDevice* device) {
   return RemoveWhere([&](const RouteEntry& e) {
@@ -28,14 +31,24 @@ size_t RoutingTable::Remove(const Subnet& dest, NetDevice* device) {
 size_t RoutingTable::RemoveWhere(const std::function<bool(const RouteEntry&)>& pred) {
   const size_t before = entries_.size();
   entries_.erase(std::remove_if(entries_.begin(), entries_.end(), pred), entries_.end());
-  return before - entries_.size();
+  const size_t removed = before - entries_.size();
+  if (removed > 0) {
+    NotifyChanged();
+  }
+  return removed;
 }
 
 size_t RoutingTable::RemoveForDevice(NetDevice* device) {
   return RemoveWhere([device](const RouteEntry& e) { return e.device == device; });
 }
 
-void RoutingTable::Clear() { entries_.clear(); }
+void RoutingTable::Clear() {
+  const bool changed = !entries_.empty();
+  entries_.clear();
+  if (changed) {
+    NotifyChanged();
+  }
+}
 
 std::optional<RouteEntry> RoutingTable::Lookup(Ipv4Address dst) const {
   const RouteEntry* best = nullptr;

@@ -1,6 +1,8 @@
 #include "src/telemetry/packet_probes.h"
 
 #include "src/net/packet.h"
+#include "src/net/packet_arena.h"
+#include "src/sim/simulator.h"
 #include "src/util/buffer_pool.h"
 
 namespace msn {
@@ -35,6 +37,36 @@ void RegisterPacketPathProbes(MetricsRegistry& registry) {
   });
   registry.GetProbeGauge("pool.free_blocks", [] {
     return static_cast<double>(DefaultBufferPool().stats().free_blocks);
+  });
+  registry.GetProbeGauge("pool.batch_acquires", [] {
+    return static_cast<double>(DefaultBufferPool().stats().batch_acquires);
+  });
+  registry.GetProbeGauge("pool.batch_releases", [] {
+    return static_cast<double>(DefaultBufferPool().stats().batch_releases);
+  });
+  registry.GetProbeGauge("pool.arena_node_allocs", [] {
+    return static_cast<double>(DefaultPacketArena().stats().node_allocs);
+  });
+  registry.GetProbeGauge("pool.arena_recycled", [] {
+    return static_cast<double>(DefaultPacketArena().stats().recycled);
+  });
+  registry.GetProbeGauge("pool.arena_refills", [] {
+    return static_cast<double>(DefaultPacketArena().stats().refills);
+  });
+  registry.GetProbeGauge("pool.arena_drains", [] {
+    return static_cast<double>(DefaultPacketArena().stats().drains);
+  });
+  registry.GetProbeGauge("pool.arena_free_nodes", [] {
+    return static_cast<double>(DefaultPacketArena().stats().free_nodes);
+  });
+}
+
+void RegisterBurstProbes(MetricsRegistry& registry, Simulator& sim) {
+  registry.GetProbeGauge("burst.lane_scheduled", [&sim] {
+    return static_cast<double>(sim.queue_lane_stats().lane_scheduled);
+  });
+  registry.GetProbeGauge("burst.heap_scheduled", [&sim] {
+    return static_cast<double>(sim.queue_lane_stats().heap_scheduled);
   });
 }
 

@@ -12,12 +12,23 @@
 
 namespace msn {
 
+class Simulator;
+
 // Registers gauges over Packet::stats() (packet.copies, packet.cow_breaks,
-// packet.allocations) and DefaultBufferPool().stats() (pool.hits,
-// pool.misses, pool.oversize, pool.released, pool.discarded,
-// pool.outstanding, pool.free_blocks). Safe to call more than once on the
-// same registry: probes are rebound, not duplicated.
+// packet.allocations), DefaultBufferPool().stats() (pool.hits, pool.misses,
+// pool.oversize, pool.released, pool.discarded, pool.outstanding,
+// pool.free_blocks, pool.batch_acquires, pool.batch_releases) and
+// DefaultPacketArena().stats() (pool.arena_node_allocs, pool.arena_recycled,
+// pool.arena_refills, pool.arena_drains, pool.arena_free_nodes). Safe to
+// call more than once on the same registry: probes are rebound, not
+// duplicated.
 void RegisterPacketPathProbes(MetricsRegistry& registry);
+
+// Registers gauges over the simulator's event-queue immediate-lane stats
+// (burst.lane_scheduled, burst.heap_scheduled): how many events took the
+// O(1) same-instant lane versus the O(log n) heap. The simulator must
+// outlive the registry's last Collect.
+void RegisterBurstProbes(MetricsRegistry& registry, Simulator& sim);
 
 }  // namespace msn
 

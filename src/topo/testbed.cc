@@ -1,5 +1,6 @@
 #include "src/topo/testbed.h"
 
+#include "src/node/icmp.h"
 #include "src/util/logging.h"
 
 namespace msn {
@@ -29,6 +30,11 @@ IpStack::DelayParams Testbed::RouterDelays() {
 }
 
 Testbed::Testbed(TestbedConfig config) : sim(config.seed), config_(config) {
+  // MAC assignment must depend only on the scenario, not on how many
+  // testbeds this process built before: ARP payloads carry MACs, and the
+  // differential datapath tests compare wire bytes across whole runs.
+  Node::ResetMacAllocator();
+  Pinger::ResetEchoIdAllocator();
   if (config_.with_backup_ha) {
     // The replicated pair lives on dedicated home-network hosts.
     config_.ha_on_router = false;

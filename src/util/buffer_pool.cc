@@ -46,6 +46,23 @@ void BufferPool::Release(std::vector<uint8_t>&& buf) {
   stats_.free_blocks = free_list_.size();
 }
 
+void BufferPool::AcquireBatch(size_t size, size_t count,
+                              std::vector<std::vector<uint8_t>>& out) {
+  ++stats_.batch_acquires;
+  out.reserve(out.size() + count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(Acquire(size));
+  }
+}
+
+void BufferPool::ReleaseBatch(std::vector<std::vector<uint8_t>>& bufs) {
+  ++stats_.batch_releases;
+  for (auto& buf : bufs) {
+    Release(std::move(buf));
+  }
+  bufs.clear();
+}
+
 void BufferPool::Trim() {
   free_list_.clear();
   free_list_.shrink_to_fit();

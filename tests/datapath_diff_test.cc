@@ -1,0 +1,182 @@
+// Differential forwarding tests: the flow cache, device burst dequeue, and
+// inline pipeline dispatch are optimizations, never behavior changes. Every
+// pinned fuzz-corpus scenario (plus a spread of generated ones) is run twice
+// — once with the full datapath tuning enabled, once with every knob forced
+// off — and the two runs must produce byte-identical packet traces at the
+// endpoints and identical end-state metrics. A single diverging frame, byte,
+// timestamp, or counter fails the test and names the first divergence.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/check/fuzzer.h"
+#include "src/check/scenario_gen.h"
+#include "src/net/datapath_tuning.h"
+
+namespace msn {
+namespace {
+
+// FNV-1a over the payload wire bytes: keeps trace lines compact while any
+// single-byte payload difference still flips the line.
+uint64_t HashBytes(const uint8_t* data, size_t size) {
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < size; ++i) {
+    h = (h ^ data[i]) * 1099511628211ull;
+  }
+  return h;
+}
+
+struct RunCapture {
+  std::vector<std::string> trace;  // One line per frame seen at an endpoint.
+  std::map<std::string, double> metrics;
+  bool failed = false;
+  uint64_t checks = 0;
+};
+
+// Runs `spec` with the datapath tuning fully enabled or fully disabled,
+// tapping the mobile host's two devices and the correspondent host — the
+// endpoints whose wire behavior defines "what the network did".
+RunCapture RunWithTuning(const ScenarioSpec& spec, bool optimized) {
+  GlobalDatapathTuning().Reset();
+  if (!optimized) {
+    GlobalDatapathTuning().flow_cache = false;
+    GlobalDatapathTuning().device_burst = false;
+    GlobalDatapathTuning().inline_pipeline = false;
+  }
+
+  RunCapture cap;
+  RunOptions options;
+  options.instrument = [&cap](Testbed& tb) {
+    auto tap_for = [&cap, &tb](const char* dev_name) {
+      return [&cap, &tb, dev_name](const EthernetFrame& frame,
+                                   NetDevice::TapDirection dir) {
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "%s %c t=%lld %s>%s et=%04x len=%zu payload=%016llx",
+                      dev_name,
+                      dir == NetDevice::TapDirection::kTransmit ? 'T' : 'R',
+                      static_cast<long long>(tb.sim.Now().nanos()),
+                      frame.src.ToString().c_str(), frame.dst.ToString().c_str(),
+                      static_cast<unsigned>(frame.ethertype), frame.payload.size(),
+                      static_cast<unsigned long long>(
+                          HashBytes(frame.payload.data(), frame.payload.size())));
+        std::string entry = line;
+        if (frame.payload.size() <= 64) {
+          // Small control-plane payloads (ARP, ICMP, registration) get a
+          // full hex dump so a divergence names the exact differing byte;
+          // bulk frames rely on the hash.
+          entry += " hex=";
+          char byte[4];
+          for (size_t i = 0; i < frame.payload.size(); ++i) {
+            std::snprintf(byte, sizeof(byte), "%02x", frame.payload.data()[i]);
+            entry += byte;
+          }
+        }
+        cap.trace.emplace_back(std::move(entry));
+      };
+    };
+    tb.mh_eth->SetTap(tap_for("mh_eth"));
+    if (tb.mh_radio != nullptr) {
+      tb.mh_radio->SetTap(tap_for("mh_radio"));
+    }
+    tb.ch_dev->SetTap(tap_for("ch"));
+  };
+  options.on_complete = [&cap](Testbed& tb) {
+    for (const auto& [name, value] : tb.metrics.ScalarSnapshot()) {
+      // The cache's own accounting is the one namespace allowed to differ
+      // between the two runs; everything else must match exactly.
+      if (name.rfind("flow_cache.", 0) == 0) {
+        continue;
+      }
+      cap.metrics[name] = value;
+    }
+  };
+
+  const RunResult result = RunScenario(spec, options);
+  cap.failed = result.failed();
+  cap.checks = result.report.checks;
+  GlobalDatapathTuning().Reset();
+  return cap;
+}
+
+void ExpectIdentical(const std::string& label, const RunCapture& on,
+                     const RunCapture& off) {
+  EXPECT_FALSE(on.failed) << label << ": oracle failure with tuning enabled";
+  EXPECT_FALSE(off.failed) << label << ": oracle failure with tuning disabled";
+  EXPECT_EQ(on.checks, off.checks) << label << ": oracle check counts diverged";
+
+  // Packet traces: find and name the first divergent frame.
+  const size_t common = std::min(on.trace.size(), off.trace.size());
+  for (size_t i = 0; i < common; ++i) {
+    ASSERT_EQ(on.trace[i], off.trace[i])
+        << label << ": first trace divergence at frame " << i << " of "
+        << common;
+  }
+  ASSERT_EQ(on.trace.size(), off.trace.size())
+      << label << ": trace lengths diverged after " << common
+      << " identical frames; next frame on the longer side: "
+      << (on.trace.size() > off.trace.size() ? on.trace[common]
+                                             : off.trace[common]);
+
+  // End-state metrics: every exported counter/gauge outside flow_cache.*.
+  auto it_on = on.metrics.begin();
+  auto it_off = off.metrics.begin();
+  while (it_on != on.metrics.end() && it_off != off.metrics.end()) {
+    ASSERT_EQ(it_on->first, it_off->first) << label << ": metric sets diverged";
+    EXPECT_EQ(it_on->second, it_off->second)
+        << label << ": metric " << it_on->first << " diverged";
+    ++it_on;
+    ++it_off;
+  }
+  EXPECT_TRUE(it_on == on.metrics.end() && it_off == off.metrics.end())
+      << label << ": metric sets have different sizes";
+}
+
+void DiffScenario(const std::string& label, const ScenarioSpec& spec) {
+  const RunCapture on = RunWithTuning(spec, /*optimized=*/true);
+  const RunCapture off = RunWithTuning(spec, /*optimized=*/false);
+  EXPECT_FALSE(on.trace.empty()) << label << ": endpoints saw no traffic at all";
+  ExpectIdentical(label, on, off);
+}
+
+TEST(DatapathDiffTest, EveryCorpusScenarioIsTuningInvariant) {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(MSN_CORPUS_DIR)) {
+    if (entry.path().extension() == ".seed") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_GE(files.size(), 3u) << "corpus went missing from " << MSN_CORPUS_DIR;
+
+  for (const auto& path : files) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    const auto spec = ScenarioSpec::Parse(buffer.str(), &error);
+    ASSERT_TRUE(spec.has_value()) << path << ": " << error;
+    DiffScenario(path.filename().string(), *spec);
+  }
+}
+
+TEST(DatapathDiffTest, GeneratedScenariosAreTuningInvariant) {
+  // A seed spread on top of the pinned corpus, so shapes the corpus doesn't
+  // pin (radio handoffs, overload bursts, mobility corridors) get the same
+  // on/off treatment every run.
+  for (const uint64_t seed : {11ull, 42ull, 1996ull, 20260809ull}) {
+    DiffScenario("seed-" + std::to_string(seed), GenerateScenario(seed));
+  }
+}
+
+}  // namespace
+}  // namespace msn

@@ -11,6 +11,7 @@
 #include "src/net/checksum.h"
 #include "src/net/headers.h"
 #include "src/net/packet.h"
+#include "src/net/packet_arena.h"
 #include "src/sim/event_queue.h"
 #include "src/telemetry/packet_probes.h"
 #include "src/util/buffer_pool.h"
@@ -194,17 +195,29 @@ TEST(BufferPoolTest, OversizeBypassesPool) {
   EXPECT_EQ(pool.stats().outstanding, 0u);
 }
 
-TEST(BufferPoolTest, PacketLifecycleRoundTripsThroughDefaultPool) {
+TEST(BufferPoolTest, PacketLifecycleRecyclesThroughArena) {
+  // Steady state: a dead packet's storage node parks on the arena free list
+  // and the next allocation takes it back without any per-packet pool
+  // traffic (the pool is only touched in slab-sized batches).
+  PacketArena& arena = DefaultPacketArena();
+  {
+    Packet warmup = Packet::Allocate(500);
+    (void)warmup;
+  }
+  ASSERT_GT(arena.stats().free_nodes, 0u);
   BufferPool& pool = DefaultBufferPool();
-  const uint64_t released_before = pool.stats().released;
-  const uint64_t acquired_before = pool.stats().hits + pool.stats().misses;
+  const uint64_t pool_acquires_before = pool.stats().hits + pool.stats().misses;
+  const uint64_t recycled_before = arena.stats().recycled;
+  const size_t free_before = arena.stats().free_nodes;
   {
     Packet p = Packet::Allocate(500);
-    (void)p;
+    EXPECT_EQ(arena.stats().free_nodes, free_before - 1);
   }
-  EXPECT_GT(pool.stats().hits + pool.stats().misses, acquired_before);
-  EXPECT_GT(pool.stats().released, released_before)
-      << "destroying the last Packet must hand the block back";
+  EXPECT_EQ(arena.stats().recycled, recycled_before + 1);
+  EXPECT_EQ(arena.stats().free_nodes, free_before)
+      << "destroying the last Packet must park the node back on the arena";
+  EXPECT_EQ(pool.stats().hits + pool.stats().misses, pool_acquires_before)
+      << "steady-state packet churn must not touch the BufferPool";
 }
 
 // --- Incremental checksum vs full recompute -------------------------------------

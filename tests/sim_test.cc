@@ -1,11 +1,14 @@
 // Unit tests for src/sim: time types, event queue, simulator, periodic tasks.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "src/sim/event_queue.h"
 #include "src/sim/simulator.h"
 #include "src/sim/time.h"
+#include "src/util/rng.h"
 
 namespace msn {
 namespace {
@@ -91,6 +94,172 @@ TEST(EventQueueTest, NextTimeSkipsCancelled) {
   q.Cancel(early);
   EXPECT_EQ(q.NextTime(), Time::FromNanos(50));
   EXPECT_EQ(q.size(), 1u);
+}
+
+// --- EventQueue immediate lane -----------------------------------------------------
+
+TEST(EventQueueTest, ImmediateLaneCatchesSameTimeSchedules) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(Time::FromNanos(10), [&] {
+    order.push_back(0);
+    // Scheduled while t=10 is draining: must land in the FIFO lane, and must
+    // fire after every event that predates the drain.
+    q.Schedule(Time::FromNanos(10), [&] { order.push_back(2); });
+  });
+  q.Schedule(Time::FromNanos(10), [&] { order.push_back(1); });
+  const uint64_t heap_before = q.lane_stats().heap_scheduled;
+  while (!q.empty()) {
+    q.PopNext().cb();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(q.lane_stats().lane_scheduled, 1u);
+  EXPECT_EQ(q.lane_stats().heap_scheduled, heap_before);
+}
+
+TEST(EventQueueTest, LaneClosesWhenTimeAdvances) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(Time::FromNanos(10), [&] {
+    order.push_back(1);
+    q.Schedule(Time::FromNanos(20), [&] { order.push_back(2); });  // Heap: later time.
+  });
+  while (!q.empty()) {
+    q.PopNext().cb();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.lane_stats().lane_scheduled, 0u);
+  EXPECT_EQ(q.lane_stats().heap_scheduled, 2u);
+}
+
+TEST(EventQueueTest, CancelInLaneEvent) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(Time::FromNanos(10), [&] {
+    order.push_back(0);
+    EventId doomed = q.Schedule(Time::FromNanos(10), [&] { order.push_back(99); });
+    q.Schedule(Time::FromNanos(10), [&] { order.push_back(1); });
+    EXPECT_TRUE(q.Cancel(doomed));
+    EXPECT_FALSE(q.Cancel(doomed));
+  });
+  while (!q.empty()) {
+    q.PopNext().cb();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(EventQueueTest, NextTimeSeesLiveLaneEvent) {
+  EventQueue q;
+  q.Schedule(Time::FromNanos(10), [&] {
+    EventId doomed = q.Schedule(Time::FromNanos(10), [] {});
+    q.Cancel(doomed);
+    // A cancelled lane head must not hide the queue's true next time.
+    EXPECT_EQ(q.NextTime(), Time::Max());
+    q.Schedule(Time::FromNanos(10), [] {});
+    EXPECT_EQ(q.NextTime(), Time::FromNanos(10));
+  });
+  while (!q.empty()) {
+    q.PopNext().cb();
+  }
+}
+
+// Burst-stress: drive the lane+heap queue and a naive reference queue with an
+// identical random schedule/cancel/burst workload and require identical fire
+// orders. Callbacks re-schedule at the draining timestamp (lane traffic, like
+// a device draining a burst) and at future times (heap traffic), and cancel
+// random pending events — the full mix the datapath's burst dequeue produces.
+TEST(EventQueueTest, BurstStressMatchesReferenceQueue) {
+  for (const uint64_t seed : {1ull, 7ull, 1996ull}) {
+    // Reference: (when, seq) pairs popped by scanning for the minimum.
+    struct RefEvent {
+      int64_t when;
+      uint64_t seq;
+      int tag;
+      bool live = true;
+    };
+    std::vector<RefEvent> ref;
+    uint64_t ref_seq = 0;
+
+    EventQueue q;
+    Rng rng(seed);
+    std::vector<std::pair<EventId, size_t>> cancellable;  // (id, ref index)
+    std::vector<int> fired;
+    std::vector<int> ref_fired;
+    int64_t now = 0;
+    int next_tag = 0;
+
+    std::function<void(int64_t, int)> fire = [&](int64_t when, int tag) {
+      fired.push_back(tag);
+      // A third of callbacks spawn same-time work (bursts), a third spawn
+      // future work, a sixth cancel something pending. The spawn budget keeps
+      // the branching cascade finite.
+      const double roll = rng.UniformDouble();
+      if (next_tag >= 2000) {
+        return;
+      }
+      if (roll < 0.33) {
+        const int spawn = static_cast<int>(rng.UniformInt(uint64_t{1}, uint64_t{3}));
+        for (int i = 0; i < spawn; ++i) {
+          const int tag2 = next_tag++;
+          q.Schedule(Time::FromNanos(when), [&fire, when, tag2] { fire(when, tag2); });
+          ref.push_back(RefEvent{when, ref_seq++, tag2});
+        }
+      } else if (roll < 0.66) {
+        const int64_t later = when + static_cast<int64_t>(rng.UniformInt(uint64_t{1}, uint64_t{50}));
+        const int tag2 = next_tag++;
+        q.Schedule(Time::FromNanos(later), [&fire, later, tag2] { fire(later, tag2); });
+        ref.push_back(RefEvent{later, ref_seq++, tag2});
+      } else if (roll < 0.83 && !cancellable.empty()) {
+        const size_t pick = rng.UniformInt(0ull, cancellable.size() - 1);
+        auto [id, ref_idx] = cancellable[pick];
+        cancellable.erase(cancellable.begin() + static_cast<ptrdiff_t>(pick));
+        if (q.Cancel(id)) {
+          ref[ref_idx].live = false;
+        }
+      }
+    };
+
+    for (int i = 0; i < 40; ++i) {
+      const int64_t when = static_cast<int64_t>(rng.UniformInt(uint64_t{0}, uint64_t{100}));
+      const int tag = next_tag++;
+      EventId id =
+          q.Schedule(Time::FromNanos(when), [&fire, when, tag] { fire(when, tag); });
+      ref.push_back(RefEvent{when, ref_seq++, tag});
+      cancellable.emplace_back(id, ref.size() - 1);
+    }
+
+    int guard = 0;
+    while (!q.empty() && guard++ < 10000) {
+      EventQueue::Entry e = q.PopNext();
+      now = e.when.nanos();
+      e.cb();
+    }
+    ASSERT_LT(guard, 10000) << "runaway event cascade, seed " << seed;
+    (void)now;
+
+    // Drain the reference the slow, obviously-correct way.
+    while (true) {
+      size_t best = ref.size();
+      for (size_t i = 0; i < ref.size(); ++i) {
+        if (!ref[i].live) {
+          continue;
+        }
+        if (best == ref.size() || ref[i].when < ref[best].when ||
+            (ref[i].when == ref[best].when && ref[i].seq < ref[best].seq)) {
+          best = i;
+        }
+      }
+      if (best == ref.size()) {
+        break;
+      }
+      ref[best].live = false;
+      ref_fired.push_back(ref[best].tag);
+    }
+
+    EXPECT_EQ(fired, ref_fired) << "fire order diverged from reference, seed " << seed;
+    EXPECT_GT(q.lane_stats().lane_scheduled, 0u)
+        << "stress never exercised the lane, seed " << seed;
+  }
 }
 
 // --- Simulator ------------------------------------------------------------------------
